@@ -1,0 +1,71 @@
+// Figure 1 reproduction: the protein degree distribution of the yeast
+// protein-complex hypergraph follows a power law P(d) = c d^-gamma.
+// Paper values: log10(c) = 3.161, gamma = 2.528, R^2 = 0.963.
+//
+// Also reproduces the accompanying section-2 observation that complex
+// sizes follow neither a power law nor an exponential (we report both
+// fits and their R^2).
+//
+// Usage: bench_fig1_degree_dist [--seed N] [--csv out.csv]
+#include <cstdio>
+
+#include "bio/cellzome_synth.hpp"
+#include "core/stats.hpp"
+#include "util/args.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const hp::Args args{argc, argv};
+  hp::bio::CellzomeParams params;
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 20040426));
+
+  const hp::bio::ComplexDataset data = hp::bio::cellzome_surrogate(params);
+  const hp::hyper::Hypergraph& h = data.hypergraph;
+
+  std::puts("=== Figure 1: protein degree distribution (log-log) ===\n");
+  const hp::Histogram degrees = hp::hyper::vertex_degree_histogram(h);
+  {
+    hp::Table t{{"degree d", "proteins with degree d"}};
+    for (std::size_t d = 1; d < degrees.frequencies().size(); ++d) {
+      if (degrees.count(d) == 0) continue;
+      t.row().cell(static_cast<std::uint64_t>(d)).cell(
+          static_cast<std::uint64_t>(degrees.count(d)));
+    }
+    t.print();
+  }
+
+  const hp::PowerLawFit fit = hp::hyper::vertex_degree_power_law(h);
+  std::puts("\n--- Power-law fit P(d) = c * d^-gamma ---");
+  {
+    hp::Table t{{"quantity", "paper", "measured"}};
+    t.row().cell("log10(c)").cell(3.161, 3).cell(fit.log10_c, 3);
+    t.row().cell("gamma").cell(2.528, 3).cell(fit.gamma, 3);
+    t.row().cell("R^2").cell(0.963, 3).cell(fit.r_squared, 3);
+    t.print();
+  }
+
+  std::puts(
+      "\n--- Complex size distribution: neither power law nor exponential "
+      "---");
+  const hp::hyper::EdgeSizeFits size_fits = hp::hyper::edge_size_fits(h);
+  {
+    hp::Table t{{"model", "R^2 (low = poor fit, as the paper observes)"}};
+    t.row().cell("power law").cell(size_fits.power.r_squared, 3);
+    t.row().cell("exponential").cell(size_fits.exponential.r_squared, 3);
+    t.print();
+  }
+
+  if (args.has("csv")) {
+    hp::CsvWriter csv;
+    csv.add_row({"degree", "frequency"});
+    for (std::size_t d = 1; d < degrees.frequencies().size(); ++d) {
+      if (degrees.count(d) > 0) {
+        csv.add_row({std::to_string(d), std::to_string(degrees.count(d))});
+      }
+    }
+    csv.save(args.get("csv", "fig1.csv"));
+    std::printf("\nwrote %s\n", args.get("csv", "fig1.csv").c_str());
+  }
+  return 0;
+}

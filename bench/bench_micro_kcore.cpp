@@ -1,0 +1,106 @@
+// Ablation A + parallel extension: microbenchmarks of the hypergraph
+// k-core implementations.
+//
+//   * overlap-maintaining peel (the paper's algorithm, Fig. 4)
+//   * naive set-comparison reference (what the paper argues against)
+//   * bulk-synchronous parallel peel (the "parallel algorithm" the
+//     paper's section 3 calls for), at 1/2/4 threads
+//
+// Size sweep over random hypergraphs and a Cellzome-scale instance.
+#include <benchmark/benchmark.h>
+
+#include "bio/cellzome_synth.hpp"
+#include "core/kcore.hpp"
+#include "core/kcore_naive.hpp"
+#include "core/kcore_parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+hp::hyper::Hypergraph random_hypergraph(std::uint64_t seed,
+                                        hp::index_t num_vertices,
+                                        hp::index_t num_edges,
+                                        hp::index_t max_size) {
+  hp::Rng rng{seed};
+  hp::hyper::HypergraphBuilder builder{num_vertices};
+  std::vector<hp::index_t> members;
+  for (hp::index_t e = 0; e < num_edges; ++e) {
+    const hp::index_t size = 2 + static_cast<hp::index_t>(
+                                     rng.uniform(max_size - 1));
+    members.clear();
+    for (hp::index_t i = 0; i < size; ++i) {
+      members.push_back(
+          static_cast<hp::index_t>(rng.uniform(num_vertices)));
+    }
+    builder.add_edge(members);
+  }
+  return builder.build();
+}
+
+const hp::hyper::Hypergraph& cellzome() {
+  static const hp::hyper::Hypergraph h =
+      hp::bio::cellzome_surrogate().hypergraph;
+  return h;
+}
+
+void BM_KCoreOverlap(benchmark::State& state) {
+  const auto h = random_hypergraph(42, static_cast<hp::index_t>(state.range(0)),
+                                   static_cast<hp::index_t>(state.range(0)),
+                                   8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hp::hyper::core_decomposition(h));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KCoreOverlap)->Range(64, 4096)->Complexity();
+
+void BM_KCoreNaive(benchmark::State& state) {
+  const auto h = random_hypergraph(42, static_cast<hp::index_t>(state.range(0)),
+                                   static_cast<hp::index_t>(state.range(0)),
+                                   8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hp::hyper::core_decomposition_naive(h));
+  }
+  state.SetComplexityN(state.range(0));
+}
+// The naive reference is quadratic-plus; cap the sweep so the binary
+// still completes quickly.
+BENCHMARK(BM_KCoreNaive)->Range(64, 1024)->Complexity();
+
+void BM_KCoreParallel(benchmark::State& state) {
+  const auto h = random_hypergraph(42, 2048, 2048, 8);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hp::hyper::core_decomposition_parallel(h, threads));
+  }
+}
+BENCHMARK(BM_KCoreParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_KCoreCellzomeOverlap(benchmark::State& state) {
+  const auto& h = cellzome();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hp::hyper::core_decomposition(h));
+  }
+}
+BENCHMARK(BM_KCoreCellzomeOverlap);
+
+void BM_KCoreCellzomeNaive(benchmark::State& state) {
+  const auto& h = cellzome();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hp::hyper::core_decomposition_naive(h));
+  }
+}
+BENCHMARK(BM_KCoreCellzomeNaive);
+
+void BM_KCoreCellzomeParallel(benchmark::State& state) {
+  const auto& h = cellzome();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hp::hyper::core_decomposition_parallel(h));
+  }
+}
+BENCHMARK(BM_KCoreCellzomeParallel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

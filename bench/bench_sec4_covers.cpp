@@ -1,0 +1,139 @@
+// Section 4 reproduction: vertex covers as bait-selection policies.
+//
+// Paper results on the Cellzome hypergraph:
+//   * greedy minimum-cardinality cover: 109 proteins, avg degree ~ 3.7;
+//   * greedy cover with w(v) = deg(v)^2: 233 proteins, avg degree ~ 1.14;
+//   * 2-multicover of the 229 non-singleton complexes: 558 proteins,
+//     avg degree ~ 1.74;
+//   * the actual Cellzome experiment: 459 baits, avg degree ~ 1.85
+//     (429 pull down one complex, 26 two, 4 three).
+//
+// Plus the reliability experiment the paper motivates: with 70 %
+// per-pulldown success, how many complexes does each bait set recover?
+//
+// Usage: bench_sec4_covers [--seed N] [--trials N]
+#include <cstdio>
+
+#include "bio/bait.hpp"
+#include "bio/cellzome_synth.hpp"
+#include "bio/tap_sim.hpp"
+#include "core/cover_pd.hpp"
+#include "util/args.hpp"
+#include "util/histogram.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const hp::Args args{argc, argv};
+  hp::bio::CellzomeParams params;
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 20040426));
+  const int trials = static_cast<int>(args.get_int("trials", 200));
+
+  const hp::bio::ComplexDataset data = hp::bio::cellzome_surrogate(params);
+  const hp::hyper::Hypergraph& h = data.hypergraph;
+
+  const hp::bio::BaitSelection unit =
+      hp::bio::select_baits(h, hp::bio::BaitStrategy::kMinCardinality);
+  const hp::bio::BaitSelection deg2 =
+      hp::bio::select_baits(h, hp::bio::BaitStrategy::kDegreeSquared);
+  const hp::bio::BaitSelection twice =
+      hp::bio::select_baits(h, hp::bio::BaitStrategy::kDoubleCoverage);
+
+  std::puts("=== Section 4: bait selection by hypergraph covers ===\n");
+  {
+    hp::Table t{{"strategy", "paper size", "measured size",
+                 "paper avg degree", "measured avg degree"}};
+    t.row()
+        .cell("greedy min-cardinality cover")
+        .cell("109")
+        .cell(static_cast<std::uint64_t>(unit.baits.size()))
+        .cell("3.7")
+        .cell(unit.average_degree, 2);
+    t.row()
+        .cell("greedy cover, w = deg^2")
+        .cell("233")
+        .cell(static_cast<std::uint64_t>(deg2.baits.size()))
+        .cell("1.14")
+        .cell(deg2.average_degree, 2);
+    t.row()
+        .cell("greedy 2-multicover, w = deg^2")
+        .cell("558")
+        .cell(static_cast<std::uint64_t>(twice.baits.size()))
+        .cell("1.74")
+        .cell(twice.average_degree, 2);
+    t.row()
+        .cell("Cellzome experiment (reported)")
+        .cell("459")
+        .cell("-")
+        .cell("1.85")
+        .cell("-");
+    t.print();
+  }
+  std::printf("\ncomplexes excluded from the 2-multicover (singletons): "
+              "paper 3, measured %zu\n",
+              twice.excluded_complexes.size());
+
+  // Pulldown multiplicity distribution of the low-degree cover, to
+  // compare with the Cellzome baits (429 pull one complex, 26 two, 4
+  // three).
+  std::puts("\n--- Complexes pulled down per bait (deg^2 cover) ---");
+  {
+    hp::Histogram counts;
+    for (hp::index_t c : hp::bio::pulldown_counts(h, deg2.baits)) {
+      counts.add(c);
+    }
+    hp::Table t{{"complexes per bait", "baits (measured)",
+                 "Cellzome baits (paper)"}};
+    for (std::size_t d = 1; d <= counts.max_value(); ++d) {
+      if (counts.count(d) == 0 && d > 3) continue;
+      const char* paper = d == 1 ? "429" : d == 2 ? "26" : d == 3 ? "4" : "-";
+      t.row()
+          .cell(static_cast<std::uint64_t>(d))
+          .cell(static_cast<std::uint64_t>(counts.count(d)))
+          .cell(paper);
+    }
+    t.print();
+  }
+
+  // Dual lower bound: how close is greedy to optimal on this instance?
+  {
+    const hp::hyper::PrimalDualResult pd =
+        hp::hyper::primal_dual_cover(h, hp::hyper::unit_weights(h));
+    std::printf(
+        "\ncover quality certificate: greedy %zu vs dual lower bound %.1f "
+        "(ratio %.2f; H_m guarantee %.2f)\n",
+        unit.baits.size(), pd.dual_value,
+        static_cast<double>(unit.baits.size()) / pd.dual_value,
+        hp::hyper::harmonic(h.num_edges()));
+  }
+
+  // Reliability panel: TAP simulation at the Cellzome 70 % success rate.
+  std::puts("\n--- TAP reliability simulation (70 % per-pulldown success) ---");
+  {
+    hp::Rng rng{params.seed ^ 0x7A9ULL};
+    const hp::bio::TapSimParams sim{0.7, trials};
+    hp::Table t{{"bait set", "baits", "mean complexes recovered", "min",
+                 "max"}};
+    const struct {
+      const char* name;
+      const hp::bio::BaitSelection* sel;
+    } rows[] = {{"min-cardinality cover", &unit},
+                {"deg^2 cover", &deg2},
+                {"2-multicover", &twice}};
+    for (const auto& row : rows) {
+      const hp::bio::TapSimResult r =
+          hp::bio::simulate_tap(h, row.sel->baits, sim, rng);
+      t.row()
+          .cell(row.name)
+          .cell(static_cast<std::uint64_t>(row.sel->baits.size()))
+          .cell(r.mean_recovered_fraction, 3)
+          .cell(r.min_recovered_fraction, 3)
+          .cell(r.max_recovered_fraction, 3);
+    }
+    t.print();
+    std::puts(
+        "\nthe 2-multicover converts the experiment's 70 % per-pulldown\n"
+        "reproducibility into ~91 % per-complex recovery (1 - 0.3^2),\n"
+        "which is the paper's motivation for multicovers.");
+  }
+  return 0;
+}

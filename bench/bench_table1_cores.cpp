@@ -1,0 +1,127 @@
+// Table 1 reproduction: hypergraph statistics and maximum-core
+// computations on the Cellzome hypergraph and on hypergraphs derived
+// from Matrix Market-style sparse matrices.
+//
+// Paper columns: |V|, |F|, |E|, Delta_V, Delta_F, Delta_2,F, max core,
+// core |V|, core |F|, time. The original bfw/fidap/bcsstk/utm matrices
+// are replaced by synthetic matrices with the same structural character
+// (see DESIGN.md); sizes are scaled so the full sweep runs in seconds.
+// The trend being reproduced: run time grows with the core size and
+// with Delta_2,F.
+//
+// Usage: bench_table1_cores [--seed N] [--skip-large]
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bio/cellzome_synth.hpp"
+#include "core/kcore.hpp"
+#include "core/overlap.hpp"
+#include "core/stats.hpp"
+#include "mm/mm_synth.hpp"
+#include "mm/mm_to_hypergraph.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct NamedHypergraph {
+  std::string name;
+  std::string family;  // which Matrix Market family it stands in for
+  hp::hyper::Hypergraph hypergraph;
+};
+
+void add_row(hp::Table& table, const NamedHypergraph& item) {
+  const hp::hyper::Hypergraph& h = item.hypergraph;
+  const hp::index_t delta2 = hp::hyper::OverlapTable{h}.max_degree2();
+
+  hp::Timer timer;
+  const hp::hyper::HyperCoreResult cores = hp::hyper::core_decomposition(h);
+  const double seconds = timer.seconds();
+
+  table.row()
+      .cell(item.name)
+      .cell(static_cast<std::uint64_t>(h.num_vertices()))
+      .cell(static_cast<std::uint64_t>(h.num_edges()))
+      .cell(static_cast<std::uint64_t>(h.num_pins()))
+      .cell(static_cast<std::uint64_t>(h.max_vertex_degree()))
+      .cell(static_cast<std::uint64_t>(h.max_edge_size()))
+      .cell(static_cast<std::uint64_t>(delta2))
+      .cell(static_cast<std::uint64_t>(cores.max_core))
+      .cell(static_cast<std::uint64_t>(
+          cores.core_vertices(cores.max_core).size()))
+      .cell(static_cast<std::uint64_t>(
+          cores.core_edges(cores.max_core).size()))
+      .cell(hp::format_duration(seconds));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hp::Args args{argc, argv};
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 20040426));
+  const bool skip_large = args.get_bool("skip-large", false);
+
+  std::puts(
+      "=== Table 1: hypergraphs and their maximum cores ===\n"
+      "(synthetic stand-ins for the Matrix Market matrices; the Cellzome\n"
+      "row is the calibrated surrogate. Paper reference for Cellzome:\n"
+      "|V| = 1361, |F| = 232, max core 6 with 41 vertices / 54 edges,\n"
+      "0.47 s on a 2 GHz Xeon.)\n");
+
+  std::vector<NamedHypergraph> items;
+  {
+    hp::bio::CellzomeParams p;
+    p.seed = seed;
+    items.push_back(
+        {"cellzome", "protein complexes",
+         hp::bio::cellzome_surrogate(p).hypergraph});
+  }
+  {
+    hp::Rng rng{seed ^ 1};
+    items.push_back({"bfw_s (banded FEM)", "bfw398a",
+                     hp::mm::row_net_hypergraph(
+                         hp::mm::synthesize_banded(398, 6, 0.65, rng))});
+  }
+  {
+    hp::Rng rng{seed ^ 2};
+    items.push_back({"fdp_s (fluid blocks)", "fidap (small)",
+                     hp::mm::row_net_hypergraph(
+                         hp::mm::synthesize_fem_blocks(1500, 12, 2500, rng))});
+  }
+  {
+    hp::Rng rng{seed ^ 3};
+    items.push_back(
+        {"stk (stiffness)", "bcsstk",
+         hp::mm::row_net_hypergraph(
+             hp::mm::synthesize_stiffness(4000, 8, 5000, rng))});
+  }
+  {
+    hp::Rng rng{seed ^ 4};
+    items.push_back({"utm (tokamak)", "utm",
+                     hp::mm::row_net_hypergraph(
+                         hp::mm::synthesize_tokamak(900, 5, 6, 0.5, rng))});
+  }
+  if (!skip_large) {
+    hp::Rng rng{seed ^ 5};
+    items.push_back(
+        {"fdp_l (fluid blocks)", "fidap (large)",
+         hp::mm::row_net_hypergraph(
+             hp::mm::synthesize_fem_blocks(8000, 16, 12000, rng))});
+  }
+
+  hp::Table table{{"hypergraph", "|V|", "|F|", "|E|", "dV", "dF", "d2F",
+                   "max core", "core |V|", "core |F|", "time"}};
+  for (const NamedHypergraph& item : items) add_row(table, item);
+  table.print();
+
+  std::puts(
+      "\ntrend reproduced from the paper: run time grows with core size "
+      "and Delta_2,F; large cores (stiffness/fluid rows) dominate the "
+      "sweep, motivating the parallel algorithm (see bench_micro_kcore).");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Bait selection for a TAP experiment (section 4 workflow): compare the
+// three cover strategies on the Cellzome-scale surrogate, then verify
+// their reliability with the pulldown simulator.
+//
+//   $ ./bait_selection [--seed N] [--success-rate P] [--trials N]
+#include <cstdio>
+
+#include "bio/bait.hpp"
+#include "bio/cellzome_synth.hpp"
+#include "bio/tap_sim.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+void describe(const char* name, const hp::bio::BaitSelection& s,
+              const hp::bio::ComplexDataset& data) {
+  std::printf("%-26s %4zu baits, avg degree %.2f", name, s.baits.size(),
+              s.average_degree);
+  if (!s.excluded_complexes.empty()) {
+    std::printf(", %zu complexes excluded (singletons)",
+                s.excluded_complexes.size());
+  }
+  std::printf("\n  first baits:");
+  for (std::size_t i = 0; i < s.baits.size() && i < 8; ++i) {
+    std::printf(" %s", data.proteins.name_of(s.baits[i]).c_str());
+  }
+  std::printf("%s\n", s.baits.size() > 8 ? " ..." : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hp::Args args{argc, argv};
+  hp::bio::CellzomeParams params;
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 20040426));
+  const double success = args.get_double("success-rate", 0.7);
+  const int trials = static_cast<int>(args.get_int("trials", 200));
+
+  const hp::bio::ComplexDataset data = hp::bio::cellzome_surrogate(params);
+  const hp::hyper::Hypergraph& h = data.hypergraph;
+
+  const hp::bio::BaitSelection unit =
+      hp::bio::select_baits(h, hp::bio::BaitStrategy::kMinCardinality);
+  const hp::bio::BaitSelection deg2 =
+      hp::bio::select_baits(h, hp::bio::BaitStrategy::kDegreeSquared);
+  const hp::bio::BaitSelection twice =
+      hp::bio::select_baits(h, hp::bio::BaitStrategy::kDoubleCoverage);
+
+  std::puts("bait selection strategies:\n");
+  describe("min-cardinality cover:", unit, data);
+  describe("deg^2-weighted cover:", deg2, data);
+  describe("2-multicover:", twice, data);
+
+  std::printf("\nTAP simulation (%d trials, %.0f%% pulldown success):\n",
+              trials, success * 100.0);
+  hp::Rng rng{params.seed ^ 0x7A75ULL};
+  const hp::bio::TapSimParams sim{success, trials};
+  const struct {
+    const char* name;
+    const hp::bio::BaitSelection* selection;
+  } strategies[] = {{"min-cardinality", &unit},
+                    {"deg^2-weighted", &deg2},
+                    {"2-multicover", &twice}};
+  for (const auto& strategy : strategies) {
+    const hp::bio::TapSimResult r =
+        hp::bio::simulate_tap(h, strategy.selection->baits, sim, rng);
+    std::printf("  %-16s recovers %.1f%% of complexes per round\n",
+                strategy.name, r.mean_recovered_fraction * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "bio/catalog_compare.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hp::bio {
+
+std::vector<ComplexMatch> best_matches(const hyper::Hypergraph& predicted,
+                                       const hyper::Hypergraph& reference) {
+  HP_REQUIRE(predicted.num_vertices() == reference.num_vertices(),
+             "best_matches: catalogs must share the protein universe");
+  std::vector<ComplexMatch> matches(predicted.num_edges());
+  std::unordered_map<index_t, index_t> overlap;  // reference edge -> |∩|
+  for (index_t p = 0; p < predicted.num_edges(); ++p) {
+    overlap.clear();
+    for (index_t v : predicted.vertices_of(p)) {
+      for (index_t r : reference.edges_of(v)) ++overlap[r];
+    }
+    ComplexMatch best;
+    for (const auto& [r, inter] : overlap) {
+      const double uni = static_cast<double>(predicted.edge_size(p)) +
+                         static_cast<double>(reference.edge_size(r)) -
+                         static_cast<double>(inter);
+      const double jaccard = static_cast<double>(inter) / uni;
+      if (jaccard > best.jaccard ||
+          (jaccard == best.jaccard && r < best.counterpart)) {
+        best.jaccard = jaccard;
+        best.counterpart = r;
+      }
+    }
+    matches[p] = best;
+  }
+  return matches;
+}
+
+CatalogComparison compare_catalogs(const hyper::Hypergraph& predicted,
+                                   const hyper::Hypergraph& reference,
+                                   double jaccard_threshold) {
+  HP_REQUIRE(jaccard_threshold > 0.0 && jaccard_threshold <= 1.0,
+             "compare_catalogs: threshold out of (0, 1]");
+  const std::vector<ComplexMatch> forward =
+      best_matches(predicted, reference);
+  const std::vector<ComplexMatch> backward =
+      best_matches(reference, predicted);
+
+  CatalogComparison c;
+  double jaccard_sum = 0.0;
+  for (const ComplexMatch& m : forward) {
+    jaccard_sum += m.jaccard;
+    if (m.jaccard >= jaccard_threshold) ++c.matched_predicted;
+  }
+  for (const ComplexMatch& m : backward) {
+    if (m.jaccard >= jaccard_threshold) ++c.matched_reference;
+  }
+  c.precision = predicted.num_edges() > 0
+                    ? static_cast<double>(c.matched_predicted) /
+                          predicted.num_edges()
+                    : 1.0;
+  c.recall = reference.num_edges() > 0
+                 ? static_cast<double>(c.matched_reference) /
+                       reference.num_edges()
+                 : 1.0;
+  c.f1 = (c.precision + c.recall) > 0.0
+             ? 2.0 * c.precision * c.recall / (c.precision + c.recall)
+             : 0.0;
+  c.mean_jaccard = predicted.num_edges() > 0
+                       ? jaccard_sum / predicted.num_edges()
+                       : 0.0;
+  return c;
+}
+
+}  // namespace hp::bio

@@ -1,0 +1,48 @@
+// Complex-catalog comparison.
+//
+// The paper's bait-selection discussion ends with using "one organism as
+// a model to identify the protein complexes in a related organism" --
+// which in practice means comparing a predicted complex catalog against
+// a reference one (the standard evaluation against MIPS/CYC-style
+// curated catalogs). This module implements the classic best-match
+// Jaccard protocol: every complex of one catalog is matched to its
+// highest-Jaccard counterpart in the other; catalog-level precision and
+// recall count complexes whose best match clears a threshold.
+#pragma once
+
+#include <vector>
+
+#include "core/hypergraph.hpp"
+
+namespace hp::bio {
+
+struct ComplexMatch {
+  index_t counterpart = kInvalidIndex;  ///< best-Jaccard partner (or none)
+  double jaccard = 0.0;
+};
+
+/// Best-Jaccard match of every hyperedge of `predicted` against
+/// `reference`. Both hypergraphs must share the vertex universe (same
+/// protein ids). O(sum of pin-degree products) via incidence lists.
+std::vector<ComplexMatch> best_matches(const hyper::Hypergraph& predicted,
+                                       const hyper::Hypergraph& reference);
+
+struct CatalogComparison {
+  /// Complexes of `predicted` whose best match clears the threshold.
+  count_t matched_predicted = 0;
+  /// Complexes of `reference` recovered by some predicted complex.
+  count_t matched_reference = 0;
+  double precision = 0.0;  ///< matched_predicted / |predicted|
+  double recall = 0.0;     ///< matched_reference / |reference|
+  double f1 = 0.0;
+  /// Mean best-match Jaccard over predicted complexes.
+  double mean_jaccard = 0.0;
+};
+
+/// Symmetric catalog evaluation at a Jaccard threshold (0.5 is the
+/// field's customary value). Throws if the vertex universes differ.
+CatalogComparison compare_catalogs(const hyper::Hypergraph& predicted,
+                                   const hyper::Hypergraph& reference,
+                                   double jaccard_threshold = 0.5);
+
+}  // namespace hp::bio

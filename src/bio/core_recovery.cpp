@@ -1,0 +1,41 @@
+#include "bio/core_recovery.hpp"
+
+#include <algorithm>
+
+namespace hp::bio {
+
+RecoveryStats recovery_stats(const std::vector<index_t>& predicted,
+                             const std::vector<index_t>& truth) {
+  std::vector<index_t> p = predicted;
+  std::vector<index_t> t = truth;
+  std::sort(p.begin(), p.end());
+  p.erase(std::unique(p.begin(), p.end()), p.end());
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+
+  std::vector<index_t> inter;
+  std::set_intersection(p.begin(), p.end(), t.begin(), t.end(),
+                        std::back_inserter(inter));
+
+  RecoveryStats s;
+  s.true_positives = inter.size();
+  s.false_positives = p.size() - inter.size();
+  s.false_negatives = t.size() - inter.size();
+  s.precision = p.empty() ? 1.0
+                          : static_cast<double>(s.true_positives) /
+                                static_cast<double>(p.size());
+  s.recall = t.empty() ? 1.0
+                       : static_cast<double>(s.true_positives) /
+                             static_cast<double>(t.size());
+  s.f1 = (s.precision + s.recall) > 0.0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  const std::size_t union_size = p.size() + t.size() - inter.size();
+  s.jaccard = union_size > 0
+                  ? static_cast<double>(inter.size()) /
+                        static_cast<double>(union_size)
+                  : 1.0;
+  return s;
+}
+
+}  // namespace hp::bio

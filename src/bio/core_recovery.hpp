@@ -1,0 +1,32 @@
+// Evaluation of core-proteome detection against ground truth.
+//
+// The Cellzome surrogate plants its dense module explicitly (the first
+// `core_proteins` vertex ids and the designated core complexes), which
+// real data never offers. That turns the paper's qualitative story --
+// "the maximum core identifies the core proteome" -- into a measurable
+// retrieval task: how precisely does the computed maximum core recover
+// the planted module, and how does the hypergraph core compare with the
+// clique-expansion graph core the paper calls error-prone?
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hp::bio {
+
+struct RecoveryStats {
+  count_t true_positives = 0;
+  count_t false_positives = 0;
+  count_t false_negatives = 0;
+  double precision = 0.0;  ///< TP / (TP + FP); 1.0 when nothing predicted
+  double recall = 0.0;     ///< TP / (TP + FN); 1.0 when nothing planted
+  double f1 = 0.0;         ///< harmonic mean (0 when undefined)
+  double jaccard = 0.0;    ///< |A ∩ B| / |A ∪ B|
+};
+
+/// Compare a predicted id set against the ground-truth set.
+RecoveryStats recovery_stats(const std::vector<index_t>& predicted,
+                             const std::vector<index_t>& truth);
+
+}  // namespace hp::bio

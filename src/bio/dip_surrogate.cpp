@@ -1,0 +1,43 @@
+#include "bio/dip_surrogate.hpp"
+
+#include "graph/graph_generators.hpp"
+
+namespace hp::bio {
+
+graph::Graph yeast_ppi_surrogate(const YeastPpiParams& params, Rng& rng) {
+  const auto weights = graph::power_law_weights(
+      params.num_proteins, params.gamma, params.average_degree);
+  return graph::generate_chung_lu(weights, rng);
+}
+
+graph::Graph fly_ppi_surrogate(const FlyPpiParams& params, Rng& rng) {
+  HP_REQUIRE(params.block_offset + params.block_size <= params.num_proteins,
+             "fly_ppi_surrogate: dense block exceeds protein count");
+  graph::GraphBuilder builder{params.num_proteins};
+
+  const auto weights = graph::power_law_weights(
+      params.num_proteins, params.periphery_gamma,
+      params.periphery_average_degree);
+  const graph::Graph periphery = graph::generate_chung_lu(weights, rng);
+  for (index_t u = 0; u < periphery.num_vertices(); ++u) {
+    for (index_t v : periphery.neighbors(u)) {
+      if (u < v) builder.add_edge(u, v);
+    }
+  }
+
+  const count_t block_edges = static_cast<count_t>(
+      params.block_average_degree * params.block_size / 2.0);
+  count_t added = 0;
+  while (added < block_edges) {
+    const index_t u = params.block_offset +
+                      static_cast<index_t>(rng.uniform(params.block_size));
+    const index_t v = params.block_offset +
+                      static_cast<index_t>(rng.uniform(params.block_size));
+    if (u == v) continue;
+    builder.add_edge(u, v);  // duplicates merge at build()
+    ++added;
+  }
+  return builder.build();
+}
+
+}  // namespace hp::bio

@@ -1,0 +1,40 @@
+// Surrogates for the DIP protein-protein interaction networks the paper
+// compares against in section 3 (Nov 2003 snapshots: yeast with 4,746
+// proteins whose maximum graph core is a 10-core of 33 proteins, and
+// drosophila with ~7,000 proteins and an 8-core of 577 proteins).
+//
+// Yeast: a Chung-Lu power-law graph calibrated to the DIP density gives
+// the deep, small core. Drosophila (the Giot et al. Y2H map) contains a
+// large moderately-dense region, modelled as a power-law periphery plus
+// an Erdos-Renyi block, which yields the shallow-but-large core.
+// Parameters are exposed so studies can move along either axis.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace hp::bio {
+
+struct YeastPpiParams {
+  index_t num_proteins = 4746;
+  double gamma = 2.5;        ///< degree exponent
+  double average_degree = 6.3;
+};
+
+/// Yeast DIP surrogate (expected max core ~ 10 with tens of proteins).
+graph::Graph yeast_ppi_surrogate(const YeastPpiParams& params, Rng& rng);
+
+struct FlyPpiParams {
+  index_t num_proteins = 7000;
+  double periphery_gamma = 2.9;
+  double periphery_average_degree = 4.0;
+  index_t block_offset = 3000;     ///< first protein of the dense block
+  index_t block_size = 600;
+  double block_average_degree = 12.0;
+};
+
+/// Drosophila DIP surrogate (expected max core ~ 8 with hundreds of
+/// proteins).
+graph::Graph fly_ppi_surrogate(const FlyPpiParams& params, Rng& rng);
+
+}  // namespace hp::bio

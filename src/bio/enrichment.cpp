@@ -1,0 +1,96 @@
+#include "bio/enrichment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hp::bio {
+
+namespace {
+/// log(n choose k) via lgamma.
+double log_choose(count_t n, count_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+}  // namespace
+
+double hypergeometric_tail(count_t population, count_t successes,
+                           count_t draws, count_t observed) {
+  HP_REQUIRE(successes <= population,
+             "hypergeometric_tail: successes exceed population");
+  HP_REQUIRE(draws <= population,
+             "hypergeometric_tail: draws exceed population");
+  const count_t k_max = std::min(successes, draws);
+  if (observed == 0) return 1.0;
+  if (observed > k_max) return 0.0;
+  const double log_denominator = log_choose(population, draws);
+  double tail = 0.0;
+  for (count_t k = observed; k <= k_max; ++k) {
+    if (draws - k > population - successes) continue;  // infeasible term
+    const double log_p = log_choose(successes, k) +
+                         log_choose(population - successes, draws - k) -
+                         log_denominator;
+    tail += std::exp(log_p);
+  }
+  return std::min(tail, 1.0);
+}
+
+EnrichmentResult enrichment(const std::vector<index_t>& set,
+                            const std::vector<bool>& flag,
+                            const std::string& label) {
+  EnrichmentResult r;
+  r.label = label;
+  r.background_size = flag.size();
+  for (bool f : flag) r.background_positive += f ? 1 : 0;
+  r.set_size = set.size();
+  for (index_t v : set) {
+    HP_REQUIRE(v < flag.size(), "enrichment: set id out of range");
+    r.set_positive += flag[v] ? 1 : 0;
+  }
+  r.set_fraction = r.set_size > 0 ? static_cast<double>(r.set_positive) /
+                                        static_cast<double>(r.set_size)
+                                  : 0.0;
+  r.background_fraction =
+      r.background_size > 0 ? static_cast<double>(r.background_positive) /
+                                  static_cast<double>(r.background_size)
+                            : 0.0;
+  r.fold_enrichment = r.background_fraction > 0.0
+                          ? r.set_fraction / r.background_fraction
+                          : 0.0;
+  r.p_value = hypergeometric_tail(r.background_size, r.background_positive,
+                                  r.set_size, r.set_positive);
+  return r;
+}
+
+CoreProteomeReport core_proteome_report(const std::vector<index_t>& core,
+                                        const AnnotationSet& annotations) {
+  CoreProteomeReport report;
+  report.core_size = core.size();
+  std::vector<index_t> core_known_ids;
+  for (index_t v : core) {
+    HP_REQUIRE(v < annotations.size(),
+               "core_proteome_report: core id out of range");
+    if (annotations.known[v]) {
+      ++report.core_known;
+      core_known_ids.push_back(v);
+      if (annotations.essential[v]) ++report.core_known_essential;
+    } else {
+      ++report.core_unknown;
+    }
+    if (annotations.homolog[v]) ++report.core_homologs;
+  }
+  // The paper restricts the essentiality comparison to known proteins;
+  // build the restricted flag vector (known proteins only contribute).
+  std::vector<bool> essential_among_known(annotations.size(), false);
+  for (index_t v = 0; v < annotations.size(); ++v) {
+    essential_among_known[v] = annotations.known[v] && annotations.essential[v];
+  }
+  report.essential_enrichment =
+      enrichment(core_known_ids, essential_among_known, "essential");
+  report.homolog_enrichment = enrichment(core, annotations.homolog, "homolog");
+  return report;
+}
+
+}  // namespace hp::bio

@@ -1,0 +1,60 @@
+// Enrichment analysis of a protein set (the core proteome) against
+// annotation flags, via the hypergeometric tail test.
+//
+// The paper's section 3 claim: "essential proteins constitute a higher
+// fraction of the proteins in the core" (22 of the 32 known core
+// proteins are essential vs a CYGD background of 878 essential out of
+// 4,036 classified genes), and 24 of the 41 core proteins have homologs.
+// We quantify "higher fraction" with a fold-enrichment ratio and a
+// hypergeometric p-value.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bio/annotations.hpp"
+#include "util/common.hpp"
+
+namespace hp::bio {
+
+/// P(X >= k) where X ~ Hypergeometric(population, successes, draws):
+/// drawing `draws` items without replacement from a population containing
+/// `successes` marked items. Computed in log space; exact for the sizes
+/// involved here.
+double hypergeometric_tail(count_t population, count_t successes,
+                           count_t draws, count_t observed);
+
+struct EnrichmentResult {
+  std::string label;
+  count_t set_size = 0;         ///< proteins tested (e.g. core size)
+  count_t set_positive = 0;     ///< flagged proteins in the set
+  count_t background_size = 0;
+  count_t background_positive = 0;
+  double set_fraction = 0.0;
+  double background_fraction = 0.0;
+  double fold_enrichment = 0.0; ///< set_fraction / background_fraction
+  double p_value = 1.0;         ///< hypergeometric upper tail
+};
+
+/// Test whether `flag` is over-represented among `set` relative to the
+/// whole population of `flag.size()` proteins.
+EnrichmentResult enrichment(const std::vector<index_t>& set,
+                            const std::vector<bool>& flag,
+                            const std::string& label);
+
+/// The paper's core-proteome report: essentiality (restricted to known
+/// proteins, as the paper does), homology, and unknown-function counts.
+struct CoreProteomeReport {
+  count_t core_size = 0;
+  count_t core_unknown = 0;
+  count_t core_known = 0;
+  count_t core_known_essential = 0;
+  count_t core_homologs = 0;
+  EnrichmentResult essential_enrichment;  ///< among known proteins
+  EnrichmentResult homolog_enrichment;
+};
+
+CoreProteomeReport core_proteome_report(const std::vector<index_t>& core,
+                                        const AnnotationSet& annotations);
+
+}  // namespace hp::bio

@@ -1,0 +1,25 @@
+#include "bio/protein.hpp"
+
+namespace hp::bio {
+
+index_t ProteinRegistry::intern(const std::string& name) {
+  HP_REQUIRE(!name.empty(), "ProteinRegistry: empty protein name");
+  const auto [it, inserted] =
+      index_.emplace(name, static_cast<index_t>(names_.size()));
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+index_t ProteinRegistry::id_of(const std::string& name) const {
+  const auto it = index_.find(name);
+  HP_REQUIRE(it != index_.end(),
+             "ProteinRegistry: unknown protein '" + name + "'");
+  return it->second;
+}
+
+const std::string& ProteinRegistry::name_of(index_t id) const {
+  HP_REQUIRE(id < names_.size(), "ProteinRegistry: id out of range");
+  return names_[id];
+}
+
+}  // namespace hp::bio

@@ -1,0 +1,39 @@
+// Protein naming: a bidirectional registry between protein names and the
+// dense vertex ids used by the hypergraph algorithms.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hp::bio {
+
+/// Bidirectional name <-> id map. Ids are dense and assigned in
+/// first-seen order, so the registry doubles as the vertex numbering of
+/// the protein-complex hypergraph.
+class ProteinRegistry {
+ public:
+  /// Id for `name`, inserting a fresh one if unseen.
+  index_t intern(const std::string& name);
+
+  /// Id for `name`; throws InvalidInputError if absent.
+  index_t id_of(const std::string& name) const;
+
+  bool contains(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  const std::string& name_of(index_t id) const;
+
+  index_t size() const { return static_cast<index_t>(names_.size()); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, index_t> index_;
+};
+
+}  // namespace hp::bio

@@ -1,0 +1,53 @@
+#include "bio/tap_sim.hpp"
+
+#include <algorithm>
+
+namespace hp::bio {
+
+TapSimResult simulate_tap(const hyper::Hypergraph& h,
+                          const std::vector<index_t>& baits,
+                          const TapSimParams& params, Rng& rng) {
+  HP_REQUIRE(params.success_rate >= 0.0 && params.success_rate <= 1.0,
+             "simulate_tap: success_rate out of [0,1]");
+  HP_REQUIRE(params.trials > 0, "simulate_tap: trials must be positive");
+
+  TapSimResult result;
+  // Baits per complex.
+  std::vector<std::vector<index_t>> complex_baits(h.num_edges());
+  std::vector<bool> is_bait(h.num_vertices(), false);
+  for (index_t b : baits) {
+    HP_REQUIRE(b < h.num_vertices(), "simulate_tap: bait out of range");
+    is_bait[b] = true;
+  }
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    for (index_t v : h.vertices_of(e)) {
+      if (is_bait[v]) complex_baits[e].push_back(v);
+    }
+    if (complex_baits[e].empty()) ++result.uncoverable_complexes;
+  }
+  const index_t coverable = h.num_edges() - result.uncoverable_complexes;
+  if (coverable == 0) return result;
+
+  double sum = 0.0;
+  for (int trial = 0; trial < params.trials; ++trial) {
+    index_t recovered = 0;
+    for (index_t e = 0; e < h.num_edges(); ++e) {
+      bool seen = false;
+      for (std::size_t i = 0; i < complex_baits[e].size() && !seen; ++i) {
+        seen = rng.bernoulli(params.success_rate);
+      }
+      if (seen) ++recovered;
+    }
+    const double fraction =
+        static_cast<double>(recovered) / static_cast<double>(coverable);
+    sum += fraction;
+    result.min_recovered_fraction =
+        std::min(result.min_recovered_fraction, fraction);
+    result.max_recovered_fraction =
+        std::max(result.max_recovered_fraction, fraction);
+  }
+  result.mean_recovered_fraction = sum / params.trials;
+  return result;
+}
+
+}  // namespace hp::bio

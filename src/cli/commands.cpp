@@ -1,0 +1,363 @@
+#include "cli/commands.hpp"
+
+#include <exception>
+#include <ostream>
+
+#include "bio/cellzome_synth.hpp"
+#include "bio/paper_report.hpp"
+#include "core/binary_io.hpp"
+#include "core/cover.hpp"
+#include "core/hypergraph_io.hpp"
+#include "core/kcore.hpp"
+#include "core/matching.hpp"
+#include "core/multicover.hpp"
+#include "core/pajek.hpp"
+#include "core/smallworld.hpp"
+#include "core/soverlap.hpp"
+#include "core/svg.hpp"
+#include "core/stats.hpp"
+#include "core/traversal.hpp"
+#include "mm/matrix_market.hpp"
+#include "mm/mm_to_hypergraph.hpp"
+#include "util/stringutil.hpp"
+#include "util/timer.hpp"
+
+namespace hp::cli {
+
+namespace {
+
+enum class Format { kHyper, kHmetis, kBinary, kMatrixMarket, kComplexTable };
+
+Format detect_format(const std::string& path) {
+  const auto dot = path.rfind('.');
+  const std::string ext =
+      dot == std::string::npos ? "" : to_lower(path.substr(dot + 1));
+  if (ext == "hyper") return Format::kHyper;
+  if (ext == "hgr") return Format::kHmetis;
+  if (ext == "hpb") return Format::kBinary;
+  if (ext == "mtx") return Format::kMatrixMarket;
+  if (ext == "tsv" || ext == "txt") return Format::kComplexTable;
+  throw InvalidInputError{
+      "unrecognized file extension on '" + path +
+      "' (expected .hyper, .hgr, .hpb, .mtx, .tsv, .txt)"};
+}
+
+/// Wrap a bare hypergraph in a dataset with generated names.
+bio::ComplexDataset wrap(hyper::Hypergraph h) {
+  bio::ComplexDataset data;
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    data.proteins.intern("v" + std::to_string(v));
+  }
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    data.complex_names.push_back("f" + std::to_string(e));
+  }
+  data.hypergraph = std::move(h);
+  return data;
+}
+
+/// The one positional input file every analysis command takes.
+std::string input_path(const Args& args) {
+  HP_REQUIRE(args.positional().size() >= 2,
+             "expected an input file after the command");
+  return args.positional()[1];
+}
+
+}  // namespace
+
+bio::ComplexDataset load_dataset(const std::string& path) {
+  switch (detect_format(path)) {
+    case Format::kHyper:
+      return wrap(hyper::load_text(path));
+    case Format::kHmetis:
+      return wrap(hyper::load_hmetis(path));
+    case Format::kBinary:
+      return wrap(hyper::load_binary(path));
+    case Format::kMatrixMarket:
+      return wrap(mm::row_net_hypergraph(mm::load_matrix_market(path)));
+    case Format::kComplexTable:
+      return bio::load_complex_table(path);
+  }
+  throw std::logic_error{"unreachable"};
+}
+
+void save_dataset(const bio::ComplexDataset& data, const std::string& path) {
+  switch (detect_format(path)) {
+    case Format::kHyper:
+      hyper::save_text(data.hypergraph, path);
+      return;
+    case Format::kHmetis:
+      hyper::save_hmetis(data.hypergraph, path);
+      return;
+    case Format::kBinary:
+      hyper::save_binary(data.hypergraph, path);
+      return;
+    case Format::kComplexTable:
+      bio::save_complex_table(data, path);
+      return;
+    case Format::kMatrixMarket:
+      throw InvalidInputError{
+          "writing MatrixMarket from a hypergraph is not supported (the "
+          "row-net conversion is lossy); choose .hyper, .hgr, .hpb or "
+          ".tsv"};
+  }
+}
+
+int cmd_stats(const Args& args, std::ostream& out) {
+  const bio::ComplexDataset data = load_dataset(input_path(args));
+  const hyper::Hypergraph& h = data.hypergraph;
+  out << hyper::to_string(hyper::summarize(h));
+  if (args.get_bool("paths", false)) {
+    const hyper::HyperPathSummary paths = hyper::path_summary(h);
+    out << "diameter                  : " << paths.diameter << '\n'
+        << "average path length       : " << paths.average_length << '\n';
+  }
+  const PowerLawFit fit = hyper::vertex_degree_power_law(h);
+  out << "degree power-law exponent : " << fit.gamma
+      << " (R^2 = " << fit.r_squared << ")\n";
+  return 0;
+}
+
+int cmd_core(const Args& args, std::ostream& out) {
+  const bio::ComplexDataset data = load_dataset(input_path(args));
+  const hyper::Hypergraph& h = data.hypergraph;
+  Timer timer;
+  const hyper::HyperCoreResult cores = hyper::core_decomposition(h);
+  out << "core decomposition in " << format_duration(timer.seconds())
+      << "\n\nk-core ladder (k, vertices, hyperedges):\n";
+  for (std::size_t k = 0; k < cores.level_vertices.size(); ++k) {
+    out << "  " << k << "  " << cores.level_vertices[k] << "  "
+        << cores.level_edges[k] << '\n';
+  }
+  const index_t k = static_cast<index_t>(
+      args.get_int("k", static_cast<std::int64_t>(cores.max_core)));
+  const auto members = cores.core_vertices(k);
+  out << "\n" << k << "-core vertices (" << members.size() << "):";
+  const std::size_t limit =
+      static_cast<std::size_t>(args.get_int("limit", 30));
+  for (std::size_t i = 0; i < members.size() && i < limit; ++i) {
+    out << ' ' << data.proteins.name_of(members[i]);
+  }
+  if (members.size() > limit) out << " ...";
+  out << '\n';
+  if (args.has("out")) {
+    const hyper::SubHypergraph core = hyper::extract_core(h, cores, k);
+    hyper::save_text(core.hypergraph, args.get("out", "core.hyper"));
+    out << "wrote " << args.get("out", "core.hyper") << '\n';
+  }
+  return 0;
+}
+
+int cmd_cover(const Args& args, std::ostream& out) {
+  const bio::ComplexDataset data = load_dataset(input_path(args));
+  const hyper::Hypergraph& h = data.hypergraph;
+  const std::string weighting = args.get("weights", "unit");
+  std::vector<double> weights;
+  if (weighting == "unit") {
+    weights = hyper::unit_weights(h);
+  } else if (weighting == "deg2") {
+    weights = hyper::degree_squared_weights(h);
+  } else {
+    throw InvalidInputError{"--weights must be 'unit' or 'deg2'"};
+  }
+
+  const index_t r = static_cast<index_t>(args.get_int("multicover", 1));
+  std::vector<index_t> cover;
+  double avg_degree = 0.0;
+  if (r <= 1) {
+    const hyper::CoverResult result = hyper::greedy_vertex_cover(h, weights);
+    cover = result.vertices;
+    avg_degree = result.average_degree;
+  } else {
+    const hyper::MulticoverResult result =
+        hyper::greedy_multicover(h, weights, r);
+    cover = result.vertices;
+    avg_degree = result.average_degree;
+    if (!result.clamped_edges.empty()) {
+      out << result.clamped_edges.size()
+          << " hyperedges smaller than the requirement were clamped\n";
+    }
+  }
+  out << "cover: " << cover.size() << " vertices, average degree "
+      << avg_degree << '\n';
+  const std::size_t limit =
+      static_cast<std::size_t>(args.get_int("limit", 30));
+  for (std::size_t i = 0; i < cover.size() && i < limit; ++i) {
+    out << ' ' << data.proteins.name_of(cover[i]);
+  }
+  if (cover.size() > limit) out << " ...";
+  out << '\n';
+  return 0;
+}
+
+int cmd_match(const Args& args, std::ostream& out) {
+  const bio::ComplexDataset data = load_dataset(input_path(args));
+  const hyper::Hypergraph& h = data.hypergraph;
+  const hyper::MatchingResult m = hyper::greedy_matching(h);
+  out << "maximal matching: " << m.edges.size()
+      << " pairwise-disjoint hyperedges (lower bound on any vertex "
+         "cover)\n";
+  const std::size_t limit =
+      static_cast<std::size_t>(args.get_int("limit", 20));
+  for (std::size_t i = 0; i < m.edges.size() && i < limit; ++i) {
+    out << ' ' << data.complex_names[m.edges[i]];
+  }
+  if (m.edges.size() > limit) out << " ...";
+  out << '\n';
+  return 0;
+}
+
+int cmd_soverlap(const Args& args, std::ostream& out) {
+  const bio::ComplexDataset data = load_dataset(input_path(args));
+  const hyper::Hypergraph& h = data.hypergraph;
+  const index_t s_max = hyper::max_meaningful_s(h);
+  out << "max meaningful s: " << s_max
+      << "\n s  components  largest  edges\n";
+  for (index_t s = 1; s <= s_max; ++s) {
+    const hyper::SComponents comp = hyper::s_components(h, s);
+    index_t largest = 0;
+    if (comp.count > 0) largest = comp.sizes[comp.largest()];
+    out << ' ' << s << "  " << comp.count << "  " << largest << "  "
+        << hyper::s_intersection_graph(h, s).num_edges() << '\n';
+  }
+  return 0;
+}
+
+int cmd_smallworld(const Args& args, std::ostream& out) {
+  const bio::ComplexDataset data = load_dataset(input_path(args));
+  Rng rng{static_cast<std::uint64_t>(args.get_int("seed", 1))};
+  const hyper::SmallWorldReport r =
+      hyper::small_world_report(data.hypergraph, rng);
+  out << "observed:   diameter " << r.observed.diameter
+      << ", average path length " << r.observed.average_length << '\n'
+      << "null model: diameter " << r.null_model.diameter
+      << ", average path length " << r.null_model.average_length << '\n'
+      << "ratio observed/null: " << r.path_ratio << '\n';
+  return 0;
+}
+
+int cmd_convert(const Args& args, std::ostream& out) {
+  HP_REQUIRE(args.positional().size() >= 3,
+             "convert needs an input and an output file");
+  const bio::ComplexDataset data = load_dataset(args.positional()[1]);
+  save_dataset(data, args.positional()[2]);
+  out << "wrote " << args.positional()[2] << " (" <<
+      data.hypergraph.num_vertices() << " vertices, "
+      << data.hypergraph.num_edges() << " hyperedges)\n";
+  return 0;
+}
+
+int cmd_generate(const Args& args, std::ostream& out) {
+  HP_REQUIRE(args.positional().size() >= 2,
+             "generate needs an output file");
+  bio::CellzomeParams params;
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 20040426));
+  const bio::ComplexDataset data = bio::cellzome_surrogate(params);
+  save_dataset(data, args.positional()[1]);
+  out << "wrote " << args.positional()[1] << " ("
+      << data.hypergraph.num_vertices() << " proteins, "
+      << data.hypergraph.num_edges() << " complexes)\n";
+  return 0;
+}
+
+int cmd_pajek(const Args& args, std::ostream& out) {
+  HP_REQUIRE(args.positional().size() >= 3,
+             "pajek needs an input file and an output prefix");
+  const bio::ComplexDataset data = load_dataset(args.positional()[1]);
+  const std::string prefix = args.positional()[2];
+  const hyper::Hypergraph& h = data.hypergraph;
+  const hyper::HyperCoreResult cores = hyper::core_decomposition(h);
+  const index_t k = static_cast<index_t>(
+      args.get_int("k", static_cast<std::int64_t>(cores.max_core)));
+
+  hyper::save_pajek(
+      hyper::to_pajek_bipartite(h, data.proteins.names(),
+                                data.complex_names),
+      prefix + ".net");
+  hyper::save_pajek(
+      hyper::to_pajek_partition(hyper::fig3_classes(
+          h, cores.vertex_core, cores.edge_core, k)),
+      prefix + ".clu");
+  out << "wrote " << prefix << ".net and " << prefix << ".clu ("
+      << k << "-core coloring)\n";
+  return 0;
+}
+
+int cmd_report(const Args& args, std::ostream& out) {
+  const bio::ComplexDataset data = load_dataset(input_path(args));
+  const bio::PaperReport report = bio::analyze(data.hypergraph);
+  const bio::PaperReference reference = args.get_bool("no-paper", false)
+                                            ? bio::PaperReference{}
+                                            : bio::PaperReference::cellzome();
+  out << bio::render_report(report, reference);
+  return 0;
+}
+
+int cmd_render(const Args& args, std::ostream& out) {
+  HP_REQUIRE(args.positional().size() >= 3,
+             "render needs an input file and an output .svg path");
+  const bio::ComplexDataset data = load_dataset(args.positional()[1]);
+  const hyper::Hypergraph& h = data.hypergraph;
+  const hyper::HyperCoreResult cores = hyper::core_decomposition(h);
+  const index_t k = static_cast<index_t>(
+      args.get_int("k", static_cast<std::int64_t>(cores.max_core)));
+  hyper::LayoutParams layout;
+  layout.iterations = static_cast<int>(args.get_int("iterations", 60));
+  layout.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  hyper::save_svg(hyper::render_fig3_svg(h, cores.vertex_core,
+                                         cores.edge_core, k, layout),
+                  args.positional()[2]);
+  out << "wrote " << args.positional()[2] << " (" << k
+      << "-core highlighted)\n";
+  return 0;
+}
+
+std::string usage() {
+  return "usage: hp_cli <command> [args]\n"
+         "\n"
+         "commands:\n"
+         "  stats <file> [--paths]                 structural summary\n"
+         "  report <file> [--no-paper]             full paper-vs-measured "
+         "table\n"
+         "  core <file> [--k K] [--out f.hyper]    k-core decomposition\n"
+         "  cover <file> [--weights unit|deg2] [--multicover R]\n"
+         "                                         greedy bait cover\n"
+         "  match <file>                           maximal matching\n"
+         "  soverlap <file>                        s-overlap census\n"
+         "  smallworld <file> [--seed N]           null-model comparison\n"
+         "  convert <in> <out>                     format conversion\n"
+         "  generate <out> [--seed N]              Cellzome-scale surrogate\n"
+         "  pajek <file> <prefix> [--k K]          Figure-3 style export\n"
+         "  render <file> <out.svg> [--k K] [--iterations N]\n"
+         "                                         offline Figure-3 SVG\n"
+         "\n"
+         "formats by extension: .hyper (native), .hgr (hMETIS),\n"
+         "  .mtx (MatrixMarket row-net), .tsv/.txt (complex table)\n";
+}
+
+int run(const Args& args, std::ostream& out) {
+  if (args.positional().empty()) {
+    out << usage();
+    return 2;
+  }
+  const std::string command = args.positional()[0];
+  try {
+    if (command == "stats") return cmd_stats(args, out);
+    if (command == "report") return cmd_report(args, out);
+    if (command == "core") return cmd_core(args, out);
+    if (command == "cover") return cmd_cover(args, out);
+    if (command == "match") return cmd_match(args, out);
+    if (command == "soverlap") return cmd_soverlap(args, out);
+    if (command == "smallworld") return cmd_smallworld(args, out);
+    if (command == "convert") return cmd_convert(args, out);
+    if (command == "generate") return cmd_generate(args, out);
+    if (command == "pajek") return cmd_pajek(args, out);
+    if (command == "render") return cmd_render(args, out);
+  } catch (const std::exception& error) {
+    out << "error: " << error.what() << '\n';
+    return 1;
+  }
+  out << "unknown command '" << command << "'\n\n" << usage();
+  return 2;
+}
+
+}  // namespace hp::cli

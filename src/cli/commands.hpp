@@ -1,0 +1,55 @@
+// Command implementations for the `hyperproteome` command-line tool.
+//
+// Kept as a library so the unit tests can drive each command directly;
+// tools/hp_cli_main.cpp is a thin argv wrapper. Every command writes
+// human-readable output to the given stream and returns a process exit
+// code (0 = success). Errors print a message and return 1 rather than
+// throwing across main.
+//
+// Input formats are selected by file extension:
+//   .hyper        hp-hyper text format (hypergraph_io)
+//   .hgr          hMETIS / PaToH
+//   .hpb          binary hypergraph (binary_io)
+//   .mtx          MatrixMarket (converted via the row-net model)
+//   .tsv / .txt   protein-complex membership table (names preserved)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bio/complex_io.hpp"
+#include "util/args.hpp"
+
+namespace hp::cli {
+
+/// Load any supported file into a ComplexDataset. Formats without
+/// protein names get synthetic "v<i>" / "f<i>" names so every command
+/// can report names uniformly. Throws on parse/I-O errors.
+bio::ComplexDataset load_dataset(const std::string& path);
+
+/// Save a dataset to any supported output format (chosen by
+/// extension). Complex-table output preserves names; the rest discard
+/// them.
+void save_dataset(const bio::ComplexDataset& data, const std::string& path);
+
+int cmd_stats(const Args& args, std::ostream& out);
+int cmd_report(const Args& args, std::ostream& out);
+int cmd_core(const Args& args, std::ostream& out);
+int cmd_cover(const Args& args, std::ostream& out);
+int cmd_match(const Args& args, std::ostream& out);
+int cmd_soverlap(const Args& args, std::ostream& out);
+int cmd_smallworld(const Args& args, std::ostream& out);
+int cmd_convert(const Args& args, std::ostream& out);
+int cmd_generate(const Args& args, std::ostream& out);
+int cmd_pajek(const Args& args, std::ostream& out);
+int cmd_render(const Args& args, std::ostream& out);
+
+/// Dispatch on the first positional argument; prints usage on
+/// unknown/missing commands and returns 2.
+int run(const Args& args, std::ostream& out);
+
+/// The usage text.
+std::string usage();
+
+}  // namespace hp::cli

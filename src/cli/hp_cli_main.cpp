@@ -1,0 +1,9 @@
+// Thin argv wrapper around the hp::cli command library.
+#include <iostream>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  const hp::Args args{argc, argv};
+  return hp::cli::run(args, std::cout);
+}

@@ -1,0 +1,135 @@
+#include "core/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hp::hyper {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'P', 'H', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::string& out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+template <typename T>
+T get(const std::string& in, std::size_t& cursor) {
+  if (cursor + sizeof(T) > in.size()) {
+    throw ParseError{"binary hypergraph: truncated input"};
+  }
+  T value;
+  std::memcpy(&value, in.data() + cursor, sizeof(T));
+  cursor += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::string to_binary(const Hypergraph& h) {
+  std::string out;
+  out.reserve(24 + (h.num_edges() + 1) * 8 +
+              static_cast<std::size_t>(h.num_pins()) * 4);
+  out.append(kMagic, 4);
+  put<std::uint32_t>(out, kVersion);
+  put<std::uint32_t>(out, h.num_vertices());
+  put<std::uint32_t>(out, h.num_edges());
+  put<std::uint64_t>(out, h.num_pins());
+  std::uint64_t offset = 0;
+  put<std::uint64_t>(out, offset);
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    offset += h.edge_size(e);
+    put<std::uint64_t>(out, offset);
+  }
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    for (index_t v : h.vertices_of(e)) put<std::uint32_t>(out, v);
+  }
+  return out;
+}
+
+Hypergraph from_binary(const std::string& bytes) {
+  std::size_t cursor = 0;
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    throw ParseError{"binary hypergraph: bad magic"};
+  }
+  cursor = 4;
+  const auto version = get<std::uint32_t>(bytes, cursor);
+  if (version != kVersion) {
+    throw ParseError{"binary hypergraph: unsupported version " +
+                     std::to_string(version)};
+  }
+  const auto num_vertices = get<std::uint32_t>(bytes, cursor);
+  const auto num_edges = get<std::uint32_t>(bytes, cursor);
+  const auto num_pins = get<std::uint64_t>(bytes, cursor);
+
+  // Validate the total length before allocating anything: a corrupted
+  // header must not trigger multi-gigabyte allocations. The coarse
+  // bound first avoids overflow in the exact computation.
+  if (num_edges > bytes.size() || num_pins > bytes.size()) {
+    throw ParseError{"binary hypergraph: counts exceed input size"};
+  }
+  const std::size_t expected_size =
+      24 + (static_cast<std::size_t>(num_edges) + 1) * 8 +
+      static_cast<std::size_t>(num_pins) * 4;
+  if (bytes.size() != expected_size) {
+    throw ParseError{"binary hypergraph: size mismatch (header declares " +
+                     std::to_string(expected_size) + " bytes, got " +
+                     std::to_string(bytes.size()) + ")"};
+  }
+
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(num_edges) + 1);
+  for (auto& o : offsets) o = get<std::uint64_t>(bytes, cursor);
+  if (offsets.front() != 0 || offsets.back() != num_pins) {
+    throw ParseError{"binary hypergraph: inconsistent offsets"};
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      throw ParseError{"binary hypergraph: offsets not monotone"};
+    }
+  }
+
+  HypergraphBuilder builder{num_vertices};
+  std::vector<index_t> members;
+  for (index_t e = 0; e < num_edges; ++e) {
+    members.clear();
+    for (std::uint64_t i = offsets[e]; i < offsets[e + 1]; ++i) {
+      const auto v = get<std::uint32_t>(bytes, cursor);
+      if (v >= num_vertices) {
+        throw ParseError{"binary hypergraph: member vertex out of range"};
+      }
+      members.push_back(v);
+    }
+    if (members.empty()) {
+      throw ParseError{"binary hypergraph: empty hyperedge"};
+    }
+    builder.add_edge(members);
+  }
+  if (cursor != bytes.size()) {
+    throw ParseError{"binary hypergraph: trailing bytes"};
+  }
+  return builder.build();
+}
+
+void save_binary(const Hypergraph& h, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error{"save_binary: cannot open " + path};
+  const std::string bytes = to_binary(h);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error{"save_binary: write failed for " + path};
+}
+
+Hypergraph load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error{"load_binary: cannot open " + path};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_binary(buffer.str());
+}
+
+}  // namespace hp::hyper

@@ -1,0 +1,36 @@
+// Binary serialization of hypergraphs.
+//
+// The text formats (.hyper, .hgr) are for interchange; this format is
+// for fast checkpointing of large instances ("larger proteomic studies
+// ... will require high performance algorithms and software", paper
+// §3). Layout, all little-endian:
+//
+//   magic   "HPHG"            4 bytes
+//   version u32 (= 1)
+//   |V|     u32
+//   |F|     u32
+//   |E|     u64 (pin count)
+//   eoff    (|F| + 1) x u64   edge offsets
+//   eadj    |E| x u32         concatenated member lists
+//
+// The loader rebuilds the vertex-side CSR and validates structure, so a
+// truncated or corrupted file fails loudly with ParseError.
+#pragma once
+
+#include <string>
+
+#include "core/hypergraph.hpp"
+
+namespace hp::hyper {
+
+/// Serialize to the binary layout above.
+std::string to_binary(const Hypergraph& h);
+
+/// Parse; throws hp::ParseError on bad magic/version/truncation or
+/// structural inconsistency.
+Hypergraph from_binary(const std::string& bytes);
+
+void save_binary(const Hypergraph& h, const std::string& path);
+Hypergraph load_binary(const std::string& path);
+
+}  // namespace hp::hyper

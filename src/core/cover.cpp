@@ -1,0 +1,108 @@
+#include "core/cover.hpp"
+
+#include <limits>
+
+#include "util/lazy_heap.hpp"
+
+namespace hp::hyper {
+
+std::vector<double> unit_weights(const Hypergraph& h) {
+  return std::vector<double>(h.num_vertices(), 1.0);
+}
+
+std::vector<double> degree_squared_weights(const Hypergraph& h) {
+  std::vector<double> w(h.num_vertices());
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    const double d = static_cast<double>(h.vertex_degree(v));
+    w[v] = d * d;
+  }
+  return w;
+}
+
+CoverResult greedy_vertex_cover(const Hypergraph& h,
+                                const std::vector<double>& weights) {
+  HP_REQUIRE(weights.size() == h.num_vertices(),
+             "greedy_vertex_cover: weight vector size mismatch");
+  for (double w : weights) {
+    HP_REQUIRE(w >= 0.0, "greedy_vertex_cover: negative weight");
+  }
+
+  CoverResult result;
+  std::vector<bool> covered(h.num_edges(), false);
+  std::vector<bool> chosen(h.num_vertices(), false);
+  // uncovered[v] = |adj(v) ∩ F_i|, the number of not-yet-covered
+  // hyperedges v belongs to.
+  std::vector<index_t> uncovered(h.num_vertices());
+  index_t remaining = h.num_edges();
+
+  LazyMinHeap heap;
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    uncovered[v] = h.vertex_degree(v);
+    if (uncovered[v] > 0) {
+      heap.push(v, weights[v] / static_cast<double>(uncovered[v]));
+    }
+  }
+
+  const auto current_key = [&](index_t v) {
+    return uncovered[v] > 0
+               ? weights[v] / static_cast<double>(uncovered[v])
+               : std::numeric_limits<double>::infinity();
+  };
+  const auto still_live = [&](index_t v) {
+    return !chosen[v] && uncovered[v] > 0;
+  };
+
+  while (remaining > 0) {
+    const index_t v = heap.pop_current(current_key, still_live);
+    chosen[v] = true;
+    result.vertices.push_back(v);
+    result.total_weight += weights[v];
+    for (index_t e : h.edges_of(v)) {
+      if (covered[e]) continue;
+      covered[e] = true;
+      --remaining;
+      for (index_t w : h.vertices_of(e)) {
+        if (!chosen[w] && uncovered[w] > 0) --uncovered[w];
+      }
+    }
+  }
+
+  result.average_degree = average_degree(h, result.vertices);
+  const double hm = harmonic(h.num_edges());
+  result.lower_bound = hm > 0.0 ? result.total_weight / hm : 0.0;
+  return result;
+}
+
+bool is_vertex_cover(const Hypergraph& h, const std::vector<index_t>& cover) {
+  std::vector<bool> in_cover(h.num_vertices(), false);
+  for (index_t v : cover) {
+    HP_REQUIRE(v < h.num_vertices(), "is_vertex_cover: vertex out of range");
+    in_cover[v] = true;
+  }
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    bool hit = false;
+    for (index_t v : h.vertices_of(e)) {
+      if (in_cover[v]) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+double average_degree(const Hypergraph& h, const std::vector<index_t>& set) {
+  if (set.empty()) return 0.0;
+  double sum = 0.0;
+  for (index_t v : set) sum += static_cast<double>(h.vertex_degree(v));
+  return sum / static_cast<double>(set.size());
+}
+
+double harmonic(index_t m) {
+  double sum = 0.0;
+  for (index_t i = 1; i <= m; ++i) sum += 1.0 / static_cast<double>(i);
+  return sum;
+}
+
+}  // namespace hp::hyper

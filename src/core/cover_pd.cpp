@@ -1,0 +1,129 @@
+#include "core/cover_pd.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hp::hyper {
+
+PrimalDualResult primal_dual_cover(const Hypergraph& h,
+                                   const std::vector<double>& weights) {
+  HP_REQUIRE(weights.size() == h.num_vertices(),
+             "primal_dual_cover: weight vector size mismatch");
+  PrimalDualResult result;
+  // slack[v] = w(v) - sum of duals of edges containing v; v is "tight"
+  // (enters the cover) when its slack reaches zero.
+  std::vector<double> slack(weights);
+  std::vector<bool> tight(h.num_vertices(), false);
+  std::vector<bool> covered(h.num_edges(), false);
+
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    // Skip edges already covered by a tight vertex.
+    bool hit = false;
+    for (index_t v : h.vertices_of(e)) {
+      if (tight[v]) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      covered[e] = true;
+      continue;
+    }
+    // Raise y_e until the smallest member slack hits zero.
+    double raise = std::numeric_limits<double>::infinity();
+    for (index_t v : h.vertices_of(e)) {
+      raise = std::min(raise, slack[v]);
+    }
+    result.dual_value += raise;
+    for (index_t v : h.vertices_of(e)) {
+      slack[v] -= raise;
+      if (slack[v] <= 0.0 && !tight[v]) {
+        tight[v] = true;
+        result.vertices.push_back(v);
+        result.total_weight += weights[v];
+      }
+    }
+    covered[e] = true;
+  }
+  result.average_degree = average_degree(h, result.vertices);
+  return result;
+}
+
+namespace {
+
+struct BranchState {
+  const Hypergraph& h;
+  const std::vector<double>& weights;
+  std::vector<bool> chosen;
+  std::vector<index_t> hits;  // cover vertices per edge
+  double weight = 0.0;
+  double best_weight = std::numeric_limits<double>::infinity();
+  std::vector<index_t> best;
+  std::vector<index_t> current;
+
+  BranchState(const Hypergraph& hg, const std::vector<double>& w)
+      : h(hg), weights(w), chosen(hg.num_vertices(), false),
+        hits(hg.num_edges(), 0) {}
+
+  index_t first_uncovered() const {
+    for (index_t e = 0; e < h.num_edges(); ++e) {
+      if (hits[e] == 0) return e;
+    }
+    return kInvalidIndex;
+  }
+
+  void take(index_t v) {
+    chosen[v] = true;
+    current.push_back(v);
+    weight += weights[v];
+    for (index_t e : h.edges_of(v)) ++hits[e];
+  }
+
+  void untake(index_t v) {
+    chosen[v] = false;
+    current.pop_back();
+    weight -= weights[v];
+    for (index_t e : h.edges_of(v)) --hits[e];
+  }
+
+  void recurse() {
+    if (weight >= best_weight) return;  // bound
+    const index_t e = first_uncovered();
+    if (e == kInvalidIndex) {
+      best_weight = weight;
+      best = current;
+      return;
+    }
+    // Branch: exactly one of e's members must be in any cover.
+    for (index_t v : h.vertices_of(e)) {
+      if (chosen[v]) continue;  // cannot happen (e would be covered)
+      take(v);
+      recurse();
+      untake(v);
+    }
+  }
+};
+
+}  // namespace
+
+ExactCoverResult exact_vertex_cover(const Hypergraph& h,
+                                    const std::vector<double>& weights,
+                                    index_t max_vertices) {
+  HP_REQUIRE(weights.size() == h.num_vertices(),
+             "exact_vertex_cover: weight vector size mismatch");
+  if (h.num_vertices() > max_vertices) {
+    throw std::invalid_argument{
+        "exact_vertex_cover: instance too large for exact search"};
+  }
+  BranchState state{h, weights};
+  state.recurse();
+  ExactCoverResult result;
+  if (h.num_edges() == 0) return result;  // empty cover is optimal
+  result.vertices = state.best;
+  result.total_weight = state.best_weight;
+  std::sort(result.vertices.begin(), result.vertices.end());
+  return result;
+}
+
+}  // namespace hp::hyper

@@ -1,0 +1,46 @@
+// Alternative vertex-cover algorithms (paper section 4.1 closing remark:
+// "Dual and primal-dual algorithms with approximation ratios that depend
+// on the maximum degree ... can also be designed ... It is not clear if
+// these algorithms will be practically inferior or superior in quality
+// to the greedy algorithm discussed here. This is the subject of current
+// work."). We implement them and settle the empirical question in
+// bench_micro_cover.
+#pragma once
+
+#include <vector>
+
+#include "core/cover.hpp"
+#include "core/hypergraph.hpp"
+
+namespace hp::hyper {
+
+struct PrimalDualResult {
+  std::vector<index_t> vertices;
+  double total_weight = 0.0;
+  double average_degree = 0.0;
+  /// Value of the feasible dual solution sum_f y_f -- a true lower bound
+  /// on the optimum cover weight, so total_weight / dual_value is an
+  /// instance-specific a-posteriori approximation certificate.
+  double dual_value = 0.0;
+};
+
+/// Primal-dual (Bar-Yehuda & Even style) weighted vertex cover: process
+/// hyperedges; for an uncovered edge raise its dual variable until some
+/// member's weight is exhausted, then take all newly tight members.
+/// Guarantee: weight(C) <= Delta_F * OPT, Delta_F = max hyperedge size.
+PrimalDualResult primal_dual_cover(const Hypergraph& h,
+                                   const std::vector<double>& weights);
+
+/// Exact minimum-weight vertex cover by branch and bound on hyperedges.
+/// Exponential; intended for test oracles on small instances
+/// (|V| <= ~30). Throws std::invalid_argument beyond `max_vertices`.
+struct ExactCoverResult {
+  std::vector<index_t> vertices;
+  double total_weight = 0.0;
+};
+
+ExactCoverResult exact_vertex_cover(const Hypergraph& h,
+                                    const std::vector<double>& weights,
+                                    index_t max_vertices = 30);
+
+}  // namespace hp::hyper

@@ -1,0 +1,15 @@
+#include "core/dual.hpp"
+
+namespace hp::hyper {
+
+Hypergraph dual(const Hypergraph& h) {
+  HypergraphBuilder builder{h.num_edges()};
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    const auto edges = h.edges_of(v);
+    if (edges.empty()) continue;
+    builder.add_edge(edges);
+  }
+  return builder.build();
+}
+
+}  // namespace hp::hyper

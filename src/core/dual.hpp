@@ -1,0 +1,21 @@
+// Dual hypergraph: swap the roles of vertices and hyperedges.
+//
+// In the dual H* of H, each hyperedge of H becomes a vertex, and each
+// vertex v of H becomes the hyperedge {edges containing v}. For the
+// protein-complex data the dual views each protein as "the set of
+// complexes it participates in" -- the object whose pairwise
+// intersections generate the complex intersection graph. Duality is an
+// involution up to vertices of degree 0 (which vanish, since empty
+// hyperedges are not representable).
+#pragma once
+
+#include "core/hypergraph.hpp"
+
+namespace hp::hyper {
+
+/// Build the dual. Vertices of degree 0 in `h` produce no hyperedge in
+/// the dual (and a warning is NOT raised; callers can compare pin
+/// counts). Hyperedge e of `h` becomes dual vertex e.
+Hypergraph dual(const Hypergraph& h);
+
+}  // namespace hp::hyper

@@ -1,0 +1,151 @@
+#include "core/generalized_core.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hp::hyper {
+
+namespace {
+
+/// Shared residual state for measure evaluation.
+struct MeasureState {
+  const Hypergraph& h;
+  CoreMeasure measure;
+  std::vector<bool> alive;
+  std::vector<index_t> live_size;  // live members per edge
+
+  MeasureState(const Hypergraph& hg, CoreMeasure m)
+      : h(hg), measure(m), alive(hg.num_vertices(), true),
+        live_size(hg.num_edges()) {
+    for (index_t e = 0; e < hg.num_edges(); ++e) {
+      live_size[e] = hg.edge_size(e);
+    }
+  }
+
+  double evaluate(index_t v) const {
+    switch (measure) {
+      case CoreMeasure::kDegree: {
+        // Incident edges still connecting v to at least one live
+        // co-member.
+        index_t degree = 0;
+        for (index_t e : h.edges_of(v)) {
+          if (live_size[e] >= 2) ++degree;
+        }
+        return static_cast<double>(degree);
+      }
+      case CoreMeasure::kPinWeight: {
+        // Per incident edge: live co-members normalized by the edge's
+        // full co-member count; 1.0 for an intact edge, shrinking to 0
+        // as the complex empties around v.
+        double total = 0.0;
+        for (index_t e : h.edges_of(v)) {
+          const index_t full = h.edge_size(e);
+          if (full < 2) continue;
+          total += static_cast<double>(live_size[e] - 1) /
+                   static_cast<double>(full - 1);
+        }
+        return total;
+      }
+      case CoreMeasure::kNeighborhood: {
+        std::vector<index_t> seen;
+        for (index_t e : h.edges_of(v)) {
+          for (index_t w : h.vertices_of(e)) {
+            if (w != v && alive[w]) seen.push_back(w);
+          }
+        }
+        std::sort(seen.begin(), seen.end());
+        seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+        return static_cast<double>(seen.size());
+      }
+    }
+    return 0.0;
+  }
+
+  /// Remove v and return the vertices whose measure may have changed.
+  std::vector<index_t> remove(index_t v) {
+    alive[v] = false;
+    std::vector<index_t> affected;
+    for (index_t e : h.edges_of(v)) {
+      --live_size[e];
+      for (index_t w : h.vertices_of(e)) {
+        if (alive[w]) affected.push_back(w);
+      }
+    }
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+    return affected;
+  }
+};
+
+struct HeapEntry {
+  double key;
+  index_t vertex;
+  bool operator>(const HeapEntry& other) const {
+    if (key != other.key) return key > other.key;
+    return vertex > other.vertex;
+  }
+};
+
+}  // namespace
+
+std::vector<double> measure_values(const Hypergraph& h,
+                                   CoreMeasure measure) {
+  const MeasureState state{h, measure};
+  std::vector<double> values(h.num_vertices());
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    values[v] = state.evaluate(v);
+  }
+  return values;
+}
+
+GeneralizedCoreResult generalized_core(const Hypergraph& h,
+                                       CoreMeasure measure) {
+  GeneralizedCoreResult result;
+  const index_t n = h.num_vertices();
+  result.value.assign(n, 0.0);
+  if (n == 0) return result;
+
+  MeasureState state{h, measure};
+  std::vector<double> current(n);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (index_t v = 0; v < n; ++v) {
+    current[v] = state.evaluate(v);
+    heap.push({current[v], v});
+  }
+
+  double running_max = 0.0;
+  index_t removed = 0;
+  while (removed < n) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (!state.alive[top.vertex] || top.key != current[top.vertex]) {
+      continue;  // stale entry; a fresher one is in the heap
+    }
+    const index_t v = top.vertex;
+    running_max = std::max(running_max, current[v]);
+    result.value[v] = running_max;
+    ++removed;
+    for (index_t w : state.remove(v)) {
+      const double fresh = state.evaluate(w);
+      if (fresh != current[w]) {
+        current[w] = fresh;
+        heap.push({fresh, w});
+      }
+    }
+  }
+  result.max_value = running_max;
+  return result;
+}
+
+std::vector<index_t> GeneralizedCoreResult::core_vertices(double t) const {
+  std::vector<index_t> out;
+  for (index_t v = 0; v < value.size(); ++v) {
+    if (value[v] >= t) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace hp::hyper

@@ -1,0 +1,144 @@
+#include "core/hypergraph.hpp"
+
+#include <algorithm>
+
+namespace hp::hyper {
+
+bool Hypergraph::edge_contains(index_t e, index_t v) const {
+  const auto members = vertices_of(e);
+  return std::binary_search(members.begin(), members.end(), v);
+}
+
+index_t Hypergraph::max_vertex_degree() const {
+  index_t best = 0;
+  for (index_t v = 0; v < num_vertices(); ++v) {
+    best = std::max(best, vertex_degree(v));
+  }
+  return best;
+}
+
+index_t Hypergraph::max_edge_size() const {
+  index_t best = 0;
+  for (index_t e = 0; e < num_edges(); ++e) {
+    best = std::max(best, edge_size(e));
+  }
+  return best;
+}
+
+index_t HypergraphBuilder::add_edge(std::span<const index_t> members) {
+  HP_REQUIRE(!members.empty(), "HypergraphBuilder: empty hyperedge");
+  std::vector<index_t> sorted(members.begin(), members.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  HP_REQUIRE(sorted.back() < num_vertices_,
+             "HypergraphBuilder: member vertex out of range");
+  edge_offsets_.push_back(members_.size());
+  members_.insert(members_.end(), sorted.begin(), sorted.end());
+  return static_cast<index_t>(edge_offsets_.size() - 1);
+}
+
+index_t HypergraphBuilder::add_edge(std::initializer_list<index_t> members) {
+  return add_edge(std::span<const index_t>{members.begin(), members.size()});
+}
+
+void HypergraphBuilder::ensure_vertex(index_t v) {
+  if (v >= num_vertices_) num_vertices_ = v + 1;
+}
+
+Hypergraph HypergraphBuilder::build() const {
+  Hypergraph h;
+  const index_t num_edges = static_cast<index_t>(edge_offsets_.size());
+
+  h.eoff_.assign(num_edges + 1, 0);
+  for (index_t e = 0; e < num_edges; ++e) {
+    const std::size_t begin = edge_offsets_[e];
+    const std::size_t end =
+        e + 1 < num_edges ? edge_offsets_[e + 1] : members_.size();
+    h.eoff_[e + 1] = h.eoff_[e] + (end - begin);
+  }
+  h.eadj_ = members_;
+
+  h.voff_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (index_t v : members_) ++h.voff_[v + 1];
+  for (std::size_t i = 1; i < h.voff_.size(); ++i) {
+    h.voff_[i] += h.voff_[i - 1];
+  }
+  h.vadj_.resize(members_.size());
+  std::vector<std::size_t> cursor(h.voff_.begin(), h.voff_.end() - 1);
+  // Edges are appended in increasing id order, so each vertex's incidence
+  // list comes out sorted by edge id automatically.
+  for (index_t e = 0; e < num_edges; ++e) {
+    for (std::size_t i = h.eoff_[e]; i < h.eoff_[e + 1]; ++i) {
+      h.vadj_[cursor[h.eadj_[i]]++] = e;
+    }
+  }
+  return h;
+}
+
+SubHypergraph induce(const Hypergraph& h, const std::vector<bool>& keep_vertex,
+                     const std::vector<bool>& keep_edge) {
+  HP_REQUIRE(keep_vertex.size() == h.num_vertices(),
+             "induce: keep_vertex size mismatch");
+  HP_REQUIRE(keep_edge.size() == h.num_edges(),
+             "induce: keep_edge size mismatch");
+  SubHypergraph sub;
+  std::vector<index_t> vertex_map(h.num_vertices(), kInvalidIndex);
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    if (keep_vertex[v]) {
+      vertex_map[v] = static_cast<index_t>(sub.vertex_to_parent.size());
+      sub.vertex_to_parent.push_back(v);
+    }
+  }
+  HypergraphBuilder builder{
+      static_cast<index_t>(sub.vertex_to_parent.size())};
+  std::vector<index_t> scratch;
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    if (!keep_edge[e]) continue;
+    scratch.clear();
+    for (index_t v : h.vertices_of(e)) {
+      if (vertex_map[v] != kInvalidIndex) scratch.push_back(vertex_map[v]);
+    }
+    if (scratch.empty()) continue;
+    builder.add_edge(scratch);
+    sub.edge_to_parent.push_back(e);
+  }
+  sub.hypergraph = builder.build();
+  return sub;
+}
+
+void validate(const Hypergraph& h) {
+  const index_t nv = h.num_vertices();
+  const index_t ne = h.num_edges();
+  count_t pins_from_edges = 0;
+  for (index_t e = 0; e < ne; ++e) {
+    const auto members = h.vertices_of(e);
+    HP_REQUIRE(std::is_sorted(members.begin(), members.end()),
+               "validate: edge member list not sorted");
+    HP_REQUIRE(std::adjacent_find(members.begin(), members.end()) ==
+                   members.end(),
+               "validate: duplicate vertex in edge");
+    for (index_t v : members) {
+      HP_REQUIRE(v < nv, "validate: member vertex out of range");
+    }
+    pins_from_edges += members.size();
+  }
+  HP_REQUIRE(pins_from_edges == h.num_pins(),
+             "validate: pin count mismatch");
+  count_t pins_from_vertices = 0;
+  for (index_t v = 0; v < nv; ++v) {
+    const auto edges = h.edges_of(v);
+    HP_REQUIRE(std::is_sorted(edges.begin(), edges.end()),
+               "validate: vertex incidence list not sorted");
+    for (index_t e : edges) {
+      HP_REQUIRE(e < ne, "validate: incident edge out of range");
+      HP_REQUIRE(h.edge_contains(e, v),
+                 "validate: incidence asymmetry (vertex lists edge, edge "
+                 "lacks vertex)");
+    }
+    pins_from_vertices += edges.size();
+  }
+  HP_REQUIRE(pins_from_vertices == h.num_pins(),
+             "validate: vertex-side pin count mismatch");
+}
+
+}  // namespace hp::hyper

@@ -1,0 +1,137 @@
+// The hypergraph model of the paper: vertices are proteins, hyperedges
+// are protein complexes.
+//
+// Storage is a dual CSR ("incidence" form): one CSR maps each vertex to
+// the sorted list of hyperedges containing it, the other maps each
+// hyperedge to its sorted member vertices. Total space is
+// O(|V| + |F| + |E|) where |E| = sum of vertex degrees = sum of hyperedge
+// sizes -- the storage measure the paper contrasts with the O(n^2) clique
+// expansion.
+//
+// A Hypergraph is immutable after construction; peeling algorithms keep
+// their own mutable degree/alive arrays. Use HypergraphBuilder to
+// assemble one.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hp::hyper {
+
+class HypergraphBuilder;
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Number of vertices (proteins), including isolated ones.
+  index_t num_vertices() const {
+    return static_cast<index_t>(voff_.empty() ? 0 : voff_.size() - 1);
+  }
+
+  /// Number of hyperedges (complexes).
+  index_t num_edges() const {
+    return static_cast<index_t>(eoff_.empty() ? 0 : eoff_.size() - 1);
+  }
+
+  /// |E|: the number of (vertex, hyperedge) incidences ("pins"); equals
+  /// the sum of vertex degrees and the sum of hyperedge sizes.
+  count_t num_pins() const { return vadj_.size(); }
+
+  /// Degree of a vertex: number of hyperedges it belongs to.
+  index_t vertex_degree(index_t v) const {
+    return static_cast<index_t>(voff_[v + 1] - voff_[v]);
+  }
+
+  /// Degree (cardinality) of a hyperedge: number of member vertices.
+  index_t edge_size(index_t e) const {
+    return static_cast<index_t>(eoff_[e + 1] - eoff_[e]);
+  }
+
+  /// Sorted hyperedges containing vertex v.
+  std::span<const index_t> edges_of(index_t v) const {
+    return {vadj_.data() + voff_[v], vadj_.data() + voff_[v + 1]};
+  }
+
+  /// Sorted member vertices of hyperedge e.
+  std::span<const index_t> vertices_of(index_t e) const {
+    return {eadj_.data() + eoff_[e], eadj_.data() + eoff_[e + 1]};
+  }
+
+  /// Binary search in the sorted member list.
+  bool edge_contains(index_t e, index_t v) const;
+
+  /// Delta_V: maximum vertex degree (paper: 21 for Cellzome).
+  index_t max_vertex_degree() const;
+
+  /// Delta_F: maximum hyperedge cardinality.
+  index_t max_edge_size() const;
+
+  /// Bytes consumed by the CSR arrays.
+  std::size_t storage_bytes() const {
+    return voff_.size() * sizeof(voff_[0]) + vadj_.size() * sizeof(vadj_[0]) +
+           eoff_.size() * sizeof(eoff_[0]) + eadj_.size() * sizeof(eadj_[0]);
+  }
+
+  /// Structural equality (same vertex count and identical edge lists).
+  bool operator==(const Hypergraph& other) const = default;
+
+ private:
+  friend class HypergraphBuilder;
+  std::vector<std::size_t> voff_;
+  std::vector<index_t> vadj_;
+  std::vector<std::size_t> eoff_;
+  std::vector<index_t> eadj_;
+};
+
+/// Accumulates hyperedges and produces an immutable Hypergraph.
+class HypergraphBuilder {
+ public:
+  explicit HypergraphBuilder(index_t num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  /// Add a hyperedge with the given members. Duplicate members within an
+  /// edge are merged; an empty member list is rejected (an empty complex
+  /// carries no information). Returns the new edge's id.
+  index_t add_edge(std::span<const index_t> members);
+  index_t add_edge(std::initializer_list<index_t> members);
+
+  /// Grow the vertex set (ids are dense, so adding vertex n-1 implies
+  /// vertices 0..n-2 exist).
+  void ensure_vertex(index_t v);
+
+  index_t num_vertices() const { return num_vertices_; }
+  index_t num_edges() const {
+    return static_cast<index_t>(edge_offsets_.size());
+  }
+
+  Hypergraph build() const;
+
+ private:
+  index_t num_vertices_ = 0;
+  std::vector<std::size_t> edge_offsets_;  // start of each edge in members_
+  std::vector<index_t> members_;           // concatenated sorted member lists
+};
+
+/// A sub-hypergraph induced by keeping a subset of vertices and edges,
+/// with id remappings back to the parent. Edges are restricted to the
+/// kept vertices; edges that become empty are dropped.
+struct SubHypergraph {
+  Hypergraph hypergraph;
+  std::vector<index_t> vertex_to_parent;  ///< new vertex id -> old id
+  std::vector<index_t> edge_to_parent;    ///< new edge id -> old id
+};
+
+/// Induce the sub-hypergraph on `keep_vertex` / `keep_edge` masks
+/// (each sized like the parent's vertex/edge counts).
+SubHypergraph induce(const Hypergraph& h, const std::vector<bool>& keep_vertex,
+                     const std::vector<bool>& keep_edge);
+
+/// Validate internal consistency (CSR symmetry, sortedness); intended for
+/// tests and after deserialization. Throws InvalidInputError on failure.
+void validate(const Hypergraph& h);
+
+}  // namespace hp::hyper

@@ -1,0 +1,176 @@
+#include "core/hypergraph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stringutil.hpp"
+
+namespace hp::hyper {
+
+std::string to_text(const Hypergraph& h) {
+  std::ostringstream out;
+  out << "%hypergraph " << h.num_vertices() << ' ' << h.num_edges() << '\n';
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    bool first = true;
+    for (index_t v : h.vertices_of(e)) {
+      if (!first) out << ' ';
+      out << v;
+      first = false;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Hypergraph from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  index_t num_vertices = 0;
+  index_t declared_edges = 0;
+  HypergraphBuilder builder{0};
+  std::vector<index_t> members;
+  index_t edges_read = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view body = trim(line);
+    if (body.empty() || body.front() == '#') continue;
+    if (body.front() == '%') {
+      const auto fields = split_whitespace(body.substr(1));
+      if (fields.size() != 3 || fields[0] != "hypergraph") {
+        throw ParseError{"line " + std::to_string(line_no) +
+                         ": bad header, expected '%hypergraph <V> <F>'"};
+      }
+      num_vertices = static_cast<index_t>(parse_int(fields[1]));
+      declared_edges = static_cast<index_t>(parse_int(fields[2]));
+      builder = HypergraphBuilder{num_vertices};
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) {
+      throw ParseError{"line " + std::to_string(line_no) +
+                       ": edge before %hypergraph header"};
+    }
+    members.clear();
+    for (std::string_view field : split_whitespace(body)) {
+      const long long v = parse_int(field);
+      if (v < 0 || static_cast<index_t>(v) >= num_vertices) {
+        throw ParseError{"line " + std::to_string(line_no) +
+                         ": vertex id out of range"};
+      }
+      members.push_back(static_cast<index_t>(v));
+    }
+    builder.add_edge(members);
+    ++edges_read;
+  }
+  if (!header_seen) throw ParseError{"missing %hypergraph header"};
+  if (edges_read != declared_edges) {
+    throw ParseError{"header declares " + std::to_string(declared_edges) +
+                     " edges but file contains " + std::to_string(edges_read)};
+  }
+  return builder.build();
+}
+
+void save_text(const Hypergraph& h, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error{"save_text: cannot open " + path};
+  out << to_text(h);
+  if (!out) throw std::runtime_error{"save_text: write failed for " + path};
+}
+
+Hypergraph load_text(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error{"load_text: cannot open " + path};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_text(buffer.str());
+}
+
+std::string to_hmetis(const Hypergraph& h) {
+  std::ostringstream out;
+  out << "% hyperproteome hMETIS export\n";
+  out << h.num_edges() << ' ' << h.num_vertices() << '\n';
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    bool first = true;
+    for (index_t v : h.vertices_of(e)) {
+      if (!first) out << ' ';
+      out << (v + 1);
+      first = false;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Hypergraph from_hmetis(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  index_t num_vertices = 0;
+  index_t declared_edges = 0;
+  HypergraphBuilder builder{0};
+  std::vector<index_t> members;
+  index_t edges_read = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view body = trim(line);
+    if (body.empty() || body.front() == '%') continue;
+    const auto fields = split_whitespace(body);
+    if (!header_seen) {
+      if (fields.size() == 3) {
+        throw ParseError{
+            "hmetis line " + std::to_string(line_no) +
+            ": weighted format (fmt field) is not supported"};
+      }
+      if (fields.size() != 2) {
+        throw ParseError{"hmetis line " + std::to_string(line_no) +
+                         ": expected '<edges> <vertices>' header"};
+      }
+      declared_edges = static_cast<index_t>(parse_int(fields[0]));
+      num_vertices = static_cast<index_t>(parse_int(fields[1]));
+      builder = HypergraphBuilder{num_vertices};
+      header_seen = true;
+      continue;
+    }
+    members.clear();
+    for (std::string_view field : fields) {
+      const long long v = parse_int(field);
+      if (v < 1 || static_cast<index_t>(v) > num_vertices) {
+        throw ParseError{"hmetis line " + std::to_string(line_no) +
+                         ": vertex id out of range (ids are 1-based)"};
+      }
+      members.push_back(static_cast<index_t>(v - 1));
+    }
+    builder.add_edge(members);
+    ++edges_read;
+  }
+  if (!header_seen) throw ParseError{"hmetis: missing header"};
+  if (edges_read != declared_edges) {
+    throw ParseError{"hmetis: header declares " +
+                     std::to_string(declared_edges) + " hyperedges, found " +
+                     std::to_string(edges_read)};
+  }
+  return builder.build();
+}
+
+void save_hmetis(const Hypergraph& h, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error{"save_hmetis: cannot open " + path};
+  out << to_hmetis(h);
+  if (!out) throw std::runtime_error{"save_hmetis: write failed for " + path};
+}
+
+Hypergraph load_hmetis(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error{"load_hmetis: cannot open " + path};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_hmetis(buffer.str());
+}
+
+}  // namespace hp::hyper

@@ -1,0 +1,52 @@
+// Text serialization of hypergraphs.
+//
+// Format ("hp-hyper v1"), one hyperedge per line:
+//
+//   # comment
+//   %hypergraph <num_vertices> <num_edges>
+//   v0 v1 v2 ...
+//
+// Vertex ids are 0-based integers. The header makes isolated vertices
+// representable. This is also the exchange format the bio layer writes
+// after mapping protein names to ids.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/hypergraph.hpp"
+
+namespace hp::hyper {
+
+/// Serialize to the text format above.
+std::string to_text(const Hypergraph& h);
+
+/// Parse the text format; throws hp::ParseError with a line number on
+/// malformed input.
+Hypergraph from_text(const std::string& text);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_text(const Hypergraph& h, const std::string& path);
+Hypergraph load_text(const std::string& path);
+
+// --- hMETIS / PaToH .hgr interchange -------------------------------------
+//
+// The standard hypergraph exchange format of the scientific-computing
+// community (the same community the paper's Table 1 matrices come
+// from). Unweighted variant:
+//
+//   % comment
+//   <num_hyperedges> <num_vertices>
+//   v1 v2 v3 ...        (1-based, one line per hyperedge)
+
+/// Serialize to unweighted hMETIS format.
+std::string to_hmetis(const Hypergraph& h);
+
+/// Parse unweighted hMETIS text (a weighted fmt field is rejected with
+/// ParseError, not silently misread).
+Hypergraph from_hmetis(const std::string& text);
+
+void save_hmetis(const Hypergraph& h, const std::string& path);
+Hypergraph load_hmetis(const std::string& path);
+
+}  // namespace hp::hyper

@@ -1,0 +1,64 @@
+// Hypergraph k-core decomposition -- the paper's central algorithm
+// (Fig. 4).
+//
+// Definition (section 3): the k-core of a hypergraph H is the maximal
+// sub-hypergraph that is *reduced* (no hyperedge contained in another)
+// and in which every vertex belongs to at least k hyperedges. When a
+// vertex is deleted it is removed from all hyperedges containing it; a
+// hyperedge is deleted as soon as it stops being maximal (including the
+// special case of becoming empty).
+//
+// Non-maximality is detected without set comparisons by maintaining
+// pairwise overlap counts: hyperedge f is contained in a live hyperedge
+// g exactly when f's current cardinality equals its current overlap with
+// g. Complexity: O(|E| (Delta_2,F + Delta_V log Delta_2,F)) as analyzed
+// in the paper (hash maps here replace the paper's balanced trees, making
+// the log factor expected O(1)).
+//
+// The decomposition runs the peel at k = 1, 2, ... on the shrinking
+// residual; core(x) = largest k such that x survives the level-k peel.
+// Cores are nested, and the maximum core is the largest k with a
+// non-empty residual.
+#pragma once
+
+#include <vector>
+
+#include "core/hypergraph.hpp"
+
+namespace hp::hyper {
+
+/// Result of the full core decomposition.
+struct HyperCoreResult {
+  /// vertex_core[v] = largest k such that v belongs to the k-core
+  /// (0 = not even in the 1-core, e.g. an isolated vertex).
+  std::vector<index_t> vertex_core;
+  /// edge_core[e] = largest k such that e belongs (as a residual edge)
+  /// to the k-core. For groups of hyperedges that become identical during
+  /// peeling, only one representative keeps the higher core value; which
+  /// one is implementation-defined, but the *count* per level is not.
+  std::vector<index_t> edge_core;
+  /// Largest k with a non-empty k-core.
+  index_t max_core = 0;
+  /// level_vertices[k] / level_edges[k]: number of vertices / edges in
+  /// the k-core, for k = 0 .. max_core (index 0 = whole reduced input).
+  std::vector<index_t> level_vertices;
+  std::vector<index_t> level_edges;
+
+  std::vector<index_t> core_vertices(index_t k) const;
+  std::vector<index_t> core_edges(index_t k) const;
+};
+
+/// Full core decomposition via the overlap-maintaining peel.
+HyperCoreResult core_decomposition(const Hypergraph& h);
+
+/// Extract the k-core as a standalone hypergraph (residual hyperedges
+/// restricted to core vertices), with id maps back to the input.
+SubHypergraph extract_core(const Hypergraph& h, const HyperCoreResult& d,
+                           index_t k);
+
+/// Verify that `core` (as a sub-hypergraph of h described by the masks)
+/// satisfies the k-core conditions: reduced, and every vertex has degree
+/// >= k. Used by tests and exposed for downstream sanity checks.
+bool satisfies_core_conditions(const Hypergraph& core, index_t k);
+
+}  // namespace hp::hyper

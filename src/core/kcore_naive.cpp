@@ -1,0 +1,147 @@
+#include "core/kcore_naive.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hp::hyper {
+
+namespace {
+
+struct NaiveState {
+  // Residual member sets (sorted) and alive flags.
+  std::vector<std::vector<index_t>> members;
+  std::vector<bool> edge_alive;
+  std::vector<bool> vertex_alive;
+  std::vector<index_t> vertex_degree;
+
+  explicit NaiveState(const Hypergraph& h)
+      : edge_alive(h.num_edges(), true),
+        vertex_alive(h.num_vertices(), true),
+        vertex_degree(h.num_vertices()) {
+    members.reserve(h.num_edges());
+    for (index_t e = 0; e < h.num_edges(); ++e) {
+      const auto m = h.vertices_of(e);
+      members.emplace_back(m.begin(), m.end());
+    }
+    for (index_t v = 0; v < h.num_vertices(); ++v) {
+      vertex_degree[v] = h.vertex_degree(v);
+    }
+  }
+
+  /// Remove non-maximal / empty edges by pairwise subset tests until
+  /// stable (one pass suffices: deleting edges cannot create
+  /// containment).
+  void reduce_by_comparison(index_t level, std::vector<index_t>* edge_core) {
+    const index_t ne = static_cast<index_t>(members.size());
+    for (index_t f = 0; f < ne; ++f) {
+      if (!edge_alive[f]) continue;
+      bool contained = members[f].empty();
+      if (!contained) {
+        for (index_t g = 0; g < ne && !contained; ++g) {
+          if (g == f || !edge_alive[g]) continue;
+          if (members[g].size() < members[f].size()) continue;
+          if (members[g].size() == members[f].size() && g > f &&
+              members[g] == members[f]) {
+            // Duplicate pair: delete the later-scanned one (f is the
+            // earlier; skip here, g will be deleted when scanned).
+            continue;
+          }
+          contained = std::includes(members[g].begin(), members[g].end(),
+                                    members[f].begin(), members[f].end());
+        }
+      }
+      if (contained) delete_edge(f, level, edge_core);
+    }
+  }
+
+  void delete_edge(index_t f, index_t level, std::vector<index_t>* edge_core) {
+    edge_alive[f] = false;
+    if (edge_core != nullptr && level >= 1) (*edge_core)[f] = level - 1;
+    for (index_t w : members[f]) {
+      if (vertex_alive[w]) --vertex_degree[w];
+    }
+  }
+
+  void delete_vertex(index_t v) {
+    vertex_alive[v] = false;
+    for (auto& m : members) {
+      // Removing v from dead edges too is harmless and keeps this simple.
+      const auto it = std::lower_bound(m.begin(), m.end(), v);
+      if (it != m.end() && *it == v) m.erase(it);
+    }
+  }
+
+  index_t alive_vertex_count() const {
+    index_t n = 0;
+    for (bool a : vertex_alive) n += a ? 1 : 0;
+    return n;
+  }
+  index_t alive_edge_count() const {
+    index_t n = 0;
+    for (bool a : edge_alive) n += a ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace
+
+HyperCoreResult core_decomposition_naive(const Hypergraph& h) {
+  HyperCoreResult result;
+  result.vertex_core.assign(h.num_vertices(), 0);
+  result.edge_core.assign(h.num_edges(), 0);
+
+  NaiveState state{h};
+  state.reduce_by_comparison(0, nullptr);
+  result.level_vertices.push_back(state.alive_vertex_count());
+  result.level_edges.push_back(state.alive_edge_count());
+
+  for (index_t k = 1;; ++k) {
+    // Fixpoint: strip sub-threshold vertices, re-reduce, repeat.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (index_t v = 0; v < h.num_vertices(); ++v) {
+        if (!state.vertex_alive[v] || state.vertex_degree[v] >= k) continue;
+        // Deleting v shrinks its edges; recompute degrees from scratch
+        // afterwards for simplicity.
+        state.delete_vertex(v);
+        result.vertex_core[v] = k - 1;
+        changed = true;
+      }
+      // Recompute vertex degrees over live edges after removals.
+      std::fill(state.vertex_degree.begin(), state.vertex_degree.end(), 0);
+      for (index_t e = 0; e < h.num_edges(); ++e) {
+        if (!state.edge_alive[e]) continue;
+        for (index_t w : state.members[e]) {
+          if (state.vertex_alive[w]) ++state.vertex_degree[w];
+        }
+      }
+      const index_t before = state.alive_edge_count();
+      state.reduce_by_comparison(k, &result.edge_core);
+      if (state.alive_edge_count() != before) changed = true;
+      // Edge deletions changed degrees; recompute once more.
+      std::fill(state.vertex_degree.begin(), state.vertex_degree.end(), 0);
+      for (index_t e = 0; e < h.num_edges(); ++e) {
+        if (!state.edge_alive[e]) continue;
+        for (index_t w : state.members[e]) {
+          if (state.vertex_alive[w]) ++state.vertex_degree[w];
+        }
+      }
+    }
+    if (state.alive_vertex_count() == 0) {
+      result.max_core = k - 1;
+      break;
+    }
+    result.level_vertices.push_back(state.alive_vertex_count());
+    result.level_edges.push_back(state.alive_edge_count());
+    for (index_t v = 0; v < h.num_vertices(); ++v) {
+      if (state.vertex_alive[v]) result.vertex_core[v] = k;
+    }
+    for (index_t e = 0; e < h.num_edges(); ++e) {
+      if (state.edge_alive[e]) result.edge_core[e] = k;
+    }
+  }
+  return result;
+}
+
+}  // namespace hp::hyper

@@ -1,0 +1,19 @@
+// Reference hypergraph k-core implementation using explicit set
+// comparisons for the maximality test.
+//
+// This is the implementation the paper argues *against* on efficiency
+// grounds ("We can detect non-maximal hyperedges by counting overlaps
+// among hyperedges instead of comparing set memberships"). We keep it as
+// (a) a differential-testing oracle for the optimized algorithm and
+// (b) the baseline of the ablation benchmark bench_micro_kcore.
+#pragma once
+
+#include "core/kcore.hpp"
+
+namespace hp::hyper {
+
+/// Same contract as core_decomposition(), computed by repeated
+/// rebuild-and-scan with O(|F|^2 * Delta_F) maximality checks per level.
+HyperCoreResult core_decomposition_naive(const Hypergraph& h);
+
+}  // namespace hp::hyper

@@ -1,0 +1,27 @@
+// Bulk-synchronous (OpenMP) hypergraph k-core decomposition.
+//
+// The paper closes its section 3 with: "for large hypergraphs, a
+// parallel algorithm will need to be designed". This module supplies
+// one. Instead of the sequential cascade with a persistent overlap
+// table, each peel round removes the whole sub-threshold frontier at
+// once, then re-checks maximality only for the edges that shrank, using
+// an overlap-counting sweep over those edges' residual members
+// (parallel over touched edges). Deterministic: for hyperedges whose
+// residual sets become identical within a round, the lowest id survives.
+//
+// The result is bit-identical to core_decomposition() in vertex core
+// numbers, maximum core, and per-level sizes; edge representative choice
+// among equal residual sets may differ (see kcore.hpp).
+#pragma once
+
+#include "core/kcore.hpp"
+
+namespace hp::hyper {
+
+/// Parallel core decomposition. `num_threads` <= 0 means use the OpenMP
+/// default. Falls back to the same bulk-synchronous algorithm run
+/// sequentially when OpenMP is unavailable.
+HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
+                                            int num_threads = 0);
+
+}  // namespace hp::hyper

@@ -1,0 +1,106 @@
+#include "core/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace hp::hyper {
+
+std::vector<Point> force_layout(const graph::Graph& g,
+                                const LayoutParams& params) {
+  const index_t n = g.num_vertices();
+  std::vector<Point> pos(n);
+  if (n == 0) return pos;
+
+  Rng rng{params.seed};
+  for (Point& p : pos) {
+    p.x = rng.uniform_real(0.0, params.width);
+    p.y = rng.uniform_real(0.0, params.height);
+  }
+  if (n == 1) return pos;
+
+  // Ideal pairwise distance.
+  const double area = params.width * params.height;
+  const double k = std::sqrt(area / static_cast<double>(n));
+  const double k2 = k * k;
+
+  std::vector<Point> disp(n);
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    const double temperature =
+        params.initial_temperature * params.width *
+        (1.0 - static_cast<double>(iter) / params.iterations);
+
+    for (Point& d : disp) d = Point{};
+
+    // Repulsion between all pairs.
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = i + 1; j < n; ++j) {
+        double dx = pos[i].x - pos[j].x;
+        double dy = pos[i].y - pos[j].y;
+        double dist2 = dx * dx + dy * dy;
+        if (dist2 < 1e-9) {
+          // Coincident points: nudge deterministically.
+          dx = 1e-3 * (1.0 + static_cast<double>(i % 7));
+          dy = 1e-3;
+          dist2 = dx * dx + dy * dy;
+        }
+        const double force = k2 / dist2;  // F_r / dist, applied to (dx,dy)
+        disp[i].x += dx * force;
+        disp[i].y += dy * force;
+        disp[j].x -= dx * force;
+        disp[j].y -= dy * force;
+      }
+    }
+
+    // Attraction along edges.
+    for (index_t u = 0; u < n; ++u) {
+      for (index_t v : g.neighbors(u)) {
+        if (v <= u) continue;
+        double dx = pos[u].x - pos[v].x;
+        double dy = pos[u].y - pos[v].y;
+        const double dist = std::max(1e-6, std::sqrt(dx * dx + dy * dy));
+        const double force = dist / k;  // F_a / dist
+        disp[u].x -= dx * force;
+        disp[u].y -= dy * force;
+        disp[v].x += dx * force;
+        disp[v].y += dy * force;
+      }
+    }
+
+    // Displace, capped by temperature, clamped to the canvas.
+    for (index_t i = 0; i < n; ++i) {
+      const double len = std::max(
+          1e-9, std::sqrt(disp[i].x * disp[i].x + disp[i].y * disp[i].y));
+      const double step = std::min(len, temperature);
+      pos[i].x += disp[i].x / len * step;
+      pos[i].y += disp[i].y / len * step;
+      pos[i].x = std::clamp(pos[i].x, 0.0, params.width);
+      pos[i].y = std::clamp(pos[i].y, 0.0, params.height);
+    }
+  }
+  return pos;
+}
+
+void fit_to_canvas(std::vector<Point>& points, double width, double height,
+                   double margin) {
+  HP_REQUIRE(width > 2 * margin && height > 2 * margin,
+             "fit_to_canvas: margin exceeds canvas");
+  if (points.empty()) return;
+  double min_x = points[0].x, max_x = points[0].x;
+  double min_y = points[0].y, max_y = points[0].y;
+  for (const Point& p : points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double span_x = std::max(1e-9, max_x - min_x);
+  const double span_y = std::max(1e-9, max_y - min_y);
+  for (Point& p : points) {
+    p.x = margin + (p.x - min_x) / span_x * (width - 2 * margin);
+    p.y = margin + (p.y - min_y) / span_y * (height - 2 * margin);
+  }
+}
+
+}  // namespace hp::hyper

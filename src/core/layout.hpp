@@ -1,0 +1,44 @@
+// Force-directed layout of the bipartite hypergraph drawing.
+//
+// The paper's Figure 3 is a Pajek drawing of B(H); Pajek computes its
+// own coordinates interactively. To make the figure reproducible
+// offline, this module computes a Fruchterman-Reingold layout of any
+// graph (used on B(H)) so the SVG renderer (svg.hpp) can emit the
+// finished drawing. Deterministic for a given seed.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace hp::hyper {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct LayoutParams {
+  int iterations = 120;
+  double width = 1000.0;   ///< layout canvas width
+  double height = 1000.0;  ///< layout canvas height
+  /// Initial temperature as a fraction of the canvas width; cools
+  /// linearly to zero over the iterations.
+  double initial_temperature = 0.10;
+  std::uint64_t seed = 42;
+};
+
+/// Fruchterman-Reingold layout. O(iterations * (V^2 + E)); fine for the
+/// Cellzome-scale drawing (~1.6k nodes). Components are kept apart by
+/// the repulsive forces alone. Positions fall inside
+/// [0, width] x [0, height].
+std::vector<Point> force_layout(const graph::Graph& g,
+                                const LayoutParams& params = {});
+
+/// Normalize arbitrary positions into [margin, width-margin] x
+/// [margin, height-margin] (used before rendering).
+void fit_to_canvas(std::vector<Point>& points, double width, double height,
+                   double margin);
+
+}  // namespace hp::hyper

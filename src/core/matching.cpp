@@ -1,0 +1,121 @@
+#include "core/matching.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hp::hyper {
+
+MatchingResult greedy_matching(const Hypergraph& h) {
+  std::vector<index_t> order(h.num_edges());
+  for (index_t e = 0; e < h.num_edges(); ++e) order[e] = e;
+  std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return h.edge_size(a) < h.edge_size(b);
+  });
+
+  MatchingResult result;
+  std::vector<bool> blocked(h.num_vertices(), false);
+  for (index_t e : order) {
+    bool free = true;
+    for (index_t v : h.vertices_of(e)) {
+      if (blocked[v]) {
+        free = false;
+        break;
+      }
+    }
+    if (!free) continue;
+    result.edges.push_back(e);
+    for (index_t v : h.vertices_of(e)) blocked[v] = true;
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+bool is_matching(const Hypergraph& h, const std::vector<index_t>& edges) {
+  std::vector<bool> used(h.num_vertices(), false);
+  for (index_t e : edges) {
+    HP_REQUIRE(e < h.num_edges(), "is_matching: edge out of range");
+    for (index_t v : h.vertices_of(e)) {
+      if (used[v]) return false;
+      used[v] = true;
+    }
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Hypergraph& h,
+                         const std::vector<index_t>& edges) {
+  if (!is_matching(h, edges)) return false;
+  std::vector<bool> used(h.num_vertices(), false);
+  std::vector<bool> chosen(h.num_edges(), false);
+  for (index_t e : edges) {
+    chosen[e] = true;
+    for (index_t v : h.vertices_of(e)) used[v] = true;
+  }
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    if (chosen[e]) continue;
+    bool free = true;
+    for (index_t v : h.vertices_of(e)) {
+      if (used[v]) {
+        free = false;
+        break;
+      }
+    }
+    if (free) return false;  // e could be added
+  }
+  return true;
+}
+
+namespace {
+
+struct MatchBranch {
+  const Hypergraph& h;
+  std::vector<bool> used;
+  std::vector<index_t> current;
+  std::vector<index_t> best;
+
+  explicit MatchBranch(const Hypergraph& hg)
+      : h(hg), used(hg.num_vertices(), false) {}
+
+  void recurse(index_t next_edge) {
+    // Bound: even taking every remaining edge cannot beat best.
+    if (current.size() + (h.num_edges() - next_edge) <= best.size()) return;
+    if (next_edge == h.num_edges()) {
+      if (current.size() > best.size()) best = current;
+      return;
+    }
+    // Option 1: take next_edge if free.
+    bool free = true;
+    for (index_t v : h.vertices_of(next_edge)) {
+      if (used[v]) {
+        free = false;
+        break;
+      }
+    }
+    if (free) {
+      for (index_t v : h.vertices_of(next_edge)) used[v] = true;
+      current.push_back(next_edge);
+      recurse(next_edge + 1);
+      current.pop_back();
+      for (index_t v : h.vertices_of(next_edge)) used[v] = false;
+    }
+    // Option 2: skip it.
+    recurse(next_edge + 1);
+  }
+};
+
+}  // namespace
+
+MatchingResult exact_maximum_matching(const Hypergraph& h,
+                                      index_t max_edges) {
+  if (h.num_edges() > max_edges) {
+    throw std::invalid_argument{
+        "exact_maximum_matching: instance too large for exact search"};
+  }
+  MatchBranch branch{h};
+  branch.recurse(0);
+  MatchingResult result;
+  result.edges = branch.best;
+  return result;
+}
+
+}  // namespace hp::hyper

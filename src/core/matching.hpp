@@ -1,0 +1,41 @@
+// Hypergraph matchings -- the LP-dual counterpart of the vertex covers
+// in section 4.
+//
+// A matching is a set of pairwise disjoint hyperedges. By weak LP
+// duality, the size of any matching lower-bounds the size of any vertex
+// cover (each matched hyperedge needs its own cover vertex), giving a
+// second, combinatorial certificate for the greedy covers alongside the
+// primal-dual bound. In the TAP setting a matching is a set of
+// complexes with no shared proteins -- complexes whose pulldowns can be
+// attributed unambiguously.
+#pragma once
+
+#include <vector>
+
+#include "core/hypergraph.hpp"
+
+namespace hp::hyper {
+
+struct MatchingResult {
+  std::vector<index_t> edges;  ///< chosen pairwise-disjoint hyperedges
+};
+
+/// Greedy maximal matching, scanning hyperedges by ascending
+/// cardinality (small edges block fewer vertices, a classic heuristic).
+/// The result is maximal: every unchosen hyperedge intersects a chosen
+/// one.
+MatchingResult greedy_matching(const Hypergraph& h);
+
+/// True if the edges are pairwise vertex-disjoint.
+bool is_matching(const Hypergraph& h, const std::vector<index_t>& edges);
+
+/// True if no hyperedge can be added (every edge intersects the set).
+bool is_maximal_matching(const Hypergraph& h,
+                         const std::vector<index_t>& edges);
+
+/// Exact maximum matching by branch and bound; exponential, intended
+/// for test oracles (throws std::invalid_argument above max_edges).
+MatchingResult exact_maximum_matching(const Hypergraph& h,
+                                      index_t max_edges = 24);
+
+}  // namespace hp::hyper

@@ -1,0 +1,110 @@
+#include "core/multicover.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/lazy_heap.hpp"
+
+namespace hp::hyper {
+
+MulticoverResult greedy_multicover(const Hypergraph& h,
+                                   const std::vector<double>& weights,
+                                   const std::vector<index_t>& requirements) {
+  HP_REQUIRE(weights.size() == h.num_vertices(),
+             "greedy_multicover: weight vector size mismatch");
+  HP_REQUIRE(requirements.size() == h.num_edges(),
+             "greedy_multicover: requirements size mismatch");
+
+  MulticoverResult result;
+  // Residual demand per edge, clamped to cardinality.
+  std::vector<index_t> demand(h.num_edges());
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    HP_REQUIRE(requirements[e] >= 1,
+               "greedy_multicover: requirement must be >= 1");
+    demand[e] = std::min<index_t>(requirements[e], h.edge_size(e));
+    if (demand[e] != requirements[e]) result.clamped_edges.push_back(e);
+  }
+
+  std::vector<bool> chosen(h.num_vertices(), false);
+  // useful[v] = number of adjacent edges with positive residual demand
+  // that v has not yet been counted toward (v not chosen).
+  std::vector<index_t> useful(h.num_vertices(), 0);
+  index_t unsatisfied = 0;
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    if (demand[e] > 0) ++unsatisfied;
+  }
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    for (index_t e : h.edges_of(v)) {
+      if (demand[e] > 0) ++useful[v];
+    }
+  }
+
+  LazyMinHeap heap;
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    if (useful[v] > 0) {
+      heap.push(v, weights[v] / static_cast<double>(useful[v]));
+    }
+  }
+
+  const auto current_key = [&](index_t v) {
+    return useful[v] > 0 ? weights[v] / static_cast<double>(useful[v])
+                         : std::numeric_limits<double>::infinity();
+  };
+  const auto still_live = [&](index_t v) {
+    return !chosen[v] && useful[v] > 0;
+  };
+
+  while (unsatisfied > 0) {
+    const index_t v = heap.pop_current(current_key, still_live);
+    chosen[v] = true;
+    result.vertices.push_back(v);
+    result.total_weight += weights[v];
+    for (index_t e : h.edges_of(v)) {
+      if (demand[e] == 0) continue;
+      --demand[e];
+      if (demand[e] == 0) {
+        --unsatisfied;
+        // Edge satisfied: it stops contributing to anyone's usefulness.
+        for (index_t w : h.vertices_of(e)) {
+          if (!chosen[w] && useful[w] > 0) --useful[w];
+        }
+      } else {
+        // Edge still demands more vertices, but v itself can no longer
+        // contribute to it (a vertex hits an edge at most once); v is
+        // chosen, so its usefulness is moot anyway.
+      }
+    }
+  }
+
+  result.average_degree = average_degree(h, result.vertices);
+  return result;
+}
+
+MulticoverResult greedy_multicover(const Hypergraph& h,
+                                   const std::vector<double>& weights,
+                                   index_t r) {
+  return greedy_multicover(h, weights,
+                           std::vector<index_t>(h.num_edges(), r));
+}
+
+bool is_multicover(const Hypergraph& h, const std::vector<index_t>& cover,
+                   const std::vector<index_t>& requirements) {
+  HP_REQUIRE(requirements.size() == h.num_edges(),
+             "is_multicover: requirements size mismatch");
+  std::vector<bool> in_cover(h.num_vertices(), false);
+  for (index_t v : cover) {
+    HP_REQUIRE(v < h.num_vertices(), "is_multicover: vertex out of range");
+    in_cover[v] = true;
+  }
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    index_t hits = 0;
+    for (index_t v : h.vertices_of(e)) {
+      if (in_cover[v]) ++hits;
+    }
+    const index_t need = std::min<index_t>(requirements[e], h.edge_size(e));
+    if (hits < need) return false;
+  }
+  return true;
+}
+
+}  // namespace hp::hyper

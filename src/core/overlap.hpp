@@ -1,0 +1,56 @@
+// Pairwise hyperedge overlap table.
+//
+// overlap(f, g) = |f ∩ g| is the quantity the paper's k-core algorithm
+// maintains instead of comparing vertex sets: an edge f is contained in g
+// exactly when its current cardinality equals its current overlap with g.
+// The table also yields degree-2 statistics: d2(f) = number of hyperedges
+// sharing at least one vertex with f (Delta_2,F = max over f), and d2(v)
+// = number of distinct other vertices co-occurring with v, both of which
+// appear in the paper's complexity bounds and in Table 1.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/hypergraph.hpp"
+
+namespace hp::hyper {
+
+/// Sparse symmetric table of nonzero pairwise overlaps.
+class OverlapTable {
+ public:
+  /// Build from the incidence lists in O(sum_v d(v)^2) expected time.
+  explicit OverlapTable(const Hypergraph& h);
+
+  /// |f ∩ g|; zero when disjoint.
+  index_t overlap(index_t f, index_t g) const;
+
+  /// Row of f: all g (!= f) with overlap(f, g) > 0 and their counts.
+  const std::unordered_map<index_t, index_t>& row(index_t f) const {
+    return rows_[f];
+  }
+
+  /// Mutable row access for peeling algorithms that decrement overlaps.
+  std::unordered_map<index_t, index_t>& mutable_row(index_t f) {
+    return rows_[f];
+  }
+
+  /// d2(f): number of hyperedges overlapping f.
+  index_t degree2(index_t f) const {
+    return static_cast<index_t>(rows_[f].size());
+  }
+
+  /// Delta_2,F: max degree2 over all hyperedges (0 if no edges).
+  index_t max_degree2() const;
+
+  index_t num_edges() const { return static_cast<index_t>(rows_.size()); }
+
+ private:
+  std::vector<std::unordered_map<index_t, index_t>> rows_;
+};
+
+/// d2(v): number of distinct vertices other than v sharing a hyperedge
+/// with v (the cover algorithm's complexity parameter).
+std::vector<index_t> vertex_degree2(const Hypergraph& h);
+
+}  // namespace hp::hyper

@@ -1,0 +1,106 @@
+#include "core/projection.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hp::hyper {
+
+graph::Graph clique_expansion(const Hypergraph& h) {
+  graph::GraphBuilder builder{h.num_vertices()};
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    const auto members = h.vertices_of(e);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        builder.add_edge(members[i], members[j]);
+      }
+    }
+  }
+  return builder.build();
+}
+
+graph::Graph star_expansion(const Hypergraph& h,
+                            const std::vector<index_t>& baits) {
+  HP_REQUIRE(baits.size() == h.num_edges(),
+             "star_expansion: need one bait per hyperedge");
+  graph::GraphBuilder builder{h.num_vertices()};
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    const index_t bait = baits[e];
+    HP_REQUIRE(h.edge_contains(e, bait),
+               "star_expansion: bait is not a member of its hyperedge");
+    for (index_t v : h.vertices_of(e)) {
+      if (v != bait) builder.add_edge(bait, v);
+    }
+  }
+  return builder.build();
+}
+
+std::vector<index_t> default_baits(const Hypergraph& h) {
+  std::vector<index_t> baits(h.num_edges());
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    index_t best = h.vertices_of(e).front();
+    for (index_t v : h.vertices_of(e)) {
+      if (h.vertex_degree(v) > h.vertex_degree(best)) best = v;
+    }
+    baits[e] = best;
+  }
+  return baits;
+}
+
+graph::Graph intersection_graph(const Hypergraph& h,
+                                std::vector<index_t>* weights_out) {
+  // Accumulate overlap counts per unordered complex pair via the vertex
+  // incidence lists (same sweep as OverlapTable, but only the upper
+  // triangle).
+  std::map<std::pair<index_t, index_t>, index_t> overlap;
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    const auto edges = h.edges_of(v);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      for (std::size_t j = i + 1; j < edges.size(); ++j) {
+        ++overlap[{edges[i], edges[j]}];
+      }
+    }
+  }
+  graph::GraphBuilder builder{h.num_edges()};
+  for (const auto& [pair, w] : overlap) {
+    builder.add_edge(pair.first, pair.second);
+    (void)w;
+  }
+  if (weights_out != nullptr) {
+    weights_out->clear();
+    weights_out->reserve(overlap.size());
+    // std::map iterates in (u, v)-sorted order, matching the contract.
+    for (const auto& [pair, w] : overlap) weights_out->push_back(w);
+  }
+  return builder.build();
+}
+
+graph::Graph bipartite_graph(const Hypergraph& h) {
+  graph::GraphBuilder builder{h.num_vertices() + h.num_edges()};
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    for (index_t v : h.vertices_of(e)) {
+      builder.add_edge(v, h.num_vertices() + e);
+    }
+  }
+  return builder.build();
+}
+
+RepresentationCosts representation_costs(const Hypergraph& h) {
+  RepresentationCosts costs;
+  costs.hypergraph_bytes = h.storage_bytes();
+  costs.hypergraph_pins = h.num_pins();
+
+  const graph::Graph clique = clique_expansion(h);
+  costs.clique_bytes = clique.storage_bytes();
+  costs.clique_edges = clique.num_edges();
+
+  const graph::Graph star = star_expansion(h, default_baits(h));
+  costs.star_bytes = star.storage_bytes();
+  costs.star_edges = star.num_edges();
+
+  const graph::Graph inter = intersection_graph(h);
+  costs.intersection_bytes = inter.storage_bytes();
+  costs.intersection_edges = inter.num_edges();
+  return costs;
+}
+
+}  // namespace hp::hyper

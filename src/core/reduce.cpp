@@ -1,0 +1,42 @@
+#include "core/reduce.hpp"
+
+#include "core/overlap.hpp"
+
+namespace hp::hyper {
+
+ReduceResult find_non_maximal(const Hypergraph& h) {
+  const OverlapTable table{h};
+  ReduceResult result;
+  result.keep.assign(h.num_edges(), true);
+  for (index_t f = 0; f < h.num_edges(); ++f) {
+    const index_t size_f = h.edge_size(f);
+    for (const auto& [g, ov] : table.row(f)) {
+      if (ov != size_f) continue;  // f not fully inside g
+      const index_t size_g = h.edge_size(g);
+      if (size_g > size_f) {
+        result.keep[f] = false;  // strict containment
+        break;
+      }
+      if (size_g == size_f && g < f) {
+        result.keep[f] = false;  // duplicate: keep lowest id
+        break;
+      }
+    }
+  }
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    if (!result.keep[e]) ++result.num_removed;
+  }
+  return result;
+}
+
+SubHypergraph reduce(const Hypergraph& h) {
+  const ReduceResult r = find_non_maximal(h);
+  const std::vector<bool> keep_vertex(h.num_vertices(), true);
+  return induce(h, keep_vertex, r.keep);
+}
+
+bool is_reduced(const Hypergraph& h) {
+  return find_non_maximal(h).num_removed == 0;
+}
+
+}  // namespace hp::hyper

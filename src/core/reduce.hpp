@@ -1,0 +1,34 @@
+// Hypergraph reduction: removal of non-maximal hyperedges.
+//
+// A "reduced" hypergraph (paper, section 3) is one in which no hyperedge
+// is contained in another. Reduction is the k = 0 step of the hypergraph
+// k-core computation, and also a useful standalone cleaning pass for raw
+// complex data (a pulled-down sub-complex is subsumed by its superset).
+#pragma once
+
+#include <vector>
+
+#include "core/hypergraph.hpp"
+
+namespace hp::hyper {
+
+struct ReduceResult {
+  /// keep[e] is true when edge e is maximal (for groups of identical
+  /// edges, exactly the lowest-id representative is kept).
+  std::vector<bool> keep;
+  index_t num_removed = 0;
+};
+
+/// Identify non-maximal edges via overlap counting (no set comparisons),
+/// as the paper prescribes. O(sum_v d(v)^2) expected.
+ReduceResult find_non_maximal(const Hypergraph& h);
+
+/// Build the reduced hypergraph (all vertices retained, possibly with
+/// degree 0 after their last containing edge is dropped). The returned
+/// edge_to_parent maps new edge ids to the originals.
+SubHypergraph reduce(const Hypergraph& h);
+
+/// True if no edge is contained in another (and no duplicates).
+bool is_reduced(const Hypergraph& h);
+
+}  // namespace hp::hyper

@@ -1,0 +1,67 @@
+#include "core/smallworld.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace hp::hyper {
+
+Hypergraph configuration_model(const Hypergraph& h, Rng& rng,
+                               int max_retries) {
+  // One stub per pin on each side; shuffle the vertex stubs and deal them
+  // to hyperedge slots.
+  std::vector<index_t> vertex_stubs;
+  vertex_stubs.reserve(static_cast<std::size_t>(h.num_pins()));
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    for (index_t i = 0; i < h.vertex_degree(v); ++i) {
+      vertex_stubs.push_back(v);
+    }
+  }
+  rng.shuffle(vertex_stubs);
+
+  HypergraphBuilder builder{h.num_vertices()};
+  std::size_t cursor = 0;
+  std::vector<index_t> members;
+  std::unordered_set<index_t> seen;
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    const index_t size = h.edge_size(e);
+    members.clear();
+    seen.clear();
+    for (index_t slot = 0; slot < size; ++slot) {
+      index_t v = vertex_stubs[cursor++];
+      // Resolve duplicate membership by swapping with a random later
+      // stub; give up after max_retries and drop the stub.
+      int retries = 0;
+      while (seen.count(v) > 0 && retries < max_retries &&
+             cursor < vertex_stubs.size()) {
+        const std::size_t other =
+            cursor + rng.pick(vertex_stubs.size() - cursor);
+        std::swap(vertex_stubs[cursor - 1], vertex_stubs[other]);
+        v = vertex_stubs[cursor - 1];
+        ++retries;
+      }
+      if (seen.count(v) > 0) continue;  // drop the colliding stub
+      seen.insert(v);
+      members.push_back(v);
+    }
+    if (!members.empty()) builder.add_edge(members);
+  }
+  return builder.build();
+}
+
+SmallWorldReport small_world_report(const Hypergraph& h, Rng& rng) {
+  SmallWorldReport report;
+  report.observed = path_summary(h);
+  const Hypergraph null_h = configuration_model(h, rng);
+  report.null_model = path_summary(null_h);
+  report.log_num_vertices =
+      h.num_vertices() > 0 ? std::log(static_cast<double>(h.num_vertices()))
+                           : 0.0;
+  report.path_ratio = report.null_model.average_length > 0.0
+                          ? report.observed.average_length /
+                                report.null_model.average_length
+                          : 0.0;
+  return report;
+}
+
+}  // namespace hp::hyper

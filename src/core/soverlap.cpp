@@ -1,0 +1,67 @@
+#include "core/soverlap.hpp"
+
+#include <algorithm>
+
+#include "core/overlap.hpp"
+#include "graph/graph_algos.hpp"
+
+namespace hp::hyper {
+
+graph::Graph s_intersection_graph(const Hypergraph& h, index_t s) {
+  HP_REQUIRE(s >= 1, "s_intersection_graph: s must be >= 1");
+  const OverlapTable table{h};
+  graph::GraphBuilder builder{h.num_edges()};
+  for (index_t f = 0; f < h.num_edges(); ++f) {
+    for (const auto& [g, ov] : table.row(f)) {
+      if (f < g && ov >= s) builder.add_edge(f, g);
+    }
+  }
+  return builder.build();
+}
+
+index_t SComponents::largest() const {
+  HP_REQUIRE(count > 0, "SComponents::largest: no components");
+  return static_cast<index_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+SComponents s_components(const Hypergraph& h, index_t s) {
+  const graph::Graph g = s_intersection_graph(h, s);
+  const graph::Components comp = graph::connected_components(g);
+  SComponents out;
+  out.label = comp.label;
+  out.sizes = comp.sizes;
+  out.count = comp.count;
+  return out;
+}
+
+std::vector<index_t> s_distances(const Hypergraph& h, index_t source,
+                                 index_t s) {
+  HP_REQUIRE(source < h.num_edges(), "s_distances: source out of range");
+  const graph::Graph g = s_intersection_graph(h, s);
+  return graph::bfs_distances(g, source);
+}
+
+SPathSummary s_path_summary(const Hypergraph& h, index_t s) {
+  const graph::Graph g = s_intersection_graph(h, s);
+  const graph::PathSummary summary = graph::path_summary(g);
+  SPathSummary out;
+  out.diameter = summary.diameter;
+  out.average_length = summary.average_length;
+  out.connected_pairs = summary.pairs;
+  return out;
+}
+
+index_t max_meaningful_s(const Hypergraph& h) {
+  const OverlapTable table{h};
+  index_t best = 0;
+  for (index_t f = 0; f < h.num_edges(); ++f) {
+    for (const auto& [g, ov] : table.row(f)) {
+      (void)g;
+      best = std::max(best, ov);
+    }
+  }
+  return best;
+}
+
+}  // namespace hp::hyper

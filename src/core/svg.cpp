@@ -1,0 +1,95 @@
+#include "core/svg.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/projection.hpp"
+
+namespace hp::hyper {
+
+std::string to_svg(const Hypergraph& h, const std::vector<Point>& positions,
+                   const std::vector<Fig3Class>& classes,
+                   const SvgStyle& style) {
+  const std::size_t total = h.num_vertices() + h.num_edges();
+  HP_REQUIRE(positions.size() == total, "to_svg: position count mismatch");
+  HP_REQUIRE(classes.size() == total, "to_svg: class count mismatch");
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << style.width
+      << "\" height=\"" << style.height << "\" viewBox=\"0 0 " << style.width
+      << ' ' << style.height << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Membership edges first (under the nodes).
+  out << "<g stroke=\"" << style.edge_stroke
+      << "\" stroke-width=\"0.4\" opacity=\"0.7\">\n";
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    const Point& pe = positions[h.num_vertices() + e];
+    for (index_t v : h.vertices_of(e)) {
+      const Point& pv = positions[v];
+      out << "<line x1=\"" << pv.x << "\" y1=\"" << pv.y << "\" x2=\""
+          << pe.x << "\" y2=\"" << pe.y << "\"/>\n";
+    }
+  }
+  out << "</g>\n";
+
+  // Proteins: circles.
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    const bool core = classes[v] == Fig3Class::kCoreProtein;
+    const double r =
+        style.protein_radius * (core ? style.core_scale : 1.0);
+    out << "<circle cx=\"" << positions[v].x << "\" cy=\"" << positions[v].y
+        << "\" r=\"" << r << "\" fill=\""
+        << (core ? style.core_protein_fill : style.protein_fill) << "\"/>\n";
+  }
+  // Complexes: squares.
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    const std::size_t node = h.num_vertices() + e;
+    const bool core = classes[node] == Fig3Class::kCoreComplex;
+    const double s =
+        style.complex_half_side * (core ? style.core_scale : 1.0);
+    out << "<rect x=\"" << positions[node].x - s << "\" y=\""
+        << positions[node].y - s << "\" width=\"" << 2 * s << "\" height=\""
+        << 2 * s << "\" fill=\""
+        << (core ? style.core_complex_fill : style.complex_fill) << "\"/>\n";
+  }
+
+  // Legend, matching the paper's caption.
+  out << "<g font-family=\"sans-serif\" font-size=\"14\">\n"
+      << "<circle cx=\"20\" cy=\"20\" r=\"5\" fill=\"" << style.protein_fill
+      << "\"/><text x=\"32\" y=\"25\">protein</text>\n"
+      << "<circle cx=\"20\" cy=\"44\" r=\"5\" fill=\""
+      << style.core_protein_fill
+      << "\"/><text x=\"32\" y=\"49\">core protein</text>\n"
+      << "<rect x=\"15\" y=\"63\" width=\"10\" height=\"10\" fill=\""
+      << style.complex_fill
+      << "\"/><text x=\"32\" y=\"73\">complex</text>\n"
+      << "<rect x=\"15\" y=\"87\" width=\"10\" height=\"10\" fill=\""
+      << style.core_complex_fill
+      << "\"/><text x=\"32\" y=\"97\">core complex</text>\n"
+      << "</g>\n";
+  out << "</svg>\n";
+  return out.str();
+}
+
+std::string render_fig3_svg(const Hypergraph& h,
+                            const std::vector<index_t>& vertex_core,
+                            const std::vector<index_t>& edge_core, index_t k,
+                            const LayoutParams& layout,
+                            const SvgStyle& style) {
+  const graph::Graph b = bipartite_graph(h);
+  std::vector<Point> positions = force_layout(b, layout);
+  fit_to_canvas(positions, style.width, style.height, 12.0);
+  return to_svg(h, positions, fig3_classes(h, vertex_core, edge_core, k),
+                style);
+}
+
+void save_svg(const std::string& svg, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error{"save_svg: cannot open " + path};
+  out << svg;
+  if (!out) throw std::runtime_error{"save_svg: write failed for " + path};
+}
+
+}  // namespace hp::hyper

@@ -1,0 +1,48 @@
+// SVG rendering of the bipartite hypergraph drawing -- an offline,
+// reproducible version of the paper's Figure 3.
+//
+// Styling follows the paper's legend: yellow/red circles for
+// non-core/core proteins, pink/green squares for non-core/core
+// complexes, grey membership edges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hypergraph.hpp"
+#include "core/layout.hpp"
+#include "core/pajek.hpp"
+
+namespace hp::hyper {
+
+struct SvgStyle {
+  double width = 1000.0;
+  double height = 1000.0;
+  double protein_radius = 2.5;
+  double complex_half_side = 3.5;
+  /// Core nodes are drawn larger by this factor.
+  double core_scale = 1.8;
+  const char* protein_fill = "#f2c200";       // yellow
+  const char* core_protein_fill = "#d62728";  // red
+  const char* complex_fill = "#f4a6c0";       // pink
+  const char* core_complex_fill = "#2ca02c";  // green
+  const char* edge_stroke = "#bbbbbb";
+};
+
+/// Render the bipartite drawing. `positions` holds one point per
+/// bipartite node (proteins 0..|V|-1 then complexes), e.g. from
+/// force_layout(bipartite_graph(h)); `classes` from fig3_classes().
+std::string to_svg(const Hypergraph& h, const std::vector<Point>& positions,
+                   const std::vector<Fig3Class>& classes,
+                   const SvgStyle& style = {});
+
+/// Convenience: layout B(H) and render in one call.
+std::string render_fig3_svg(const Hypergraph& h,
+                            const std::vector<index_t>& vertex_core,
+                            const std::vector<index_t>& edge_core, index_t k,
+                            const LayoutParams& layout = {},
+                            const SvgStyle& style = {});
+
+void save_svg(const std::string& svg, const std::string& path);
+
+}  // namespace hp::hyper

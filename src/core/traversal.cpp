@@ -1,0 +1,105 @@
+#include "core/traversal.hpp"
+
+#include <algorithm>
+
+#ifdef HP_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace hp::hyper {
+
+std::vector<index_t> bfs_distances(const Hypergraph& h, index_t source) {
+  HP_REQUIRE(source < h.num_vertices(), "bfs_distances: source out of range");
+  std::vector<index_t> dist(h.num_vertices(), kInvalidIndex);
+  std::vector<bool> edge_seen(h.num_edges(), false);
+  std::vector<index_t> frontier{source};
+  std::vector<index_t> next;
+  dist[source] = 0;
+  index_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (index_t u : frontier) {
+      for (index_t e : h.edges_of(u)) {
+        if (edge_seen[e]) continue;
+        edge_seen[e] = true;
+        for (index_t v : h.vertices_of(e)) {
+          if (dist[v] == kInvalidIndex) {
+            dist[v] = level;
+            next.push_back(v);
+          }
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+index_t HyperComponents::largest() const {
+  HP_REQUIRE(count > 0, "HyperComponents::largest: no components");
+  return static_cast<index_t>(
+      std::max_element(vertex_counts.begin(), vertex_counts.end()) -
+      vertex_counts.begin());
+}
+
+HyperComponents connected_components(const Hypergraph& h) {
+  HyperComponents comp;
+  comp.vertex_label.assign(h.num_vertices(), kInvalidIndex);
+  comp.edge_label.assign(h.num_edges(), kInvalidIndex);
+  std::vector<index_t> stack;
+  for (index_t start = 0; start < h.num_vertices(); ++start) {
+    if (comp.vertex_label[start] != kInvalidIndex) continue;
+    const index_t id = comp.count++;
+    comp.vertex_counts.push_back(0);
+    comp.edge_counts.push_back(0);
+    stack.push_back(start);
+    comp.vertex_label[start] = id;
+    while (!stack.empty()) {
+      const index_t u = stack.back();
+      stack.pop_back();
+      ++comp.vertex_counts[id];
+      for (index_t e : h.edges_of(u)) {
+        if (comp.edge_label[e] != kInvalidIndex) continue;
+        comp.edge_label[e] = id;
+        ++comp.edge_counts[id];
+        for (index_t v : h.vertices_of(e)) {
+          if (comp.vertex_label[v] == kInvalidIndex) {
+            comp.vertex_label[v] = id;
+            stack.push_back(v);
+          }
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+HyperPathSummary path_summary(const Hypergraph& h) {
+  HyperPathSummary summary;
+  const index_t n = h.num_vertices();
+  count_t total = 0;
+  count_t pairs = 0;
+  index_t diameter = 0;
+#ifdef HP_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 8) \
+    reduction(+ : total, pairs) reduction(max : diameter)
+#endif
+  for (index_t s = 0; s < n; ++s) {
+    const std::vector<index_t> dist = bfs_distances(h, s);
+    for (index_t v = 0; v < n; ++v) {
+      if (v == s || dist[v] == kInvalidIndex) continue;
+      total += dist[v];
+      ++pairs;
+      diameter = std::max(diameter, dist[v]);
+    }
+  }
+  summary.diameter = diameter;
+  summary.connected_pairs = pairs;
+  summary.average_length =
+      pairs > 0 ? static_cast<double>(total) / static_cast<double>(pairs)
+                : 0.0;
+  return summary;
+}
+
+}  // namespace hp::hyper

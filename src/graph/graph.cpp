@@ -1,0 +1,59 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace hp::graph {
+
+bool Graph::has_edge(index_t u, index_t v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+index_t Graph::max_degree() const {
+  index_t best = 0;
+  for (index_t v = 0; v < num_vertices(); ++v) {
+    best = std::max(best, degree(v));
+  }
+  return best;
+}
+
+void GraphBuilder::add_edge(index_t u, index_t v) {
+  HP_REQUIRE(u != v, "GraphBuilder: self-loop rejected");
+  HP_REQUIRE(u < num_vertices_ && v < num_vertices_,
+             "GraphBuilder: endpoint out of range");
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() const {
+  std::vector<std::pair<index_t, index_t>> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  Graph g;
+  g.offsets_.assign(num_vertices_ + 1, 0);
+  for (const auto& [u, v] : sorted) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(sorted.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : sorted) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  // Each per-vertex slice is already sorted because edges were emitted in
+  // global (u, v) order: for a fixed vertex the counterparts appear in
+  // increasing order except for the mixed lower/upper halves, so sort.
+  for (index_t v = 0; v < num_vertices_; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() +
+                  static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+}  // namespace hp::graph

@@ -1,0 +1,92 @@
+#include "graph/graph_algos.hpp"
+
+#include <algorithm>
+
+#ifdef HP_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace hp::graph {
+
+std::vector<index_t> bfs_distances(const Graph& g, index_t source) {
+  HP_REQUIRE(source < g.num_vertices(), "bfs_distances: source out of range");
+  std::vector<index_t> dist(g.num_vertices(), kInvalidIndex);
+  std::vector<index_t> frontier{source};
+  dist[source] = 0;
+  index_t level = 0;
+  std::vector<index_t> next;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (index_t u : frontier) {
+      for (index_t v : g.neighbors(u)) {
+        if (dist[v] == kInvalidIndex) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+index_t Components::largest() const {
+  HP_REQUIRE(count > 0, "Components::largest: no components");
+  return static_cast<index_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+Components connected_components(const Graph& g) {
+  Components comp;
+  comp.label.assign(g.num_vertices(), kInvalidIndex);
+  std::vector<index_t> stack;
+  for (index_t start = 0; start < g.num_vertices(); ++start) {
+    if (comp.label[start] != kInvalidIndex) continue;
+    const index_t id = comp.count++;
+    comp.sizes.push_back(0);
+    stack.push_back(start);
+    comp.label[start] = id;
+    while (!stack.empty()) {
+      const index_t u = stack.back();
+      stack.pop_back();
+      ++comp.sizes[id];
+      for (index_t v : g.neighbors(u)) {
+        if (comp.label[v] == kInvalidIndex) {
+          comp.label[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+PathSummary path_summary(const Graph& g) {
+  PathSummary summary;
+  const index_t n = g.num_vertices();
+  count_t total = 0;
+  index_t diameter = 0;
+  count_t pairs = 0;
+#ifdef HP_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 16) \
+    reduction(+ : total, pairs) reduction(max : diameter)
+#endif
+  for (index_t s = 0; s < n; ++s) {
+    const std::vector<index_t> dist = bfs_distances(g, s);
+    for (index_t v = 0; v < n; ++v) {
+      if (v == s || dist[v] == kInvalidIndex) continue;
+      total += dist[v];
+      ++pairs;
+      diameter = std::max(diameter, dist[v]);
+    }
+  }
+  summary.diameter = diameter;
+  summary.pairs = pairs;
+  summary.average_length =
+      pairs > 0 ? static_cast<double>(total) / static_cast<double>(pairs)
+                : 0.0;
+  return summary;
+}
+
+}  // namespace hp::graph

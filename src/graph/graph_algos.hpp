@@ -1,0 +1,39 @@
+// Traversal algorithms on graphs: BFS distances, connected components,
+// diameter / average path length (the small-world measurements of the
+// paper, applied to the baseline graph models).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/common.hpp"
+
+namespace hp::graph {
+
+/// BFS distances (in edges) from `source`; unreachable vertices get
+/// kInvalidIndex.
+std::vector<index_t> bfs_distances(const Graph& g, index_t source);
+
+/// Connected-component labeling.
+struct Components {
+  std::vector<index_t> label;       ///< component id per vertex
+  std::vector<index_t> sizes;       ///< vertices per component
+  index_t count = 0;
+
+  /// Index of the largest component.
+  index_t largest() const;
+};
+
+Components connected_components(const Graph& g);
+
+/// Exact all-pairs path-length summary over the largest component (or
+/// whole graph if connected). O(V * E); fine at the paper's scales.
+struct PathSummary {
+  index_t diameter = 0;        ///< max finite distance
+  double average_length = 0.0; ///< mean over all connected ordered pairs
+  count_t pairs = 0;           ///< number of connected ordered pairs
+};
+
+PathSummary path_summary(const Graph& g);
+
+}  // namespace hp::graph

@@ -1,0 +1,166 @@
+#include "graph/graph_generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace hp::graph {
+
+Graph generate_erdos_renyi(index_t n, count_t m, Rng& rng) {
+  HP_REQUIRE(n >= 2 || m == 0, "generate_erdos_renyi: too few vertices");
+  const count_t max_edges =
+      static_cast<count_t>(n) * (n - 1) / 2;
+  HP_REQUIRE(m <= max_edges, "generate_erdos_renyi: m exceeds C(n,2)");
+  GraphBuilder builder{n};
+  std::set<std::pair<index_t, index_t>> seen;
+  while (seen.size() < m) {
+    index_t u = static_cast<index_t>(rng.uniform(n));
+    index_t v = static_cast<index_t>(rng.uniform(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (seen.insert({u, v}).second) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph generate_barabasi_albert(index_t n, index_t attach, Rng& rng) {
+  HP_REQUIRE(attach >= 1, "generate_barabasi_albert: attach must be >= 1");
+  HP_REQUIRE(n > attach, "generate_barabasi_albert: n must exceed attach");
+  GraphBuilder builder{n};
+  // `targets` holds one entry per half-edge: sampling uniformly from it is
+  // sampling proportionally to degree.
+  std::vector<index_t> targets;
+  // Seed: a clique on attach+1 vertices.
+  for (index_t u = 0; u <= attach; ++u) {
+    for (index_t v = u + 1; v <= attach; ++v) {
+      builder.add_edge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  std::vector<index_t> chosen;
+  for (index_t v = attach + 1; v < n; ++v) {
+    chosen.clear();
+    while (chosen.size() < attach) {
+      const index_t t = targets[rng.pick(targets.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (index_t t : chosen) {
+      builder.add_edge(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return builder.build();
+}
+
+Graph generate_chung_lu(const std::vector<double>& weights, Rng& rng) {
+  const index_t n = static_cast<index_t>(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    HP_REQUIRE(w >= 0.0, "generate_chung_lu: negative weight");
+    total += w;
+  }
+  HP_REQUIRE(total > 0.0, "generate_chung_lu: zero total weight");
+  GraphBuilder builder{n};
+
+  // Miller-Hagberg style efficient sampling: sort weights descending and
+  // skip runs of non-edges geometrically. O(n + m) expected.
+  std::vector<index_t> order(n);
+  for (index_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return weights[a] > weights[b];
+  });
+
+  for (index_t i = 0; i < n; ++i) {
+    const double wi = weights[order[i]];
+    if (wi <= 0.0) break;
+    index_t j = i + 1;
+    double p = std::min(1.0, wi * weights[order[j < n ? j : i]] / total);
+    while (j < n && p > 0.0) {
+      if (p < 1.0) {
+        const double r = rng.uniform01();
+        j += static_cast<index_t>(
+            std::floor(std::log(std::max(r, 1e-300)) / std::log(1.0 - p)));
+      }
+      if (j >= n) break;
+      const double q = std::min(1.0, wi * weights[order[j]] / total);
+      if (rng.uniform01() < q / p) {
+        builder.add_edge(order[i], order[j]);
+      }
+      p = q;
+      ++j;
+    }
+  }
+  return builder.build();
+}
+
+std::vector<double> power_law_weights(index_t n, double gamma,
+                                      double avg_degree) {
+  HP_REQUIRE(gamma > 2.0, "power_law_weights: gamma must exceed 2");
+  HP_REQUIRE(n > 0, "power_law_weights: n must be positive");
+  std::vector<double> w(n);
+  const double exponent = -1.0 / (gamma - 1.0);
+  for (index_t i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i) + 1.0, exponent);
+  }
+  double sum = 0.0;
+  for (double x : w) sum += x;
+  const double scale = avg_degree * static_cast<double>(n) / sum;
+  for (double& x : w) x *= scale;
+  return w;
+}
+
+Graph rewire_preserving_degrees(const Graph& g, count_t swaps, Rng& rng) {
+  // Extract edge list.
+  std::vector<std::pair<index_t, index_t>> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (index_t u = 0; u < g.num_vertices(); ++u) {
+    for (index_t v : g.neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  if (edges.size() < 2) {
+    GraphBuilder builder{g.num_vertices()};
+    for (const auto& [u, v] : edges) builder.add_edge(u, v);
+    return builder.build();
+  }
+
+  std::set<std::pair<index_t, index_t>> present(edges.begin(), edges.end());
+  auto norm = [](index_t a, index_t b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+
+  count_t done = 0;
+  count_t attempts = 0;
+  const count_t max_attempts = swaps * 50 + 1000;
+  while (done < swaps && attempts < max_attempts) {
+    ++attempts;
+    const std::size_t i = rng.pick(edges.size());
+    const std::size_t j = rng.pick(edges.size());
+    if (i == j) continue;
+    auto [a, b] = edges[i];
+    auto [c, d] = edges[j];
+    // Swap to (a, d) and (c, b).
+    if (a == d || c == b || a == c || b == d) continue;
+    const auto e1 = norm(a, d);
+    const auto e2 = norm(c, b);
+    if (present.count(e1) || present.count(e2)) continue;
+    present.erase(norm(a, b));
+    present.erase(norm(c, d));
+    present.insert(e1);
+    present.insert(e2);
+    edges[i] = e1;
+    edges[j] = e2;
+    ++done;
+  }
+
+  GraphBuilder builder{g.num_vertices()};
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return builder.build();
+}
+
+}  // namespace hp::graph

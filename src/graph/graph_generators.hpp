@@ -1,0 +1,40 @@
+// Random graph generators used to synthesize the DIP protein-protein
+// interaction networks of section 3 (yeast: 4,746 proteins; drosophila:
+// ~7,000) and the null models for the small-world analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace hp::graph {
+
+/// Erdos-Renyi G(n, m): m distinct uniform edges.
+Graph generate_erdos_renyi(index_t n, count_t m, Rng& rng);
+
+/// Barabasi-Albert preferential attachment: start from a small clique,
+/// attach each new vertex to `attach` existing vertices chosen
+/// proportionally to degree. Produces a power-law degree distribution
+/// with exponent near 3.
+Graph generate_barabasi_albert(index_t n, index_t attach, Rng& rng);
+
+/// Chung-Lu model: edge (u, v) present with probability
+/// min(1, w_u w_v / sum w). Expected degrees follow the weight sequence,
+/// so a power-law weight sequence yields a power-law graph with tunable
+/// exponent -- our stand-in for the DIP PPI networks.
+Graph generate_chung_lu(const std::vector<double>& weights, Rng& rng);
+
+/// Power-law weight sequence w_i = c * (i + i0)^(-1/(gamma-1)), scaled so
+/// the expected average degree matches `avg_degree`. Suitable input for
+/// generate_chung_lu.
+std::vector<double> power_law_weights(index_t n, double gamma,
+                                      double avg_degree);
+
+/// Degree-preserving rewiring (double-edge swaps) -- the standard null
+/// model for the small-world comparison: same degree sequence, randomized
+/// structure. Performs `swaps` successful swaps.
+Graph rewire_preserving_degrees(const Graph& g, count_t swaps, Rng& rng);
+
+}  // namespace hp::graph

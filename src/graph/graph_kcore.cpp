@@ -1,0 +1,89 @@
+#include "graph/graph_kcore.hpp"
+
+#include <algorithm>
+
+#include "util/bucket_queue.hpp"
+
+namespace hp::graph {
+
+std::vector<index_t> CoreDecomposition::max_core_vertices() const {
+  std::vector<index_t> out;
+  for (index_t v = 0; v < core.size(); ++v) {
+    if (core[v] == max_core && max_core > 0) out.push_back(v);
+  }
+  return out;
+}
+
+CoreDecomposition core_decomposition(const Graph& g) {
+  CoreDecomposition result;
+  const index_t n = g.num_vertices();
+  result.core.assign(n, 0);
+  if (n == 0) return result;
+
+  std::vector<index_t> degree(n);
+  for (index_t v = 0; v < n; ++v) degree[v] = g.degree(v);
+  BucketQueue queue{degree, g.max_degree()};
+
+  index_t current_k = 0;
+  while (!queue.empty()) {
+    index_t min_deg = 0;
+    const index_t v = queue.pop_min(min_deg);
+    current_k = std::max(current_k, min_deg);
+    result.core[v] = current_k;
+    for (index_t u : g.neighbors(v)) {
+      // Standard Batagelj-Zaversnik rule: a neighbor's residual degree
+      // drops by one, but never below the current peel level.
+      if (queue.contains(u) && queue.priority(u) > min_deg) {
+        queue.decrease_key(u, queue.priority(u) - 1);
+      }
+    }
+  }
+  result.max_core = current_k;
+  return result;
+}
+
+std::vector<index_t> k_core_vertices(const CoreDecomposition& d, index_t k) {
+  std::vector<index_t> out;
+  for (index_t v = 0; v < d.core.size(); ++v) {
+    if (d.core[v] >= k) out.push_back(v);
+  }
+  return out;
+}
+
+CoreDecomposition core_decomposition_naive(const Graph& g) {
+  CoreDecomposition result;
+  const index_t n = g.num_vertices();
+  result.core.assign(n, 0);
+  std::vector<bool> removed(n, false);
+  std::vector<index_t> degree(n);
+  for (index_t v = 0; v < n; ++v) degree[v] = g.degree(v);
+
+  // For k = 1, 2, ...: repeatedly strip vertices of degree < k; survivors
+  // have core number >= k.
+  for (index_t k = 1;; ++k) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (index_t v = 0; v < n; ++v) {
+        if (removed[v] || degree[v] >= k) continue;
+        removed[v] = true;
+        changed = true;
+        for (index_t u : g.neighbors(v)) {
+          if (!removed[u]) --degree[u];
+        }
+      }
+    }
+    bool any_left = false;
+    for (index_t v = 0; v < n; ++v) {
+      if (!removed[v]) {
+        result.core[v] = k;
+        any_left = true;
+      }
+    }
+    if (!any_left) break;
+    result.max_core = k;
+  }
+  return result;
+}
+
+}  // namespace hp::graph

@@ -1,0 +1,56 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+
+namespace hp::graph {
+
+Histogram degree_histogram(const Graph& g) {
+  Histogram h;
+  for (index_t v = 0; v < g.num_vertices(); ++v) h.add(g.degree(v));
+  return h;
+}
+
+namespace {
+/// Count edges among the neighbors of v (each counted once).
+count_t links_among_neighbors(const Graph& g, index_t v) {
+  const auto nbrs = g.neighbors(v);
+  count_t links = 0;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (g.has_edge(nbrs[i], nbrs[j])) ++links;
+    }
+  }
+  return links;
+}
+}  // namespace
+
+double average_clustering_coefficient(const Graph& g) {
+  if (g.num_vertices() == 0) return 0.0;
+  double sum = 0.0;
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    const index_t d = g.degree(v);
+    if (d < 2) continue;
+    const double possible = static_cast<double>(d) * (d - 1) / 2.0;
+    sum += static_cast<double>(links_among_neighbors(g, v)) / possible;
+  }
+  return sum / static_cast<double>(g.num_vertices());
+}
+
+double transitivity(const Graph& g) {
+  count_t closed = 0;  // 3 * triangles, counted per center vertex
+  count_t wedges = 0;
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    const index_t d = g.degree(v);
+    if (d < 2) continue;
+    wedges += static_cast<count_t>(d) * (d - 1) / 2;
+    closed += links_among_neighbors(g, v);
+  }
+  return wedges > 0 ? static_cast<double>(closed) / static_cast<double>(wedges)
+                    : 0.0;
+}
+
+PowerLawFit degree_power_law(const Graph& g) {
+  return power_law_fit(degree_histogram(g).frequencies());
+}
+
+}  // namespace hp::graph

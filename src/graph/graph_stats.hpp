@@ -1,0 +1,26 @@
+// Degree statistics and clustering coefficient for graphs. The paper's
+// section 1.2 cites the "unusually high clustering coefficients" caused
+// by clique-expanding complexes (Maslov/Sneppen/Alon); we measure exactly
+// that in bench_model_comparison.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/histogram.hpp"
+#include "util/linreg.hpp"
+
+namespace hp::graph {
+
+/// Degree histogram of the graph.
+Histogram degree_histogram(const Graph& g);
+
+/// Average local clustering coefficient (Watts-Strogatz). Vertices of
+/// degree < 2 contribute 0.
+double average_clustering_coefficient(const Graph& g);
+
+/// Global clustering coefficient (transitivity): 3 * triangles / wedges.
+double transitivity(const Graph& g);
+
+/// Power-law fit of the degree distribution (degrees >= 1).
+PowerLawFit degree_power_law(const Graph& g);
+
+}  // namespace hp::graph

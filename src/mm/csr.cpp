@@ -1,0 +1,113 @@
+#include "mm/csr.hpp"
+
+#include <algorithm>
+
+namespace hp::mm {
+
+namespace {
+/// Expand symmetric storage and sum duplicates into sorted (r, c, v)
+/// triples.
+std::vector<Entry> expanded_sorted_entries(const CooMatrix& coo) {
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<std::size_t>(coo.nnz_expanded()));
+  for (const Entry& e : coo.entries) {
+    entries.push_back(e);
+    if (coo.symmetry == Symmetry::kSymmetric && e.row != e.col) {
+      entries.push_back(Entry{e.col, e.row, e.value});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  // Sum duplicates.
+  std::vector<Entry> merged;
+  for (const Entry& e : entries) {
+    if (!merged.empty() && merged.back().row == e.row &&
+        merged.back().col == e.col) {
+      merged.back().value += e.value;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  return merged;
+}
+}  // namespace
+
+CsrMatrix::CsrMatrix(const CooMatrix& coo) : num_cols_(coo.num_cols) {
+  if (coo.symmetry == Symmetry::kSymmetric) {
+    HP_REQUIRE(coo.num_rows == coo.num_cols,
+               "CsrMatrix: symmetric matrix must be square");
+  }
+  const std::vector<Entry> entries = expanded_sorted_entries(coo);
+  offsets_.assign(static_cast<std::size_t>(coo.num_rows) + 1, 0);
+  for (const Entry& e : entries) ++offsets_[e.row + 1];
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  columns_.reserve(entries.size());
+  values_.reserve(entries.size());
+  for (const Entry& e : entries) {
+    columns_.push_back(e.col);
+    values_.push_back(e.value);
+  }
+}
+
+std::vector<double> CsrMatrix::multiply(const std::vector<double>& x) const {
+  HP_REQUIRE(x.size() == num_cols_, "CsrMatrix::multiply: size mismatch");
+  std::vector<double> y(num_rows(), 0.0);
+  for (index_t r = 0; r < num_rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      sum += values_[i] * x[columns_[i]];
+    }
+    y[r] = sum;
+  }
+  return y;
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  CooMatrix coo;
+  coo.num_rows = num_cols_;
+  coo.num_cols = num_rows();
+  coo.entries.reserve(columns_.size());
+  for (index_t r = 0; r < num_rows(); ++r) {
+    for (std::size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      coo.entries.push_back(Entry{columns_[i], r, values_[i]});
+    }
+  }
+  return CsrMatrix{coo};
+}
+
+MatrixStats matrix_stats(const CooMatrix& m) {
+  MatrixStats stats;
+  stats.num_rows = m.num_rows;
+  stats.num_cols = m.num_cols;
+
+  const CsrMatrix csr{m};
+  stats.nnz = csr.nnz();
+  count_t profile = 0;
+  for (index_t r = 0; r < csr.num_rows(); ++r) {
+    const auto cols = csr.row_columns(r);
+    stats.row_size_histogram.add(cols.size());
+    if (cols.empty()) {
+      ++stats.empty_rows;
+      continue;
+    }
+    stats.max_row_size =
+        std::max<index_t>(stats.max_row_size,
+                          static_cast<index_t>(cols.size()));
+    for (index_t c : cols) {
+      const index_t band = r > c ? r - c : c - r;
+      stats.bandwidth = std::max(stats.bandwidth, band);
+    }
+    if (cols.front() < r) profile += r - cols.front();
+  }
+  stats.profile = profile;
+  stats.mean_row_size =
+      m.num_rows > 0 ? static_cast<double>(stats.nnz) / m.num_rows : 0.0;
+  return stats;
+}
+
+}  // namespace hp::mm

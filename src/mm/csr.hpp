@@ -1,0 +1,67 @@
+// Compressed-sparse-row form and structural statistics for the Matrix
+// Market substrate. The k-core Table 1 discussion ties run time to
+// matrix structure (bandwidth, row fill); these utilities compute those
+// descriptors and provide the CSR view the converters and generators
+// are tested against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mm/matrix_market.hpp"
+#include "util/histogram.hpp"
+
+namespace hp::mm {
+
+/// Immutable CSR matrix. Built from a CooMatrix with symmetric
+/// expansion applied and duplicate coordinates summed.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  explicit CsrMatrix(const CooMatrix& coo);
+
+  index_t num_rows() const {
+    return static_cast<index_t>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  index_t num_cols() const { return num_cols_; }
+  count_t nnz() const { return columns_.size(); }
+
+  std::span<const index_t> row_columns(index_t r) const {
+    return {columns_.data() + offsets_[r], columns_.data() + offsets_[r + 1]};
+  }
+  std::span<const double> row_values(index_t r) const {
+    return {values_.data() + offsets_[r], values_.data() + offsets_[r + 1]};
+  }
+  index_t row_size(index_t r) const {
+    return static_cast<index_t>(offsets_[r + 1] - offsets_[r]);
+  }
+
+  /// Sparse matrix-vector product y = A x (the classic CSR kernel).
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  /// Transposed copy.
+  CsrMatrix transpose() const;
+
+ private:
+  index_t num_cols_ = 0;
+  std::vector<std::size_t> offsets_;
+  std::vector<index_t> columns_;  // sorted within each row
+  std::vector<double> values_;
+};
+
+/// Structural descriptors of a sparse matrix.
+struct MatrixStats {
+  index_t num_rows = 0;
+  index_t num_cols = 0;
+  count_t nnz = 0;                  ///< after symmetric expansion
+  index_t bandwidth = 0;            ///< max |i - j| over nonzeros
+  count_t profile = 0;              ///< sum over rows of (i - min column)
+  index_t max_row_size = 0;
+  double mean_row_size = 0.0;
+  index_t empty_rows = 0;
+  Histogram row_size_histogram;
+};
+
+MatrixStats matrix_stats(const CooMatrix& m);
+
+}  // namespace hp::mm

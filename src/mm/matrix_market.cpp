@@ -1,0 +1,159 @@
+#include "mm/matrix_market.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stringutil.hpp"
+
+namespace hp::mm {
+
+count_t CooMatrix::nnz_expanded() const {
+  if (symmetry == Symmetry::kGeneral) return entries.size();
+  count_t n = 0;
+  for (const Entry& e : entries) {
+    n += e.row == e.col ? 1 : 2;
+  }
+  return n;
+}
+
+CooMatrix parse_matrix_market(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+
+  // Banner.
+  if (!std::getline(in, line)) throw ParseError{"matrix market: empty input"};
+  ++line_no;
+  {
+    const auto fields = split_whitespace(line);
+    if (fields.size() != 5 || !iequals(fields[0], "%%MatrixMarket") ||
+        !iequals(fields[1], "matrix") || !iequals(fields[2], "coordinate")) {
+      throw ParseError{
+          "matrix market: bad banner (only 'matrix coordinate' supported)"};
+    }
+    CooMatrix m;
+    if (iequals(fields[3], "real")) {
+      m.field = Field::kReal;
+    } else if (iequals(fields[3], "integer")) {
+      m.field = Field::kInteger;
+    } else if (iequals(fields[3], "pattern")) {
+      m.field = Field::kPattern;
+    } else {
+      throw ParseError{"matrix market: unsupported field '" +
+                       std::string{fields[3]} + "'"};
+    }
+    if (iequals(fields[4], "general")) {
+      m.symmetry = Symmetry::kGeneral;
+    } else if (iequals(fields[4], "symmetric")) {
+      m.symmetry = Symmetry::kSymmetric;
+    } else {
+      throw ParseError{"matrix market: unsupported symmetry '" +
+                       std::string{fields[4]} + "'"};
+    }
+
+    // Size line (skipping comments).
+    count_t declared_nnz = 0;
+    bool size_seen = false;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const std::string_view body = trim(line);
+      if (body.empty() || body.front() == '%') continue;
+      const auto size_fields = split_whitespace(body);
+      if (size_fields.size() != 3) {
+        throw ParseError{"line " + std::to_string(line_no) +
+                         ": expected 'rows cols nnz'"};
+      }
+      m.num_rows = static_cast<index_t>(parse_int(size_fields[0]));
+      m.num_cols = static_cast<index_t>(parse_int(size_fields[1]));
+      declared_nnz = static_cast<count_t>(parse_int(size_fields[2]));
+      size_seen = true;
+      break;
+    }
+    if (!size_seen) throw ParseError{"matrix market: missing size line"};
+
+    m.entries.reserve(declared_nnz);
+    while (std::getline(in, line)) {
+      ++line_no;
+      const std::string_view body = trim(line);
+      if (body.empty() || body.front() == '%') continue;
+      const auto fields2 = split_whitespace(body);
+      const std::size_t expect = m.field == Field::kPattern ? 2 : 3;
+      if (fields2.size() != expect) {
+        throw ParseError{"line " + std::to_string(line_no) +
+                         ": wrong number of entry fields"};
+      }
+      Entry entry;
+      const long long r = parse_int(fields2[0]);
+      const long long c = parse_int(fields2[1]);
+      if (r < 1 || c < 1 || static_cast<index_t>(r) > m.num_rows ||
+          static_cast<index_t>(c) > m.num_cols) {
+        throw ParseError{"line " + std::to_string(line_no) +
+                         ": index out of range"};
+      }
+      entry.row = static_cast<index_t>(r - 1);
+      entry.col = static_cast<index_t>(c - 1);
+      if (m.field != Field::kPattern) {
+        entry.value = parse_double(fields2[2]);
+      }
+      if (m.symmetry == Symmetry::kSymmetric && entry.row < entry.col) {
+        throw ParseError{"line " + std::to_string(line_no) +
+                         ": upper-triangular entry in symmetric matrix"};
+      }
+      m.entries.push_back(entry);
+    }
+    if (m.entries.size() != declared_nnz) {
+      throw ParseError{"matrix market: header declares " +
+                       std::to_string(declared_nnz) + " entries, found " +
+                       std::to_string(m.entries.size())};
+    }
+    return m;
+  }
+}
+
+std::string format_matrix_market(const CooMatrix& m) {
+  std::ostringstream out;
+  out << "%%MatrixMarket matrix coordinate ";
+  switch (m.field) {
+    case Field::kReal:
+      out << "real ";
+      break;
+    case Field::kInteger:
+      out << "integer ";
+      break;
+    case Field::kPattern:
+      out << "pattern ";
+      break;
+  }
+  out << (m.symmetry == Symmetry::kGeneral ? "general" : "symmetric") << '\n';
+  out << m.num_rows << ' ' << m.num_cols << ' ' << m.entries.size() << '\n';
+  for (const Entry& e : m.entries) {
+    out << (e.row + 1) << ' ' << (e.col + 1);
+    if (m.field == Field::kInteger) {
+      out << ' ' << static_cast<long long>(e.value);
+    } else if (m.field == Field::kReal) {
+      out << ' ' << e.value;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+CooMatrix load_matrix_market(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error{"load_matrix_market: cannot open " + path};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_matrix_market(buffer.str());
+}
+
+void save_matrix_market(const CooMatrix& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error{"save_matrix_market: cannot open " + path};
+  out << format_matrix_market(m);
+  if (!out) {
+    throw std::runtime_error{"save_matrix_market: write failed for " + path};
+  }
+}
+
+}  // namespace hp::mm

@@ -1,0 +1,57 @@
+// MatrixMarket coordinate-format reader/writer.
+//
+// Table 1 of the paper runs the hypergraph k-core on sparse matrices
+// from the NIST Matrix Market (bfw*, fidap*, stk*, utm* families),
+// viewing each matrix as a hypergraph (rows = hyperedges over column
+// vertices). This module parses and writes the interchange format:
+//
+//   %%MatrixMarket matrix coordinate <real|integer|pattern>
+//                  <general|symmetric>
+//   % comments
+//   nrows ncols nnz
+//   i j [value]          (1-based indices)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hp::mm {
+
+enum class Field { kReal, kInteger, kPattern };
+enum class Symmetry { kGeneral, kSymmetric };
+
+struct Entry {
+  index_t row = 0;  ///< 0-based
+  index_t col = 0;  ///< 0-based
+  double value = 1.0;
+};
+
+/// Sparse matrix in coordinate form. For symmetric matrices only the
+/// lower triangle (row >= col) is stored, per the format.
+struct CooMatrix {
+  index_t num_rows = 0;
+  index_t num_cols = 0;
+  Field field = Field::kReal;
+  Symmetry symmetry = Symmetry::kGeneral;
+  std::vector<Entry> entries;
+
+  count_t nnz_stored() const { return entries.size(); }
+
+  /// Structural nonzeros after symmetric expansion (off-diagonal
+  /// symmetric entries count twice).
+  count_t nnz_expanded() const;
+};
+
+/// Parse MatrixMarket text. Throws hp::ParseError on malformed input
+/// (bad banner, out-of-range indices, wrong entry count, an upper-
+/// triangular entry in a symmetric matrix, ...).
+CooMatrix parse_matrix_market(const std::string& text);
+
+std::string format_matrix_market(const CooMatrix& m);
+
+CooMatrix load_matrix_market(const std::string& path);
+void save_matrix_market(const CooMatrix& m, const std::string& path);
+
+}  // namespace hp::mm

@@ -1,0 +1,141 @@
+#include "mm/mm_synth.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hp::mm {
+
+namespace {
+double random_value(Rng& rng) { return rng.uniform_real(-1.0, 1.0); }
+}  // namespace
+
+CooMatrix synthesize_banded(index_t n, index_t bandwidth, double fill,
+                            Rng& rng) {
+  HP_REQUIRE(n > 0, "synthesize_banded: n must be positive");
+  HP_REQUIRE(fill >= 0.0 && fill <= 1.0, "synthesize_banded: bad fill");
+  CooMatrix m;
+  m.num_rows = n;
+  m.num_cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    const index_t lo = i > bandwidth ? i - bandwidth : 0;
+    const index_t hi = std::min<index_t>(n - 1, i + bandwidth);
+    for (index_t j = lo; j <= hi; ++j) {
+      if (i == j || rng.bernoulli(fill)) {
+        m.entries.push_back(Entry{i, j, random_value(rng)});
+      }
+    }
+  }
+  return m;
+}
+
+CooMatrix synthesize_fem_blocks(index_t n, index_t block, count_t extra,
+                                Rng& rng) {
+  HP_REQUIRE(block >= 2 && block <= n, "synthesize_fem_blocks: bad block");
+  CooMatrix m;
+  m.num_rows = n;
+  m.num_cols = n;
+  std::set<std::pair<index_t, index_t>> seen;
+  auto add = [&](index_t i, index_t j) {
+    if (seen.insert({i, j}).second) {
+      m.entries.push_back(Entry{i, j, random_value(rng)});
+    }
+  };
+  // Overlapping blocks with stride block/2.
+  const index_t stride = std::max<index_t>(1, block / 2);
+  for (index_t start = 0; start < n; start += stride) {
+    const index_t end = std::min<index_t>(n, start + block);
+    for (index_t i = start; i < end; ++i) {
+      for (index_t j = start; j < end; ++j) add(i, j);
+    }
+    if (end == n) break;
+  }
+  // Long-range coupling entries.
+  for (count_t k = 0; k < extra; ++k) {
+    add(static_cast<index_t>(rng.uniform(n)),
+        static_cast<index_t>(rng.uniform(n)));
+  }
+  return m;
+}
+
+CooMatrix synthesize_stiffness(index_t n, index_t element_size,
+                               count_t num_elements, Rng& rng) {
+  HP_REQUIRE(element_size >= 2 && element_size <= n,
+             "synthesize_stiffness: bad element size");
+  CooMatrix m;
+  m.num_rows = n;
+  m.num_cols = n;
+  m.symmetry = Symmetry::kSymmetric;
+  std::set<std::pair<index_t, index_t>> seen;
+  auto add_lower = [&](index_t i, index_t j) {
+    if (i < j) std::swap(i, j);
+    if (seen.insert({i, j}).second) {
+      m.entries.push_back(Entry{i, j, random_value(rng)});
+    }
+  };
+  // Diagonal (stiffness matrices are SPD-profiled).
+  for (index_t i = 0; i < n; ++i) add_lower(i, i);
+  std::vector<index_t> nodes;
+  for (count_t k = 0; k < num_elements; ++k) {
+    // Elements touch spatially nearby nodes: a random window anchor plus
+    // random picks inside a window 4x the element size.
+    nodes.clear();
+    const index_t window = std::min<index_t>(n, element_size * 4);
+    const index_t anchor =
+        static_cast<index_t>(rng.uniform(n - window + 1));
+    std::set<index_t> picked;
+    while (picked.size() < element_size) {
+      picked.insert(anchor + static_cast<index_t>(rng.uniform(window)));
+    }
+    nodes.assign(picked.begin(), picked.end());
+    for (std::size_t a = 0; a < nodes.size(); ++a) {
+      for (std::size_t b = a; b < nodes.size(); ++b) {
+        add_lower(nodes[a], nodes[b]);
+      }
+    }
+  }
+  return m;
+}
+
+CooMatrix synthesize_tokamak(index_t n, index_t bandwidth, index_t border,
+                             double fill, Rng& rng) {
+  HP_REQUIRE(border < n, "synthesize_tokamak: border must be < n");
+  CooMatrix m = synthesize_banded(n, bandwidth, fill, rng);
+  std::set<std::pair<index_t, index_t>> seen;
+  for (const Entry& e : m.entries) seen.insert({e.row, e.col});
+  // Dense coupling of every unknown to the last `border` ones.
+  for (index_t b = n - border; b < n; ++b) {
+    for (index_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.5)) {
+        if (seen.insert({i, b}).second) {
+          m.entries.push_back(Entry{i, b, random_value(rng)});
+        }
+      }
+      if (rng.bernoulli(0.5)) {
+        if (seen.insert({b, i}).second) {
+          m.entries.push_back(Entry{b, i, random_value(rng)});
+        }
+      }
+    }
+  }
+  return m;
+}
+
+CooMatrix synthesize_random(index_t rows, index_t cols, count_t nnz,
+                            Rng& rng) {
+  HP_REQUIRE(nnz <= static_cast<count_t>(rows) * cols,
+             "synthesize_random: nnz exceeds capacity");
+  CooMatrix m;
+  m.num_rows = rows;
+  m.num_cols = cols;
+  std::set<std::pair<index_t, index_t>> seen;
+  while (m.entries.size() < nnz) {
+    const index_t i = static_cast<index_t>(rng.uniform(rows));
+    const index_t j = static_cast<index_t>(rng.uniform(cols));
+    if (seen.insert({i, j}).second) {
+      m.entries.push_back(Entry{i, j, random_value(rng)});
+    }
+  }
+  return m;
+}
+
+}  // namespace hp::mm

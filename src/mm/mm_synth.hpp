@@ -1,0 +1,44 @@
+// Synthetic sparse matrices with the structural profiles of the Matrix
+// Market families the paper's Table 1 uses (bfw*, fidap*, stk/bcsstk*,
+// utm*). The originals are not bundled; these generators produce
+// matrices of the same families' character -- banded finite-element
+// stencils, fluid-dynamics block structure, structural-stiffness
+// overlapping element cliques, and tokamak-style bordered bands -- at
+// sizes chosen so the whole Table 1 sweep runs in seconds. The point
+// being reproduced is the *scaling trend* of the k-core run time with
+// core size and Delta_2,F, not the absolute 2 GHz-Xeon timings.
+#pragma once
+
+#include "mm/matrix_market.hpp"
+#include "util/rng.hpp"
+
+namespace hp::mm {
+
+/// Banded matrix (bfw398a-like): n x n, nonzeros within `bandwidth` of
+/// the diagonal, each present with probability `fill`. Diagonal always
+/// present. General, real.
+CooMatrix synthesize_banded(index_t n, index_t bandwidth, double fill,
+                            Rng& rng);
+
+/// FEM fluid-dynamics profile (fidap-like): overlapping dense element
+/// blocks of size `block` laid along the diagonal with 50 % overlap,
+/// plus sparse random coupling entries. General, real.
+CooMatrix synthesize_fem_blocks(index_t n, index_t block, count_t extra,
+                                Rng& rng);
+
+/// Structural-stiffness profile (bcsstk-like): symmetric; random
+/// "elements" of `element_size` nodes, each contributing a dense clique
+/// to the lower triangle. `num_elements` elements.
+CooMatrix synthesize_stiffness(index_t n, index_t element_size,
+                               count_t num_elements, Rng& rng);
+
+/// Tokamak profile (utm-like): banded core plus dense border rows/cols
+/// coupling everything to the last `border` unknowns. General, real.
+CooMatrix synthesize_tokamak(index_t n, index_t bandwidth, index_t border,
+                             double fill, Rng& rng);
+
+/// Uniform random sparse matrix (control case): `nnz` distinct entries.
+CooMatrix synthesize_random(index_t rows, index_t cols, count_t nnz,
+                            Rng& rng);
+
+}  // namespace hp::mm

@@ -1,0 +1,60 @@
+#include "mm/mm_to_hypergraph.hpp"
+
+#include <algorithm>
+
+namespace hp::mm {
+
+namespace {
+/// Collect (row -> columns) with symmetric expansion, sorted, deduped.
+std::vector<std::vector<index_t>> rows_to_columns(const CooMatrix& m) {
+  std::vector<std::vector<index_t>> rows(m.num_rows);
+  for (const Entry& e : m.entries) {
+    rows[e.row].push_back(e.col);
+    if (m.symmetry == Symmetry::kSymmetric && e.row != e.col) {
+      // The transpose entry lives at (col, row); valid because symmetric
+      // matrices are square.
+      rows[e.col].push_back(e.row);
+    }
+  }
+  for (auto& cols : rows) {
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  }
+  return rows;
+}
+}  // namespace
+
+hyper::Hypergraph row_net_hypergraph(const CooMatrix& m) {
+  if (m.symmetry == Symmetry::kSymmetric) {
+    HP_REQUIRE(m.num_rows == m.num_cols,
+               "row_net_hypergraph: symmetric matrix must be square");
+  }
+  const auto rows = rows_to_columns(m);
+  hyper::HypergraphBuilder builder{m.num_cols};
+  for (const auto& cols : rows) {
+    if (!cols.empty()) builder.add_edge(cols);
+  }
+  return builder.build();
+}
+
+hyper::Hypergraph column_net_hypergraph(const CooMatrix& m) {
+  // Transpose and reuse the row-net construction.
+  CooMatrix t;
+  t.num_rows = m.num_cols;
+  t.num_cols = m.num_rows;
+  t.field = m.field;
+  t.symmetry = m.symmetry;
+  t.entries.reserve(m.entries.size());
+  for (const Entry& e : m.entries) {
+    // For symmetric storage, keep the lower-triangle convention by
+    // leaving indices as-is (the expansion is symmetric anyway).
+    if (m.symmetry == Symmetry::kSymmetric) {
+      t.entries.push_back(e);
+    } else {
+      t.entries.push_back(Entry{e.col, e.row, e.value});
+    }
+  }
+  return row_net_hypergraph(t);
+}
+
+}  // namespace hp::mm

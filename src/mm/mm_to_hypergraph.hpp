@@ -1,0 +1,21 @@
+// Conversion of a sparse matrix to a hypergraph, as in the paper's
+// Table 1: "we have run the hypergraph core algorithm on larger
+// hypergraphs obtained from scientific computing applications (from the
+// Matrix Market)". The standard row-net model is used: every column is
+// a vertex, every row is a hyperedge containing the columns where the
+// row has a structural nonzero. Symmetric matrices are expanded first.
+#pragma once
+
+#include "core/hypergraph.hpp"
+#include "mm/matrix_market.hpp"
+
+namespace hp::mm {
+
+/// Row-net hypergraph: |V| = num_cols, |F| = number of non-empty rows.
+/// Empty rows produce no hyperedge (hyperedges cannot be empty).
+hyper::Hypergraph row_net_hypergraph(const CooMatrix& m);
+
+/// Column-net hypergraph: the dual view (|V| = num_rows).
+hyper::Hypergraph column_net_hypergraph(const CooMatrix& m);
+
+}  // namespace hp::mm

@@ -1,0 +1,59 @@
+#include "util/args.hpp"
+
+#include "util/common.hpp"
+#include "util/stringutil.hpp"
+
+namespace hp {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!starts_with(token, "--")) {
+      positional_.push_back(token);
+      continue;
+    }
+    std::string body = token.substr(2);
+    if (body.empty()) throw ParseError{"Args: bare '--' is not a flag"};
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = body.substr(0, eq);
+      if (name.empty()) throw ParseError{"Args: flag with empty name"};
+      flags_[name] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& default_value) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name,
+                           std::int64_t default_value) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : parse_int(it->second);
+}
+
+double Args::get_double(const std::string& name, double default_value) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : parse_double(it->second);
+}
+
+bool Args::get_bool(const std::string& name, bool default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  const std::string v = to_lower(it->second);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace hp

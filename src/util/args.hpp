@@ -1,0 +1,38 @@
+// Tiny command-line flag parser for the example programs and benches.
+// Supports --name=value, --name value, and boolean --flag forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hp {
+
+class Args {
+ public:
+  /// Parse argv. Unrecognized bare tokens become positional arguments.
+  /// Throws hp::ParseError on a malformed flag (e.g. "--=x").
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name,
+                  const std::string& default_value) const;
+  std::int64_t get_int(const std::string& name,
+                       std::int64_t default_value) const;
+  double get_double(const std::string& name, double default_value) const;
+  bool get_bool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Name of the executable (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hp

@@ -1,0 +1,120 @@
+// Bucket priority queue for peeling algorithms (graph k-core a la
+// Batagelj-Zaversnik). Supports decrease-key in O(1) by moving an item
+// between buckets; extract-min is amortized O(1) over a peeling run
+// because the minimum pointer only moves forward by at most 1 per
+// decrease and the total forward motion is bounded by max priority.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hp {
+
+/// Priority queue over items 0..n-1 with integer priorities in
+/// [0, max_priority]. Designed for min-degree peeling: priorities only
+/// decrease (decrease_key) or items are removed (pop_min / erase).
+class BucketQueue {
+ public:
+  /// Build from initial priorities; priorities.size() items.
+  BucketQueue(const std::vector<index_t>& priorities, index_t max_priority);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  bool contains(index_t item) const {
+    return position_[item] != kInvalidIndex;
+  }
+
+  index_t priority(index_t item) const { return priority_[item]; }
+
+  /// Remove and return an item of minimum priority, along with that
+  /// priority via out-param. Throws std::logic_error when empty.
+  index_t pop_min(index_t& min_priority_out);
+
+  /// Lower `item`'s priority to `new_priority` (must be <= current).
+  void decrease_key(index_t item, index_t new_priority);
+
+  /// Remove an item that is still in the queue.
+  void erase(index_t item);
+
+ private:
+  void remove_from_bucket(index_t item);
+  void add_to_bucket(index_t item, index_t priority);
+
+  // buckets_[p] lists items with priority p; position_[i] is the index of
+  // item i within its bucket, or kInvalidIndex when not in the queue.
+  std::vector<std::vector<index_t>> buckets_;
+  std::vector<index_t> position_;
+  std::vector<index_t> priority_;
+  index_t cursor_ = 0;  // all buckets below cursor_ are empty
+  std::size_t size_ = 0;
+};
+
+inline BucketQueue::BucketQueue(const std::vector<index_t>& priorities,
+                                index_t max_priority)
+    : buckets_(static_cast<std::size_t>(max_priority) + 1),
+      position_(priorities.size(), kInvalidIndex),
+      priority_(priorities) {
+  for (index_t i = 0; i < priorities.size(); ++i) {
+    if (priorities[i] > max_priority) {
+      throw std::invalid_argument{
+          "BucketQueue: priority exceeds max_priority"};
+    }
+    add_to_bucket(i, priorities[i]);
+  }
+  size_ = priorities.size();
+}
+
+inline index_t BucketQueue::pop_min(index_t& min_priority_out) {
+  if (size_ == 0) throw std::logic_error{"BucketQueue::pop_min: empty"};
+  while (buckets_[cursor_].empty()) ++cursor_;
+  const index_t item = buckets_[cursor_].back();
+  buckets_[cursor_].pop_back();
+  position_[item] = kInvalidIndex;
+  --size_;
+  min_priority_out = cursor_;
+  return item;
+}
+
+inline void BucketQueue::decrease_key(index_t item, index_t new_priority) {
+  if (position_[item] == kInvalidIndex) {
+    throw std::logic_error{"BucketQueue::decrease_key: item not in queue"};
+  }
+  if (new_priority > priority_[item]) {
+    throw std::invalid_argument{
+        "BucketQueue::decrease_key: new priority exceeds current"};
+  }
+  if (new_priority == priority_[item]) return;
+  remove_from_bucket(item);
+  add_to_bucket(item, new_priority);
+  if (new_priority < cursor_) cursor_ = new_priority;
+}
+
+inline void BucketQueue::erase(index_t item) {
+  if (position_[item] == kInvalidIndex) {
+    throw std::logic_error{"BucketQueue::erase: item not in queue"};
+  }
+  remove_from_bucket(item);
+  position_[item] = kInvalidIndex;
+  --size_;
+}
+
+inline void BucketQueue::remove_from_bucket(index_t item) {
+  auto& bucket = buckets_[priority_[item]];
+  const index_t pos = position_[item];
+  const index_t last = bucket.back();
+  bucket[pos] = last;
+  position_[last] = pos;
+  bucket.pop_back();
+}
+
+inline void BucketQueue::add_to_bucket(index_t item, index_t priority) {
+  priority_[item] = priority;
+  position_[item] = static_cast<index_t>(buckets_[priority].size());
+  buckets_[priority].push_back(item);
+}
+
+}  // namespace hp

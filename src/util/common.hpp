@@ -1,0 +1,42 @@
+// Common type aliases and assertion helpers shared by all hyperproteome
+// libraries.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hp {
+
+/// Index type for vertices (proteins) and hyperedges (complexes).
+/// 32 bits keeps CSR arrays compact; all datasets in the paper fit easily.
+using index_t = std::uint32_t;
+
+/// Accumulator type for pair counts (|E|, overlap sums, ...).
+using count_t = std::uint64_t;
+
+/// Sentinel meaning "no index" / "deleted".
+inline constexpr index_t kInvalidIndex = static_cast<index_t>(-1);
+
+/// Error thrown when input data violates a structural precondition
+/// (e.g. a hyperedge referencing a vertex that does not exist).
+class InvalidInputError : public std::runtime_error {
+ public:
+  explicit InvalidInputError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Error thrown on malformed file contents.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// HP_REQUIRE: precondition check that survives NDEBUG. Used at API
+/// boundaries where the cost is negligible relative to the work done.
+#define HP_REQUIRE(cond, msg)                          \
+  do {                                                 \
+    if (!(cond)) throw ::hp::InvalidInputError{(msg)}; \
+  } while (0)
+
+}  // namespace hp

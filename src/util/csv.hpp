@@ -1,0 +1,30 @@
+// Minimal CSV reading/writing for exporting benchmark series (e.g. the
+// Figure 1 degree distribution points) to files a plotting tool can load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hp {
+
+/// Writer that escapes fields containing commas, quotes, or newlines.
+class CsvWriter {
+ public:
+  /// Append one row. Fields are escaped per RFC 4180.
+  void add_row(const std::vector<std::string>& fields);
+
+  const std::string& buffer() const { return buffer_; }
+
+  /// Write the accumulated buffer to `path`, throwing std::runtime_error
+  /// on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::string buffer_;
+};
+
+/// Parse CSV text into rows of fields (RFC 4180 quoting). Throws
+/// hp::ParseError on unterminated quotes.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace hp

@@ -1,0 +1,80 @@
+#include "util/histogram.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hp {
+
+Histogram::Histogram(const std::vector<std::size_t>& values) {
+  for (std::size_t v : values) add(v);
+}
+
+void Histogram::add(std::size_t value, std::size_t count) {
+  if (value >= freq_.size()) freq_.resize(value + 1, 0);
+  freq_[value] += count;
+  total_ += count;
+}
+
+std::size_t Histogram::count(std::size_t value) const {
+  return value < freq_.size() ? freq_[value] : 0;
+}
+
+std::size_t Histogram::max_value() const {
+  for (std::size_t v = freq_.size(); v-- > 0;) {
+    if (freq_[v] > 0) return v;
+  }
+  return 0;
+}
+
+std::size_t Histogram::min_value() const {
+  for (std::size_t v = 0; v < freq_.size(); ++v) {
+    if (freq_[v] > 0) return v;
+  }
+  return 0;
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t v = 0; v < freq_.size(); ++v) {
+    sum += static_cast<double>(v) * static_cast<double>(freq_[v]);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+double Histogram::variance() const {
+  if (total_ == 0) return 0.0;
+  const double m = mean();
+  double sum = 0.0;
+  for (std::size_t v = 0; v < freq_.size(); ++v) {
+    const double d = static_cast<double>(v) - m;
+    sum += d * d * static_cast<double>(freq_[v]);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+std::size_t Histogram::percentile(double p) const {
+  if (total_ == 0) throw std::logic_error{"Histogram::percentile: empty"};
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument{"Histogram::percentile: p out of [0,1]"};
+  }
+  if (p == 0.0) return min_value();
+  const double target = p * static_cast<double>(total_);
+  std::size_t cumulative = 0;
+  for (std::size_t v = 0; v < freq_.size(); ++v) {
+    cumulative += freq_[v];
+    if (static_cast<double>(cumulative) >= target) return v;
+  }
+  return max_value();
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream out;
+  for (std::size_t v = 0; v < freq_.size(); ++v) {
+    if (freq_[v] > 0) out << v << ' ' << freq_[v] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace hp

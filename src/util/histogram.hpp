@@ -1,0 +1,52 @@
+// Integer-valued frequency tables (degree histograms) with summary
+// statistics, used throughout the property analyses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hp {
+
+/// A frequency table over non-negative integer values (e.g. degrees).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Build from raw values.
+  explicit Histogram(const std::vector<std::size_t>& values);
+
+  void add(std::size_t value, std::size_t count = 1);
+
+  /// Number of observations with exactly this value.
+  std::size_t count(std::size_t value) const;
+
+  /// Total number of observations.
+  std::size_t total() const { return total_; }
+
+  /// Largest observed value (0 if empty).
+  std::size_t max_value() const;
+
+  /// Smallest observed value (0 if empty).
+  std::size_t min_value() const;
+
+  double mean() const;
+  double variance() const;
+
+  /// p in [0, 1]; returns the smallest value v such that at least
+  /// p * total() observations are <= v. Throws if empty.
+  std::size_t percentile(double p) const;
+
+  /// frequencies()[v] == count(v); sized max_value()+1 (empty when total()==0).
+  const std::vector<std::size_t>& frequencies() const { return freq_; }
+
+  /// Render an ASCII log-log style listing: "value count" per line,
+  /// skipping zero-frequency values.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::size_t> freq_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hp

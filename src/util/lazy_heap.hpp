@@ -1,0 +1,59 @@
+// Lazy-deletion binary min-heap keyed by double, for the greedy
+// set-cover / vertex-cover algorithm (Fig. 5 of the paper).
+//
+// The greedy cover's per-vertex cost alpha(v) = w(v) / |adj(v) ∩ F_i| only
+// *increases* over the run (the uncovered-edge count shrinks). A lazy heap
+// therefore works: pop the minimum entry, recompute the item's current
+// key, and if the entry is stale re-push it with the fresh key. Each item
+// is re-pushed at most once per key change, so total work is
+// O(U log U) where U is the number of key updates.
+#pragma once
+
+#include <cstddef>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hp {
+
+class LazyMinHeap {
+ public:
+  void push(index_t item, double key) {
+    heap_.push(Entry{key, item});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Pop entries until one whose stored key matches `current_key(item)`
+  /// surfaces; stale entries are re-pushed with their fresh key when
+  /// `still_live(item)` holds, otherwise dropped. Returns the item.
+  /// Throws std::logic_error if the heap drains without a live entry.
+  template <typename KeyFn, typename LiveFn>
+  index_t pop_current(KeyFn&& current_key, LiveFn&& still_live) {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      heap_.pop();
+      if (!still_live(top.item)) continue;
+      const double fresh = current_key(top.item);
+      if (fresh <= top.key) return top.item;  // keys only grow: top is valid
+      heap_.push(Entry{fresh, top.item});
+    }
+    throw std::logic_error{"LazyMinHeap: no live entries"};
+  }
+
+ private:
+  struct Entry {
+    double key;
+    index_t item;
+    bool operator>(const Entry& other) const {
+      if (key != other.key) return key > other.key;
+      return item > other.item;  // deterministic tie-break
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+};
+
+}  // namespace hp

@@ -1,0 +1,143 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hp {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+  // A state of all zeros is the one forbidden state for xoshiro; splitmix64
+  // cannot produce it from any seed, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument{"Rng::uniform: n must be positive"};
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = -n % n;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi)
+    throw std::invalid_argument{"Rng::uniform_int: empty range"};
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; discard the second variate for reproducibility under
+  // arbitrary call interleavings.
+  double u1 = uniform01();
+  double u2 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  if (n == 0) throw std::invalid_argument{"Rng::zipf: n must be positive"};
+  if (s <= 0.0) throw std::invalid_argument{"Rng::zipf: s must be positive"};
+  // Rejection-inversion sampling (Hormann & Derflinger 1996) for the
+  // Zipf distribution on {1, ..., n} with P(k) proportional to k^-s.
+  // Handles s == 1 via the logarithmic antiderivative.
+  const double sm1 = s - 1.0;
+  auto H = [&](double x) -> double {
+    // Antiderivative of x^-s.
+    if (std::abs(sm1) < 1e-12) return std::log(x);
+    return std::pow(x, -sm1) / -sm1;
+  };
+  auto Hinv = [&](double y) -> double {
+    if (std::abs(sm1) < 1e-12) return std::exp(y);
+    return std::pow(-sm1 * y, -1.0 / sm1);
+  };
+  const double h_x1 = H(1.5) - 1.0;
+  const double h_n = H(static_cast<double>(n) + 0.5);
+  for (;;) {
+    const double u = h_x1 + uniform01() * (h_n - h_x1);
+    const double x = Hinv(u);
+    const std::uint64_t k =
+        static_cast<std::uint64_t>(std::max(1.0, std::min(
+            static_cast<double>(n), std::floor(x + 0.5))));
+    const double kd = static_cast<double>(k);
+    if (u >= H(kd + 0.5) - std::pow(kd, -s)) return k;
+  }
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0)
+    throw std::invalid_argument{"AliasTable: weights must be non-empty"};
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0)
+      throw std::invalid_argument{"AliasTable: weights must be non-negative"};
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument{"AliasTable: total weight must be positive"};
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  const std::size_t i = rng.pick(prob_.size());
+  return rng.uniform01() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace hp

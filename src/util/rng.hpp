@@ -1,0 +1,114 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All hyperproteome generators take an explicit 64-bit seed so that every
+// benchmark table is reproducible run-to-run. We use xoshiro256** (public
+// domain, Blackman & Vigna) rather than std::mt19937 because its state is
+// small, it is fast, and -- crucially -- its output for a given seed is
+// identical across standard library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hp {
+
+/// xoshiro256** 1.0 generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed via splitmix64, as
+  /// recommended by the xoshiro authors.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection
+  /// method to avoid modulo bias.
+  std::uint64_t uniform(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state small
+  /// and reproducible under interleaving).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal sample: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Zipf-distributed integer in [1, n] with exponent s > 0, sampled by
+  /// inversion on the precomputed CDF of the caller-supplied table, or by
+  /// rejection when n is large. This overload uses rejection-inversion
+  /// (Hormann & Derflinger) and is O(1) amortized.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index from a non-empty container size.
+  std::size_t pick(std::size_t size) {
+    return static_cast<std::size_t>(uniform(size));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Sample from a discrete distribution given non-negative weights,
+/// by building an alias table once (Walker / Vose). Efficient when many
+/// samples are drawn from the same distribution.
+class AliasTable {
+ public:
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draw an index in [0, size()) with probability proportional to its
+  /// weight.
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace hp

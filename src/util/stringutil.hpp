@@ -1,0 +1,37 @@
+// Small string helpers used by the file-format parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hp {
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Split on a single delimiter character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Split on runs of ASCII whitespace; empty fields never appear.
+std::vector<std::string_view> split_whitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lowercase an ASCII string.
+std::string to_lower(std::string_view s);
+
+/// Parse helpers; throw hp::ParseError on malformed input so that file
+/// parsers surface a useful line-level message.
+long long parse_int(std::string_view s);
+double parse_double(std::string_view s);
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+}  // namespace hp

@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace hp {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument{"Table: need at least one column"};
+  }
+}
+
+Table& Table::row() {
+  if (!rows_.empty() && rows_.back().size() != headers_.size()) {
+    throw std::logic_error{"Table: previous row incomplete"};
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  if (rows_.empty()) throw std::logic_error{"Table: call row() first"};
+  if (rows_.back().size() >= headers_.size()) {
+    throw std::logic_error{"Table: too many cells in row"};
+  }
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string{value}); }
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+Table& Table::cell(unsigned value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return cell(std::string{buf});
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (r[c].size() > widths[c]) widths[c] = r[c].size();
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out << " | ";
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      out << text;
+      out << std::string(widths[c] - text.size(), ' ');
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t rule_len = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule_len += widths[c] + (c > 0 ? 3 : 0);
+  }
+  out << std::string(rule_len, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace hp

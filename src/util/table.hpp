@@ -1,0 +1,44 @@
+// ASCII table rendering for benchmark output. Each bench prints the same
+// rows the paper reports, aligned for human reading and trivially
+// machine-parseable (pipe-separated).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hp {
+
+/// Column-aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value);
+  Table& cell(unsigned value);
+  /// Fixed-precision real cell.
+  Table& cell(double value, int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return headers_.size(); }
+
+  /// Render with padded columns, ' | ' separators and a rule under the
+  /// header.
+  std::string to_string() const;
+
+  /// Print to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hp

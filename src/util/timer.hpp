@@ -1,0 +1,32 @@
+// Wall-clock timing helpers for benchmark tables.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace hp {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Format a duration the way the paper's Table 1 does: "0.47 s",
+/// "1.2 m", "3.1 h" -- picking the largest unit that keeps the value >= 1.
+std::string format_duration(double seconds);
+
+}  // namespace hp

@@ -1,0 +1,117 @@
+#include "bio/catalog_compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/tap_sim.hpp"
+#include "util/rng.hpp"
+
+namespace hp::bio {
+namespace {
+
+hyper::Hypergraph catalog(std::initializer_list<std::vector<index_t>> edges,
+                          index_t num_vertices) {
+  hyper::HypergraphBuilder b{num_vertices};
+  for (const auto& e : edges) b.add_edge(e);
+  return b.build();
+}
+
+TEST(BestMatches, IdenticalCatalogs) {
+  const auto h = catalog({{0, 1, 2}, {3, 4}}, 5);
+  const auto m = best_matches(h, h);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0].counterpart, 0u);
+  EXPECT_DOUBLE_EQ(m[0].jaccard, 1.0);
+  EXPECT_EQ(m[1].counterpart, 1u);
+}
+
+TEST(BestMatches, PicksHighestJaccard) {
+  const auto predicted = catalog({{0, 1, 2}}, 6);
+  const auto reference = catalog({{0, 5}, {0, 1, 2, 3}}, 6);
+  const auto m = best_matches(predicted, reference);
+  // Jaccard with {0,5} = 1/4; with {0,1,2,3} = 3/4.
+  EXPECT_EQ(m[0].counterpart, 1u);
+  EXPECT_DOUBLE_EQ(m[0].jaccard, 0.75);
+}
+
+TEST(BestMatches, NoOverlapMeansNoMatch) {
+  const auto predicted = catalog({{0, 1}}, 4);
+  const auto reference = catalog({{2, 3}}, 4);
+  const auto m = best_matches(predicted, reference);
+  EXPECT_EQ(m[0].counterpart, kInvalidIndex);
+  EXPECT_DOUBLE_EQ(m[0].jaccard, 0.0);
+}
+
+TEST(BestMatches, RejectsDifferentUniverses) {
+  const auto a = catalog({{0, 1}}, 3);
+  const auto b = catalog({{0, 1}}, 4);
+  EXPECT_THROW(best_matches(a, b), InvalidInputError);
+}
+
+TEST(CompareCatalogs, PerfectAgreement) {
+  const auto h = catalog({{0, 1, 2}, {3, 4}, {5, 6, 7}}, 8);
+  const CatalogComparison c = compare_catalogs(h, h);
+  EXPECT_DOUBLE_EQ(c.precision, 1.0);
+  EXPECT_DOUBLE_EQ(c.recall, 1.0);
+  EXPECT_DOUBLE_EQ(c.f1, 1.0);
+  EXPECT_DOUBLE_EQ(c.mean_jaccard, 1.0);
+}
+
+TEST(CompareCatalogs, PartialAgreement) {
+  // Predicted recovers one of two reference complexes exactly and
+  // invents one extra.
+  const auto predicted = catalog({{0, 1, 2}, {6, 7}}, 8);
+  const auto reference = catalog({{0, 1, 2}, {3, 4, 5}}, 8);
+  const CatalogComparison c = compare_catalogs(predicted, reference, 0.5);
+  EXPECT_EQ(c.matched_predicted, 1u);
+  EXPECT_EQ(c.matched_reference, 1u);
+  EXPECT_DOUBLE_EQ(c.precision, 0.5);
+  EXPECT_DOUBLE_EQ(c.recall, 0.5);
+}
+
+TEST(CompareCatalogs, ThresholdMatters) {
+  const auto predicted = catalog({{0, 1, 2, 3}}, 8);
+  const auto reference = catalog({{0, 1, 2, 4, 5}}, 8);  // Jaccard 3/6 = 0.5
+  EXPECT_EQ(compare_catalogs(predicted, reference, 0.5).matched_predicted,
+            1u);
+  EXPECT_EQ(compare_catalogs(predicted, reference, 0.6).matched_predicted,
+            0u);
+  EXPECT_THROW(compare_catalogs(predicted, reference, 0.0),
+               InvalidInputError);
+}
+
+TEST(CompareCatalogs, NoisyReplicationScenario) {
+  // Simulate the paper's repeat-the-experiment scenario: the reference
+  // catalog observed through a noisy channel (each membership kept with
+  // p = 0.8) should still be recognizably the same catalog at a loose
+  // threshold.
+  Rng rng{77};
+  hyper::HypergraphBuilder truth_b{60};
+  for (index_t e = 0; e < 12; ++e) {
+    std::vector<index_t> members;
+    for (index_t i = 0; i < 5; ++i) {
+      members.push_back(static_cast<index_t>((e * 5 + i) % 60));
+    }
+    truth_b.add_edge(members);
+  }
+  const hyper::Hypergraph truth = truth_b.build();
+
+  hyper::HypergraphBuilder noisy_b{60};
+  for (index_t e = 0; e < truth.num_edges(); ++e) {
+    std::vector<index_t> members;
+    for (index_t v : truth.vertices_of(e)) {
+      if (rng.bernoulli(0.8)) members.push_back(v);
+    }
+    if (members.empty()) {
+      members.push_back(truth.vertices_of(e).front());
+    }
+    noisy_b.add_edge(members);
+  }
+  const CatalogComparison c =
+      compare_catalogs(noisy_b.build(), truth, 0.5);
+  EXPECT_GT(c.recall, 0.7);
+  EXPECT_GT(c.precision, 0.7);
+  EXPECT_GT(c.mean_jaccard, 0.6);
+}
+
+}  // namespace
+}  // namespace hp::bio

@@ -1,0 +1,154 @@
+#include "bio/cellzome_synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/kcore.hpp"
+#include "core/stats.hpp"
+
+namespace hp::bio {
+namespace {
+
+// The full-size surrogate is used by several tests; generate once.
+const ComplexDataset& surrogate() {
+  static const ComplexDataset data = cellzome_surrogate();
+  return data;
+}
+
+TEST(CellzomeSurrogate, MatchesPublishedCounts) {
+  const auto& h = surrogate().hypergraph;
+  EXPECT_EQ(h.num_vertices(), 1361u);
+  EXPECT_EQ(h.num_edges(), 232u);
+}
+
+TEST(CellzomeSurrogate, MaxDegreeIsTwentyOneAndNamedAdh1) {
+  const auto& d = surrogate();
+  EXPECT_EQ(d.hypergraph.max_vertex_degree(), 21u);
+  // Vertex 0 carries the maximum degree and the ADH1 name.
+  EXPECT_EQ(d.hypergraph.vertex_degree(0), 21u);
+  EXPECT_EQ(d.proteins.name_of(0), "ADH1");
+}
+
+TEST(CellzomeSurrogate, DegreeOneProteinsNearPublished) {
+  const auto& h = surrogate().hypergraph;
+  const hyper::HypergraphSummary s = hyper::summarize(h);
+  // 846 in the paper; stub-collision drops move a handful of proteins.
+  EXPECT_NEAR(static_cast<double>(s.degree_one_vertices), 846.0, 25.0);
+}
+
+TEST(CellzomeSurrogate, ThreeSingletonComplexes) {
+  const auto& h = surrogate().hypergraph;
+  index_t singletons = 0;
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    if (h.edge_size(e) == 1) ++singletons;
+  }
+  EXPECT_EQ(singletons, 3u);
+}
+
+TEST(CellzomeSurrogate, ComplexSizesBounded) {
+  const auto& h = surrogate().hypergraph;
+  EXPECT_LE(h.max_edge_size(), 88u);
+  EXPECT_GE(h.max_edge_size(), 30u);  // some large complexes exist
+}
+
+TEST(CellzomeSurrogate, PowerLawDegreeDistribution) {
+  const PowerLawFit fit =
+      hyper::vertex_degree_power_law(surrogate().hypergraph);
+  // Paper: gamma = 2.528, R^2 = 0.963.
+  EXPECT_NEAR(fit.gamma, 2.5, 0.45);
+  EXPECT_GT(fit.r_squared, 0.85);
+}
+
+TEST(CellzomeSurrogate, DeepCoreMatchesPaperAtDefaultSeed) {
+  const hyper::HyperCoreResult r =
+      hyper::core_decomposition(surrogate().hypergraph);
+  // Paper: maximum core is a 6-core with 41 proteins and 54 complexes.
+  // With the default seed and calibration the surrogate reproduces the
+  // 6-core exactly and the sizes within a small band.
+  EXPECT_EQ(r.max_core, 6u);
+  const auto core_v = r.core_vertices(6);
+  const auto core_e = r.core_edges(6);
+  EXPECT_GE(core_v.size(), 35u);
+  EXPECT_LE(core_v.size(), 50u);
+  EXPECT_GE(core_e.size(), 45u);
+  EXPECT_LE(core_e.size(), 80u);
+}
+
+TEST(CellzomeSurrogate, LocalityWindowZeroIsConfigurationModel) {
+  CellzomeParams p;
+  p.locality_window = 0;
+  const ComplexDataset d = cellzome_surrogate(p);
+  EXPECT_EQ(d.hypergraph.num_vertices(), 1361u);
+  EXPECT_NO_THROW(hyper::validate(d.hypergraph));
+  // Without locality the hypergraph has fewer nested complexes: the
+  // initial reduction removes less.
+  const hyper::HyperCoreResult with_locality =
+      hyper::core_decomposition(surrogate().hypergraph);
+  const hyper::HyperCoreResult without =
+      hyper::core_decomposition(d.hypergraph);
+  EXPECT_GT(without.level_edges[0], with_locality.level_edges[0]);
+}
+
+TEST(CellzomeSurrogate, DeterministicForSeed) {
+  CellzomeParams p;
+  const ComplexDataset a = cellzome_surrogate(p);
+  const ComplexDataset b = cellzome_surrogate(p);
+  EXPECT_EQ(a.hypergraph, b.hypergraph);
+}
+
+TEST(CellzomeSurrogate, DifferentSeedsDiffer) {
+  CellzomeParams p;
+  p.seed = 1;
+  CellzomeParams q;
+  q.seed = 2;
+  EXPECT_NE(cellzome_surrogate(p).hypergraph,
+            cellzome_surrogate(q).hypergraph);
+}
+
+TEST(CellzomeSurrogate, ValidStructure) {
+  EXPECT_NO_THROW(hyper::validate(surrogate().hypergraph));
+  EXPECT_EQ(surrogate().complex_names.size(), 232u);
+  EXPECT_EQ(surrogate().proteins.size(), 1361u);
+}
+
+TEST(CellzomeDegreeSequence, SumsAndShape) {
+  CellzomeParams p;
+  const auto seq = cellzome_degree_sequence(p);
+  EXPECT_EQ(seq.size(), 1361u);
+  EXPECT_EQ(seq.front(), 21u);
+  EXPECT_EQ(seq.back(), 1u);
+  // Descending.
+  EXPECT_TRUE(std::is_sorted(seq.rbegin(), seq.rend()));
+  // 846 degree-1 entries.
+  const auto ones = std::count(seq.begin(), seq.end(), 1u);
+  EXPECT_EQ(ones, 846);
+}
+
+TEST(CellzomeSurrogate, SmallCustomParams) {
+  CellzomeParams p;
+  p.num_proteins = 150;
+  p.num_complexes = 30;
+  p.degree_one_proteins = 90;
+  p.max_degree = 8;
+  p.core_proteins = 10;
+  p.core_complexes = 8;
+  p.core_memberships = 3;
+  p.max_complex_size = 25;
+  const ComplexDataset d = cellzome_surrogate(p);
+  EXPECT_EQ(d.hypergraph.num_vertices(), 150u);
+  EXPECT_EQ(d.hypergraph.num_edges(), 30u);
+  EXPECT_NO_THROW(hyper::validate(d.hypergraph));
+}
+
+TEST(CellzomeSurrogate, RejectsInconsistentParams) {
+  CellzomeParams p;
+  p.core_complexes = 500;  // more than num_complexes
+  EXPECT_THROW(cellzome_surrogate(p), InvalidInputError);
+  CellzomeParams q;
+  q.degree_one_proteins = q.num_proteins;
+  EXPECT_THROW(cellzome_surrogate(q), InvalidInputError);
+}
+
+}  // namespace
+}  // namespace hp::bio

@@ -1,0 +1,70 @@
+#include "bio/dip_surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_kcore.hpp"
+
+namespace hp::bio {
+namespace {
+
+TEST(YeastPpiSurrogate, MatchesPublishedScaleAndCoreBand) {
+  Rng rng{4746};
+  const graph::Graph g = yeast_ppi_surrogate({}, rng);
+  EXPECT_EQ(g.num_vertices(), 4746u);
+  // Expected average degree ~ 6.3.
+  const double mean = 2.0 * static_cast<double>(g.num_edges()) /
+                      g.num_vertices();
+  EXPECT_NEAR(mean, 6.3, 1.2);
+  // Paper: max core k = 10 with 33 proteins; the surrogate lands close.
+  const graph::CoreDecomposition d = graph::core_decomposition(g);
+  EXPECT_GE(d.max_core, 8u);
+  EXPECT_LE(d.max_core, 13u);
+  EXPECT_LT(d.max_core_vertices().size(), 150u);
+}
+
+TEST(FlyPpiSurrogate, ShallowButLargeCore) {
+  Rng rng{7000};
+  const graph::Graph g = fly_ppi_surrogate({}, rng);
+  EXPECT_EQ(g.num_vertices(), 7000u);
+  const graph::CoreDecomposition d = graph::core_decomposition(g);
+  // Paper: k = 8 with 577 proteins.
+  EXPECT_GE(d.max_core, 6u);
+  EXPECT_LE(d.max_core, 10u);
+  EXPECT_GT(d.max_core_vertices().size(), 300u);
+}
+
+TEST(FlyPpiSurrogate, QualitativeRelationToYeast) {
+  Rng a{1}, b{2};
+  const graph::CoreDecomposition yeast =
+      graph::core_decomposition(yeast_ppi_surrogate({}, a));
+  const graph::CoreDecomposition fly =
+      graph::core_decomposition(fly_ppi_surrogate({}, b));
+  // Yeast core deeper, fly core far larger.
+  EXPECT_GT(yeast.max_core, fly.max_core - 4);  // deeper or comparable
+  EXPECT_GT(fly.max_core_vertices().size(),
+            5 * yeast.max_core_vertices().size());
+}
+
+TEST(FlyPpiSurrogate, RejectsOversizedBlock) {
+  Rng rng{3};
+  FlyPpiParams p;
+  p.block_offset = 6800;
+  p.block_size = 600;
+  EXPECT_THROW(fly_ppi_surrogate(p, rng), InvalidInputError);
+}
+
+TEST(DipSurrogates, DeterministicForSeed) {
+  Rng a{9}, b{9};
+  YeastPpiParams p;
+  p.num_proteins = 500;
+  p.average_degree = 5.0;
+  const graph::Graph g1 = yeast_ppi_surrogate(p, a);
+  const graph::Graph g2 = yeast_ppi_surrogate(p, b);
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  for (index_t v = 0; v < g1.num_vertices(); ++v) {
+    EXPECT_EQ(g1.degree(v), g2.degree(v));
+  }
+}
+
+}  // namespace
+}  // namespace hp::bio

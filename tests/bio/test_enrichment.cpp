@@ -1,0 +1,109 @@
+#include "bio/enrichment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hp::bio {
+namespace {
+
+TEST(HypergeometricTail, KnownSmallValues) {
+  // Population 10, 5 successes, draw 4. P(X >= 1) = 1 - C(5,4)/C(10,4)
+  // = 1 - 5/210.
+  EXPECT_NEAR(hypergeometric_tail(10, 5, 4, 1), 1.0 - 5.0 / 210.0, 1e-12);
+  // P(X >= 4) = C(5,4)/C(10,4) = 5/210.
+  EXPECT_NEAR(hypergeometric_tail(10, 5, 4, 4), 5.0 / 210.0, 1e-12);
+}
+
+TEST(HypergeometricTail, Extremes) {
+  EXPECT_DOUBLE_EQ(hypergeometric_tail(100, 50, 10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(hypergeometric_tail(100, 50, 10, 11), 0.0);
+  // Drawing everything: observed = successes with certainty.
+  EXPECT_NEAR(hypergeometric_tail(20, 7, 20, 7), 1.0, 1e-12);
+}
+
+TEST(HypergeometricTail, MonotoneInObserved) {
+  double prev = 1.1;
+  for (count_t k = 0; k <= 10; ++k) {
+    const double p = hypergeometric_tail(200, 40, 10, k);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(HypergeometricTail, RejectsBadArgs) {
+  EXPECT_THROW(hypergeometric_tail(10, 11, 5, 1), InvalidInputError);
+  EXPECT_THROW(hypergeometric_tail(10, 5, 11, 1), InvalidInputError);
+}
+
+TEST(Enrichment, ComputesFoldAndPValue) {
+  // 100 proteins, 20 flagged; a set of 10 containing 8 flagged.
+  std::vector<bool> flag(100, false);
+  for (index_t v = 0; v < 20; ++v) flag[v] = true;
+  std::vector<index_t> set;
+  for (index_t v = 0; v < 8; ++v) set.push_back(v);       // flagged
+  set.push_back(50);
+  set.push_back(51);                                      // unflagged
+  const EnrichmentResult r = enrichment(set, flag, "test");
+  EXPECT_EQ(r.set_positive, 8u);
+  EXPECT_DOUBLE_EQ(r.set_fraction, 0.8);
+  EXPECT_DOUBLE_EQ(r.background_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(r.fold_enrichment, 4.0);
+  EXPECT_LT(r.p_value, 1e-4);
+}
+
+TEST(Enrichment, NullSetIsNotSignificant) {
+  std::vector<bool> flag(1000, false);
+  for (index_t v = 0; v < 200; ++v) flag[v] = true;
+  // A "set" matching the background rate exactly.
+  std::vector<index_t> set{0, 500, 501, 502, 503};  // 1/5 flagged
+  const EnrichmentResult r = enrichment(set, flag, "null");
+  EXPECT_NEAR(r.fold_enrichment, 1.0, 0.01);
+  EXPECT_GT(r.p_value, 0.3);
+}
+
+TEST(Enrichment, EmptySet) {
+  std::vector<bool> flag(10, true);
+  const EnrichmentResult r = enrichment({}, flag, "empty");
+  EXPECT_EQ(r.set_size, 0u);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(CoreProteomeReport, ReproducesPaperShape) {
+  // Construct annotations exactly matching the paper's core numbers:
+  // 41 core proteins, 9 unknown, 22 of 32 known essential, 24 homologs.
+  const count_t n = 1361;
+  AnnotationSet a;
+  a.essential.assign(n, false);
+  a.homolog.assign(n, false);
+  a.known.assign(n, true);
+  std::vector<index_t> core;
+  for (index_t v = 0; v < 41; ++v) core.push_back(v);
+  for (index_t v = 0; v < 9; ++v) a.known[v] = false;       // unknown
+  for (index_t v = 9; v < 31; ++v) a.essential[v] = true;   // 22 essential
+  for (index_t v = 0; v < 24; ++v) a.homolog[v] = true;     // 24 homologs
+  // Background essential rate ~ 21.8 % of known proteins.
+  for (index_t v = 41; v < 329; ++v) a.essential[v] = true;  // 288 more
+
+  const CoreProteomeReport r = core_proteome_report(core, a);
+  EXPECT_EQ(r.core_size, 41u);
+  EXPECT_EQ(r.core_unknown, 9u);
+  EXPECT_EQ(r.core_known, 32u);
+  EXPECT_EQ(r.core_known_essential, 22u);
+  EXPECT_EQ(r.core_homologs, 24u);
+  // 22/32 = 69 % essential in the core vs ~23 % background: enriched.
+  EXPECT_GT(r.essential_enrichment.fold_enrichment, 2.0);
+  EXPECT_LT(r.essential_enrichment.p_value, 1e-5);
+  EXPECT_GT(r.homolog_enrichment.fold_enrichment, 5.0);
+}
+
+TEST(CoreProteomeReport, OutOfRangeCoreIdThrows) {
+  AnnotationSet a;
+  a.essential.assign(5, false);
+  a.homolog.assign(5, false);
+  a.known.assign(5, true);
+  EXPECT_THROW(core_proteome_report({7}, a), InvalidInputError);
+}
+
+}  // namespace
+}  // namespace hp::bio

@@ -1,0 +1,43 @@
+#include "bio/protein.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp::bio {
+namespace {
+
+TEST(ProteinRegistry, InternAssignsDenseIds) {
+  ProteinRegistry r;
+  EXPECT_EQ(r.intern("ADH1"), 0u);
+  EXPECT_EQ(r.intern("CDC28"), 1u);
+  EXPECT_EQ(r.intern("ADH1"), 0u);  // idempotent
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(ProteinRegistry, LookupBothDirections) {
+  ProteinRegistry r;
+  r.intern("A");
+  r.intern("B");
+  EXPECT_EQ(r.id_of("B"), 1u);
+  EXPECT_EQ(r.name_of(0), "A");
+  EXPECT_TRUE(r.contains("A"));
+  EXPECT_FALSE(r.contains("C"));
+}
+
+TEST(ProteinRegistry, ErrorsOnBadLookups) {
+  ProteinRegistry r;
+  r.intern("A");
+  EXPECT_THROW(r.id_of("missing"), InvalidInputError);
+  EXPECT_THROW(r.name_of(5), InvalidInputError);
+  EXPECT_THROW(r.intern(""), InvalidInputError);
+}
+
+TEST(ProteinRegistry, NamesVectorInIdOrder) {
+  ProteinRegistry r;
+  r.intern("x");
+  r.intern("y");
+  r.intern("z");
+  EXPECT_EQ(r.names(), (std::vector<std::string>{"x", "y", "z"}));
+}
+
+}  // namespace
+}  // namespace hp::bio

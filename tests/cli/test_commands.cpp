@@ -1,0 +1,235 @@
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/hypergraph_io.hpp"
+
+namespace hp::cli {
+namespace {
+
+Args make_args(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v;
+  v.push_back("hp_cli");
+  v.insert(v.end(), argv);
+  return Args{static_cast<int>(v.size()), v.data()};
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    table_path_ = dir_ + "/cli_complexes.tsv";
+    std::ofstream out(table_path_);
+    out << "Arp23\tARP2\tARP3\tARC15\n"
+        << "SAGA\tGCN5\tADA2\tSPT7\tARP2\n"
+        << "ADA\tGCN5\tADA2\n";
+  }
+  void TearDown() override { std::remove(table_path_.c_str()); }
+
+  std::string dir_;
+  std::string table_path_;
+};
+
+TEST_F(CliTest, LoadDatasetComplexTable) {
+  const bio::ComplexDataset d = load_dataset(table_path_);
+  EXPECT_EQ(d.hypergraph.num_edges(), 3u);
+  EXPECT_TRUE(d.proteins.contains("GCN5"));
+}
+
+TEST_F(CliTest, LoadDatasetRejectsUnknownExtension) {
+  EXPECT_THROW(load_dataset("foo.xyz"), InvalidInputError);
+}
+
+TEST_F(CliTest, StatsCommand) {
+  std::ostringstream out;
+  const int rc = cmd_stats(make_args({"stats", table_path_.c_str()}), out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("|V| (vertices)"), std::string::npos);
+  EXPECT_NE(out.str().find("6"), std::string::npos);  // 6 distinct proteins
+}
+
+TEST_F(CliTest, CoreCommandListsLadderAndNames) {
+  std::ostringstream out;
+  const int rc = cmd_core(make_args({"core", table_path_.c_str()}), out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("k-core ladder"), std::string::npos);
+  EXPECT_NE(out.str().find("GCN5"), std::string::npos);
+}
+
+TEST_F(CliTest, CoreCommandWritesExtractedCore) {
+  const std::string core_path = dir_ + "/cli_core_out.hyper";
+  std::ostringstream out;
+  const int rc = cmd_core(
+      make_args({"core", table_path_.c_str(), "--k", "1", "--out",
+                 core_path.c_str()}),
+      out);
+  EXPECT_EQ(rc, 0);
+  const hyper::Hypergraph core = hyper::load_text(core_path);
+  EXPECT_GT(core.num_edges(), 0u);
+  std::remove(core_path.c_str());
+}
+
+TEST_F(CliTest, CoverCommandVariants) {
+  std::ostringstream unit_out, deg2_out, multi_out;
+  EXPECT_EQ(cmd_cover(make_args({"cover", table_path_.c_str()}), unit_out),
+            0);
+  EXPECT_EQ(cmd_cover(make_args({"cover", table_path_.c_str(), "--weights",
+                                 "deg2"}),
+                      deg2_out),
+            0);
+  EXPECT_EQ(cmd_cover(make_args({"cover", table_path_.c_str(),
+                                 "--multicover", "2"}),
+                      multi_out),
+            0);
+  EXPECT_NE(unit_out.str().find("cover:"), std::string::npos);
+  EXPECT_NE(multi_out.str().find("cover:"), std::string::npos);
+}
+
+TEST_F(CliTest, CoverRejectsBadWeights) {
+  std::ostringstream out;
+  EXPECT_THROW(cmd_cover(make_args({"cover", table_path_.c_str(),
+                                    "--weights", "banana"}),
+                         out),
+               InvalidInputError);
+}
+
+TEST_F(CliTest, ConvertTsvToHgrAndBack) {
+  const std::string hgr = dir_ + "/cli_conv.hgr";
+  const std::string hyper = dir_ + "/cli_conv.hyper";
+  std::ostringstream out;
+  EXPECT_EQ(cmd_convert(
+                make_args({"convert", table_path_.c_str(), hgr.c_str()}),
+                out),
+            0);
+  EXPECT_EQ(cmd_convert(make_args({"convert", hgr.c_str(), hyper.c_str()}),
+                        out),
+            0);
+  const bio::ComplexDataset original = load_dataset(table_path_);
+  const bio::ComplexDataset converted = load_dataset(hyper);
+  EXPECT_EQ(converted.hypergraph.num_pins(),
+            original.hypergraph.num_pins());
+  std::remove(hgr.c_str());
+  std::remove(hyper.c_str());
+}
+
+TEST_F(CliTest, ConvertToMtxIsRejected) {
+  std::ostringstream out;
+  const bio::ComplexDataset d = load_dataset(table_path_);
+  EXPECT_THROW(save_dataset(d, dir_ + "/x.mtx"), InvalidInputError);
+}
+
+TEST_F(CliTest, GenerateWritesSurrogate) {
+  const std::string path = dir_ + "/cli_gen.tsv";
+  std::ostringstream out;
+  const int rc =
+      cmd_generate(make_args({"generate", path.c_str(), "--seed", "7"}), out);
+  EXPECT_EQ(rc, 0);
+  const bio::ComplexDataset d = load_dataset(path);
+  EXPECT_EQ(d.hypergraph.num_vertices(), 1361u);
+  EXPECT_EQ(d.hypergraph.num_edges(), 232u);
+  std::remove(path.c_str());
+}
+
+TEST_F(CliTest, PajekWritesNetAndClu) {
+  const std::string prefix = dir_ + "/cli_fig3";
+  std::ostringstream out;
+  const int rc = cmd_pajek(
+      make_args({"pajek", table_path_.c_str(), prefix.c_str()}), out);
+  EXPECT_EQ(rc, 0);
+  std::ifstream net(prefix + ".net");
+  std::ifstream clu(prefix + ".clu");
+  EXPECT_TRUE(net.good());
+  EXPECT_TRUE(clu.good());
+  std::string first;
+  std::getline(net, first);
+  EXPECT_NE(first.find("*Vertices"), std::string::npos);
+  std::remove((prefix + ".net").c_str());
+  std::remove((prefix + ".clu").c_str());
+}
+
+TEST_F(CliTest, MatchCommand) {
+  std::ostringstream out;
+  const int rc = cmd_match(make_args({"match", table_path_.c_str()}), out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("maximal matching:"), std::string::npos);
+  // Arp23 is disjoint from the GCN5 family: matching size >= 2.
+  EXPECT_NE(out.str().find("Arp23"), std::string::npos);
+}
+
+TEST_F(CliTest, SoverlapCommand) {
+  std::ostringstream out;
+  const int rc =
+      cmd_soverlap(make_args({"soverlap", table_path_.c_str()}), out);
+  EXPECT_EQ(rc, 0);
+  // SAGA and ADA share {GCN5, ADA2}: max meaningful s is 2.
+  EXPECT_NE(out.str().find("max meaningful s: 2"), std::string::npos);
+}
+
+TEST_F(CliTest, SmallworldCommand) {
+  std::ostringstream out;
+  const int rc = cmd_smallworld(
+      make_args({"smallworld", table_path_.c_str(), "--seed", "3"}), out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("observed:"), std::string::npos);
+  EXPECT_NE(out.str().find("null model:"), std::string::npos);
+}
+
+TEST_F(CliTest, ConvertThroughBinary) {
+  const std::string hpb = dir_ + "/cli_conv.hpb";
+  std::ostringstream out;
+  EXPECT_EQ(cmd_convert(
+                make_args({"convert", table_path_.c_str(), hpb.c_str()}),
+                out),
+            0);
+  const bio::ComplexDataset back = load_dataset(hpb);
+  EXPECT_EQ(back.hypergraph.num_edges(), 3u);
+  std::remove(hpb.c_str());
+}
+
+TEST_F(CliTest, ReportCommand) {
+  std::ostringstream out;
+  const int rc = cmd_report(
+      make_args({"report", table_path_.c_str(), "--no-paper"}), out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("maximum core k"), std::string::npos);
+  EXPECT_NE(out.str().find("2-multicover size"), std::string::npos);
+}
+
+TEST_F(CliTest, RenderWritesSvg) {
+  const std::string path = dir_ + "/cli_fig3.svg";
+  std::ostringstream out;
+  const int rc = cmd_render(
+      make_args({"render", table_path_.c_str(), path.c_str(),
+                 "--iterations", "10"}),
+      out);
+  EXPECT_EQ(rc, 0);
+  std::ifstream svg(path);
+  std::string first;
+  ASSERT_TRUE(std::getline(svg, first));
+  EXPECT_NE(first.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(CliTest, RunDispatchesAndHandlesErrors) {
+  std::ostringstream out;
+  EXPECT_EQ(run(make_args({}), out), 2);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+
+  std::ostringstream out2;
+  EXPECT_EQ(run(make_args({"frobnicate"}), out2), 2);
+  EXPECT_NE(out2.str().find("unknown command"), std::string::npos);
+
+  std::ostringstream out3;
+  EXPECT_EQ(run(make_args({"stats", "/no/such/file.tsv"}), out3), 1);
+  EXPECT_NE(out3.str().find("error:"), std::string::npos);
+
+  std::ostringstream out4;
+  EXPECT_EQ(run(make_args({"stats", table_path_.c_str()}), out4), 0);
+}
+
+}  // namespace
+}  // namespace hp::cli

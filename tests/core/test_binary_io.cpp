@@ -1,0 +1,86 @@
+#include "core/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "bio/cellzome_synth.hpp"
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(BinaryIo, RoundTripToy) {
+  const Hypergraph h = testing::toy_hypergraph();
+  EXPECT_EQ(from_binary(to_binary(h)), h);
+}
+
+TEST(BinaryIo, RoundTripRandom) {
+  Rng rng{1};
+  for (int trial = 0; trial < 6; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 30, 25, 6);
+    EXPECT_EQ(from_binary(to_binary(h)), h);
+  }
+}
+
+TEST(BinaryIo, PreservesIsolatedVertices) {
+  HypergraphBuilder b{12};
+  b.add_edge({0, 1});
+  const Hypergraph h = b.build();
+  EXPECT_EQ(from_binary(to_binary(h)).num_vertices(), 12u);
+}
+
+TEST(BinaryIo, RoundTripCellzomeScale) {
+  const Hypergraph h = bio::cellzome_surrogate().hypergraph;
+  const std::string bytes = to_binary(h);
+  EXPECT_EQ(from_binary(bytes), h);
+  // Binary is far more compact than the text format would be for this
+  // instance: 24-byte header + 8 * (|F|+1) + 4 * |E|.
+  EXPECT_EQ(bytes.size(), 24u + 8u * (h.num_edges() + 1) +
+                              4u * static_cast<std::size_t>(h.num_pins()));
+}
+
+TEST(BinaryIo, RejectsCorruptedInputs) {
+  const Hypergraph h = testing::toy_hypergraph();
+  const std::string good = to_binary(h);
+
+  EXPECT_THROW(from_binary(""), ParseError);
+  EXPECT_THROW(from_binary("XXXX"), ParseError);
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'Z';
+  EXPECT_THROW(from_binary(bad_magic), ParseError);
+
+  std::string bad_version = good;
+  bad_version[4] = 99;
+  EXPECT_THROW(from_binary(bad_version), ParseError);
+
+  std::string truncated = good.substr(0, good.size() - 3);
+  EXPECT_THROW(from_binary(truncated), ParseError);
+
+  std::string trailing = good + "junk";
+  EXPECT_THROW(from_binary(trailing), ParseError);
+
+  // Corrupt a member id to be out of range.
+  std::string bad_member = good;
+  bad_member[bad_member.size() - 4] = static_cast<char>(0xFF);
+  bad_member[bad_member.size() - 3] = static_cast<char>(0xFF);
+  EXPECT_THROW(from_binary(bad_member), ParseError);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const Hypergraph h = testing::toy_hypergraph();
+  const std::string path = ::testing::TempDir() + "/hp_bin_test.hpb";
+  save_binary(h, path);
+  EXPECT_EQ(load_binary(path), h);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_binary("/no/such/file.hpb"), std::runtime_error);
+}
+
+TEST(BinaryIo, EmptyHypergraph) {
+  const Hypergraph h = HypergraphBuilder{0}.build();
+  EXPECT_EQ(from_binary(to_binary(h)), h);
+}
+
+}  // namespace
+}  // namespace hp::hyper

@@ -1,0 +1,137 @@
+#include "core/cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cover_pd.hpp"
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(GreedyCover, CoversEveryEdge) {
+  Rng rng{1};
+  for (int trial = 0; trial < 10; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 30, 40, 5);
+    const CoverResult r = greedy_vertex_cover(h, unit_weights(h));
+    EXPECT_TRUE(is_vertex_cover(h, r.vertices)) << trial;
+  }
+}
+
+TEST(GreedyCover, HubVertexIsChosenFirst) {
+  // Vertex 0 hits all edges; greedy must pick exactly it.
+  HypergraphBuilder b{5};
+  b.add_edge({0, 1});
+  b.add_edge({0, 2});
+  b.add_edge({0, 3});
+  b.add_edge({0, 4});
+  const Hypergraph h = b.build();
+  const CoverResult r = greedy_vertex_cover(h, unit_weights(h));
+  ASSERT_EQ(r.vertices.size(), 1u);
+  EXPECT_EQ(r.vertices[0], 0u);
+  EXPECT_DOUBLE_EQ(r.total_weight, 1.0);
+  EXPECT_DOUBLE_EQ(r.average_degree, 4.0);
+}
+
+TEST(GreedyCover, WeightsChangeTheChoice) {
+  // Same star, but vertex 0 is expensive: cover uses the leaves.
+  HypergraphBuilder b{5};
+  b.add_edge({0, 1});
+  b.add_edge({0, 2});
+  b.add_edge({0, 3});
+  b.add_edge({0, 4});
+  const Hypergraph h = b.build();
+  std::vector<double> w{100.0, 1.0, 1.0, 1.0, 1.0};
+  const CoverResult r = greedy_vertex_cover(h, w);
+  EXPECT_EQ(r.vertices.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.total_weight, 4.0);
+}
+
+TEST(GreedyCover, DegreeSquaredWeightsLowerCoverDegree) {
+  Rng rng{42};
+  const Hypergraph h = testing::random_hypergraph(rng, 120, 120, 6);
+  const CoverResult unit = greedy_vertex_cover(h, unit_weights(h));
+  const CoverResult deg2 = greedy_vertex_cover(h, degree_squared_weights(h));
+  EXPECT_TRUE(is_vertex_cover(h, deg2.vertices));
+  // The paper's effect: degree^2 weighting drives the average cover
+  // degree down (3.7 -> 1.14 on Cellzome) at the cost of more proteins.
+  EXPECT_LT(deg2.average_degree, unit.average_degree);
+  EXPECT_GE(deg2.vertices.size(), unit.vertices.size());
+}
+
+TEST(GreedyCover, EmptyHypergraphGivesEmptyCover) {
+  const Hypergraph h = HypergraphBuilder{5}.build();
+  const CoverResult r = greedy_vertex_cover(h, unit_weights(h));
+  EXPECT_TRUE(r.vertices.empty());
+  EXPECT_DOUBLE_EQ(r.total_weight, 0.0);
+}
+
+TEST(GreedyCover, SingletonEdgesForceTheirVertex) {
+  HypergraphBuilder b{3};
+  b.add_edge({0});
+  b.add_edge({1});
+  b.add_edge({0, 1, 2});
+  const CoverResult r = greedy_vertex_cover(b.build(),
+                                            unit_weights(b.build()));
+  EXPECT_TRUE(is_vertex_cover(b.build(), r.vertices));
+  EXPECT_LE(r.vertices.size(), 2u);
+}
+
+TEST(GreedyCover, RejectsBadWeights) {
+  const Hypergraph h = testing::toy_hypergraph();
+  EXPECT_THROW(greedy_vertex_cover(h, std::vector<double>(2, 1.0)),
+               InvalidInputError);
+  std::vector<double> neg(h.num_vertices(), 1.0);
+  neg[0] = -1.0;
+  EXPECT_THROW(greedy_vertex_cover(h, neg), InvalidInputError);
+}
+
+TEST(GreedyCover, WithinHarmonicFactorOfExactOptimum) {
+  // The JCL guarantee: greedy <= H_m * OPT. Check on exhaustive
+  // instances small enough for branch and bound.
+  Rng rng{7};
+  for (int trial = 0; trial < 12; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 12, 10, 4);
+    const CoverResult greedy = greedy_vertex_cover(h, unit_weights(h));
+    const ExactCoverResult exact =
+        exact_vertex_cover(h, unit_weights(h));
+    const double hm = harmonic(h.num_edges());
+    EXPECT_LE(greedy.total_weight, exact.total_weight * hm + 1e-9)
+        << "trial " << trial;
+    EXPECT_GE(greedy.total_weight, exact.total_weight - 1e-9);
+  }
+}
+
+TEST(GreedyCover, LowerBoundIsConsistent) {
+  Rng rng{11};
+  const Hypergraph h = testing::random_hypergraph(rng, 20, 25, 4);
+  const CoverResult r = greedy_vertex_cover(h, unit_weights(h));
+  EXPECT_LE(r.lower_bound, r.total_weight);
+  EXPECT_GT(r.lower_bound, 0.0);
+}
+
+TEST(IsVertexCover, DetectsNonCovers) {
+  const Hypergraph h = testing::toy_hypergraph();
+  EXPECT_FALSE(is_vertex_cover(h, {}));
+  EXPECT_FALSE(is_vertex_cover(h, {0}));  // misses e2 = {4,5} etc.
+  EXPECT_TRUE(is_vertex_cover(h, {2, 4, 5}));
+  EXPECT_THROW(is_vertex_cover(h, {99}), InvalidInputError);
+}
+
+TEST(Harmonic, KnownValues) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_NEAR(harmonic(4), 1.0 + 0.5 + 1.0 / 3.0 + 0.25, 1e-12);
+  EXPECT_NEAR(harmonic(1000), std::log(1000.0) + 0.5772, 0.01);
+}
+
+TEST(AverageDegree, Basics) {
+  const Hypergraph h = testing::toy_hypergraph();
+  EXPECT_DOUBLE_EQ(average_degree(h, {}), 0.0);
+  EXPECT_DOUBLE_EQ(average_degree(h, {2}), 3.0);
+  EXPECT_DOUBLE_EQ(average_degree(h, {2, 6}), 2.0);  // (3 + 1) / 2
+}
+
+}  // namespace
+}  // namespace hp::hyper

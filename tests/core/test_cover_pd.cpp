@@ -1,0 +1,103 @@
+#include "core/cover_pd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(PrimalDual, ProducesValidCover) {
+  Rng rng{3};
+  for (int trial = 0; trial < 10; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 30, 35, 5);
+    const PrimalDualResult r = primal_dual_cover(h, unit_weights(h));
+    EXPECT_TRUE(is_vertex_cover(h, r.vertices)) << trial;
+  }
+}
+
+TEST(PrimalDual, DualIsALowerBound) {
+  Rng rng{4};
+  for (int trial = 0; trial < 8; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 12, 10, 4);
+    const PrimalDualResult pd = primal_dual_cover(h, unit_weights(h));
+    const ExactCoverResult exact = exact_vertex_cover(h, unit_weights(h));
+    EXPECT_LE(pd.dual_value, exact.total_weight + 1e-9) << trial;
+    EXPECT_GE(pd.total_weight, exact.total_weight - 1e-9) << trial;
+  }
+}
+
+TEST(PrimalDual, WithinMaxEdgeSizeFactor) {
+  Rng rng{9};
+  for (int trial = 0; trial < 8; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 12, 12, 4);
+    const PrimalDualResult pd = primal_dual_cover(h, unit_weights(h));
+    const ExactCoverResult exact = exact_vertex_cover(h, unit_weights(h));
+    EXPECT_LE(pd.total_weight,
+              exact.total_weight * h.max_edge_size() + 1e-9)
+        << trial;
+  }
+}
+
+TEST(PrimalDual, ZeroWeightVerticesAreFree) {
+  HypergraphBuilder b{3};
+  b.add_edge({0, 1});
+  b.add_edge({1, 2});
+  const Hypergraph h = b.build();
+  const PrimalDualResult r = primal_dual_cover(h, {5.0, 0.0, 5.0});
+  EXPECT_TRUE(is_vertex_cover(h, r.vertices));
+  EXPECT_DOUBLE_EQ(r.total_weight, 0.0);  // vertex 1 alone suffices
+}
+
+TEST(PrimalDual, EmptyHypergraph) {
+  const Hypergraph h = HypergraphBuilder{3}.build();
+  const PrimalDualResult r = primal_dual_cover(h, unit_weights(h));
+  EXPECT_TRUE(r.vertices.empty());
+  EXPECT_DOUBLE_EQ(r.dual_value, 0.0);
+}
+
+TEST(ExactCover, SolvesKnownInstances) {
+  // Star: optimum is the hub alone.
+  HypergraphBuilder b{5};
+  b.add_edge({0, 1});
+  b.add_edge({0, 2});
+  b.add_edge({0, 3});
+  b.add_edge({0, 4});
+  const ExactCoverResult r = exact_vertex_cover(b.build(),
+                                                unit_weights(b.build()));
+  EXPECT_EQ(r.vertices, (std::vector<index_t>{0}));
+  EXPECT_DOUBLE_EQ(r.total_weight, 1.0);
+}
+
+TEST(ExactCover, RespectsWeights) {
+  // Hub is expensive: optimum picks the four leaves.
+  HypergraphBuilder b{5};
+  b.add_edge({0, 1});
+  b.add_edge({0, 2});
+  b.add_edge({0, 3});
+  b.add_edge({0, 4});
+  const ExactCoverResult r =
+      exact_vertex_cover(b.build(), {3.5, 1.0, 1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(r.total_weight, 3.5);  // hub still cheaper than 4 leaves
+  const ExactCoverResult r2 =
+      exact_vertex_cover(b.build(), {4.5, 1.0, 1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(r2.total_weight, 4.0);  // now the leaves win
+  EXPECT_EQ(r2.vertices.size(), 4u);
+}
+
+TEST(ExactCover, EmptyEdgeSetIsZero) {
+  const Hypergraph h = HypergraphBuilder{4}.build();
+  const ExactCoverResult r = exact_vertex_cover(h, unit_weights(h));
+  EXPECT_TRUE(r.vertices.empty());
+  EXPECT_DOUBLE_EQ(r.total_weight, 0.0);
+}
+
+TEST(ExactCover, RefusesLargeInstances) {
+  Rng rng{21};
+  const Hypergraph h = testing::random_hypergraph(rng, 64, 10, 3);
+  EXPECT_THROW(exact_vertex_cover(h, unit_weights(h)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hp::hyper

@@ -1,0 +1,97 @@
+// Property-based sweeps for the cover family: greedy, multicover, and
+// primal-dual against the exact branch-and-bound oracle, with random
+// weights and random per-edge requirements.
+#include <gtest/gtest.h>
+
+#include "core/cover.hpp"
+#include "core/cover_pd.hpp"
+#include "core/multicover.hpp"
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+std::vector<double> random_weights(Rng& rng, index_t n) {
+  std::vector<double> w(n);
+  for (double& x : w) x = rng.uniform_real(0.1, 10.0);
+  return w;
+}
+
+/// Exact minimum-cardinality multicover by exhaustive subset search;
+/// usable up to ~16 vertices.
+std::size_t exact_multicover_size(const Hypergraph& h,
+                                  const std::vector<index_t>& req) {
+  const index_t n = h.num_vertices();
+  std::size_t best = n + 1;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    const std::size_t size = static_cast<std::size_t>(__builtin_popcount(mask));
+    if (size >= best) continue;
+    std::vector<index_t> cover;
+    for (index_t v = 0; v < n; ++v) {
+      if (mask & (1u << v)) cover.push_back(v);
+    }
+    if (is_multicover(h, cover, req)) best = size;
+  }
+  return best;
+}
+
+class CoverProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoverProperties, GreedyWithRandomWeightsIsValidAndBounded) {
+  Rng rng{GetParam()};
+  const Hypergraph h = testing::random_hypergraph(rng, 12, 10, 4);
+  const std::vector<double> w = random_weights(rng, h.num_vertices());
+  const CoverResult greedy = greedy_vertex_cover(h, w);
+  EXPECT_TRUE(is_vertex_cover(h, greedy.vertices));
+  const ExactCoverResult exact = exact_vertex_cover(h, w);
+  const double hm = harmonic(h.num_edges());
+  EXPECT_LE(greedy.total_weight, exact.total_weight * hm + 1e-9);
+  EXPECT_GE(greedy.total_weight, exact.total_weight - 1e-9);
+}
+
+TEST_P(CoverProperties, PrimalDualSandwichesTheOptimum) {
+  Rng rng{GetParam() * 31 + 7};
+  const Hypergraph h = testing::random_hypergraph(rng, 12, 10, 4);
+  const std::vector<double> w = random_weights(rng, h.num_vertices());
+  const PrimalDualResult pd = primal_dual_cover(h, w);
+  const ExactCoverResult exact = exact_vertex_cover(h, w);
+  EXPECT_TRUE(is_vertex_cover(h, pd.vertices));
+  EXPECT_LE(pd.dual_value, exact.total_weight + 1e-9);
+  EXPECT_GE(pd.total_weight, exact.total_weight - 1e-9);
+  EXPECT_LE(pd.total_weight,
+            exact.total_weight * h.max_edge_size() + 1e-9);
+}
+
+TEST_P(CoverProperties, MulticoverWithRandomRequirements) {
+  Rng rng{GetParam() * 101 + 13};
+  const Hypergraph h = testing::random_hypergraph(rng, 14, 8, 4);
+  std::vector<index_t> req(h.num_edges());
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    req[e] = 1 + static_cast<index_t>(rng.uniform(3));
+  }
+  const MulticoverResult greedy =
+      greedy_multicover(h, unit_weights(h), req);
+  EXPECT_TRUE(is_multicover(h, greedy.vertices, req));
+
+  // Against the exhaustive optimum: greedy is within the H_m factor.
+  const std::size_t optimum = exact_multicover_size(h, req);
+  const double hm = harmonic(h.num_edges());
+  EXPECT_LE(static_cast<double>(greedy.vertices.size()),
+            static_cast<double>(optimum) * hm + 1e-9);
+  EXPECT_GE(greedy.vertices.size(), optimum);
+}
+
+TEST_P(CoverProperties, CoverIsMinimalEnough) {
+  // Sanity: no chosen vertex is entirely redundant at selection time --
+  // equivalently the greedy cover never exceeds |F| vertices.
+  Rng rng{GetParam() * 977};
+  const Hypergraph h = testing::random_hypergraph(rng, 30, 20, 5);
+  const CoverResult greedy = greedy_vertex_cover(h, unit_weights(h));
+  EXPECT_LE(greedy.vertices.size(), h.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverProperties,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace hp::hyper

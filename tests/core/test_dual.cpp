@@ -1,0 +1,54 @@
+#include "core/dual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(Dual, SwapsRoles) {
+  HypergraphBuilder b{3};
+  b.add_edge({0, 1});  // e0
+  b.add_edge({1, 2});  // e1
+  const Hypergraph h = b.build();
+  const Hypergraph d = dual(h);
+  // Dual vertices = original edges (2); dual edges = original vertices
+  // with positive degree (3).
+  EXPECT_EQ(d.num_vertices(), 2u);
+  EXPECT_EQ(d.num_edges(), 3u);
+  EXPECT_EQ(d.num_pins(), h.num_pins());
+}
+
+TEST(Dual, DegreeSizeExchange) {
+  const Hypergraph h = testing::toy_hypergraph();
+  const Hypergraph d = dual(h);
+  // Max dual edge size = max original vertex degree, and vice versa for
+  // vertices that had positive degree.
+  EXPECT_EQ(d.max_edge_size(), h.max_vertex_degree());
+  EXPECT_EQ(d.max_vertex_degree(), h.max_edge_size());
+}
+
+TEST(Dual, DoubleDualRecoversPinCount) {
+  Rng rng{55};
+  const Hypergraph h = testing::random_hypergraph(rng, 20, 15, 5);
+  const Hypergraph dd = dual(dual(h));
+  EXPECT_EQ(dd.num_pins(), h.num_pins());
+  EXPECT_EQ(dd.num_edges(), h.num_edges());
+}
+
+TEST(Dual, IsolatedVerticesVanish) {
+  HypergraphBuilder b{5};
+  b.add_edge({0, 1});
+  const Hypergraph d = dual(b.build());
+  EXPECT_EQ(d.num_edges(), 2u);  // only vertices 0 and 1 become edges
+}
+
+TEST(Dual, ValidatesStructurally) {
+  Rng rng{66};
+  const Hypergraph h = testing::random_hypergraph(rng, 30, 20, 6);
+  EXPECT_NO_THROW(validate(dual(h)));
+}
+
+}  // namespace
+}  // namespace hp::hyper

@@ -1,0 +1,137 @@
+#include "core/generalized_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(MeasureValues, DegreeCountsConnectingEdges) {
+  // e0 = {0,1}, e1 = {0,2}, e2 = {0}: the singleton never connects.
+  HypergraphBuilder b{3};
+  b.add_edge({0, 1});
+  b.add_edge({0, 2});
+  b.add_edge({0});
+  const auto deg = measure_values(b.build(), CoreMeasure::kDegree);
+  EXPECT_DOUBLE_EQ(deg[0], 2.0);
+  EXPECT_DOUBLE_EQ(deg[1], 1.0);
+  EXPECT_DOUBLE_EQ(deg[2], 1.0);
+}
+
+TEST(MeasureValues, PinWeightStartsAtDegree) {
+  // On an intact hypergraph each edge contributes exactly 1.
+  Rng rng{3};
+  const Hypergraph h = testing::random_hypergraph(rng, 20, 15, 5);
+  const auto pin = measure_values(h, CoreMeasure::kPinWeight);
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    index_t nontrivial = 0;
+    for (index_t e : h.edges_of(v)) {
+      if (h.edge_size(e) >= 2) ++nontrivial;
+    }
+    EXPECT_DOUBLE_EQ(pin[v], static_cast<double>(nontrivial)) << v;
+  }
+}
+
+TEST(MeasureValues, NeighborhoodIsVertexDegree2) {
+  // Matches the d2(v) from the cover analysis on the intact hypergraph.
+  const Hypergraph h = testing::toy_hypergraph();
+  const auto nbr = measure_values(h, CoreMeasure::kNeighborhood);
+  EXPECT_DOUBLE_EQ(nbr[0], 4.0);  // co-members of vertex 0: {1,2,3,6}
+  EXPECT_DOUBLE_EQ(nbr[4], 3.0);  // {2,3,5}
+  EXPECT_DOUBLE_EQ(nbr[6], 4.0);  // {0,1,2,3}
+}
+
+TEST(GeneralizedCore, CoreValuesAreMonotoneInPeelOrder) {
+  Rng rng{7};
+  for (const CoreMeasure m :
+       {CoreMeasure::kDegree, CoreMeasure::kPinWeight,
+        CoreMeasure::kNeighborhood}) {
+    const Hypergraph h = testing::random_hypergraph(rng, 30, 30, 5);
+    const GeneralizedCoreResult r = generalized_core(h, m);
+    double max_seen = 0.0;
+    for (double v : r.value) {
+      EXPECT_GE(v, 0.0);
+      max_seen = std::max(max_seen, v);
+    }
+    EXPECT_DOUBLE_EQ(max_seen, r.max_value);
+  }
+}
+
+TEST(GeneralizedCore, CoreConditionHoldsWithinEachLevel) {
+  // Property: every vertex in the t-core has measure >= t when the
+  // measure is evaluated on the t-core itself (for the degree measure).
+  Rng rng{11};
+  const Hypergraph h = testing::random_hypergraph(rng, 25, 30, 4);
+  const GeneralizedCoreResult r =
+      generalized_core(h, CoreMeasure::kDegree);
+  for (double t = 1.0; t <= r.max_value; t += 1.0) {
+    const auto members = r.core_vertices(t);
+    if (members.empty()) continue;
+    std::vector<bool> in(h.num_vertices(), false);
+    for (index_t v : members) in[v] = true;
+    for (index_t v : members) {
+      // Degree within the core: incident edges with >= 1 other core
+      // member.
+      index_t degree = 0;
+      for (index_t e : h.edges_of(v)) {
+        index_t live = 0;
+        for (index_t w : h.vertices_of(e)) {
+          if (in[w]) ++live;
+        }
+        if (live >= 2) ++degree;
+      }
+      EXPECT_GE(static_cast<double>(degree), t) << "vertex " << v;
+    }
+  }
+}
+
+TEST(GeneralizedCore, DegreeMeasureOnDisjointEdgesIsOne) {
+  HypergraphBuilder b{6};
+  b.add_edge({0, 1});
+  b.add_edge({2, 3});
+  b.add_edge({4, 5});
+  const GeneralizedCoreResult r =
+      generalized_core(b.build(), CoreMeasure::kDegree);
+  EXPECT_DOUBLE_EQ(r.max_value, 1.0);
+}
+
+TEST(GeneralizedCore, PlantedDenseModuleGetsHighestValues) {
+  // 5 vertices covered by all C(5,3) triples, plus pendant vertices.
+  HypergraphBuilder b{10};
+  for (index_t i = 0; i < 5; ++i) {
+    for (index_t j = i + 1; j < 5; ++j) {
+      for (index_t k = j + 1; k < 5; ++k) b.add_edge({i, j, k});
+    }
+  }
+  for (index_t v = 5; v < 10; ++v) {
+    b.add_edge({0, v});
+  }
+  const GeneralizedCoreResult r =
+      generalized_core(b.build(), CoreMeasure::kDegree);
+  for (index_t v = 0; v < 5; ++v) {
+    for (index_t w = 5; w < 10; ++w) {
+      EXPECT_GT(r.value[v], r.value[w]);
+    }
+  }
+}
+
+TEST(GeneralizedCore, EmptyHypergraph) {
+  const GeneralizedCoreResult r =
+      generalized_core(HypergraphBuilder{0}.build(), CoreMeasure::kDegree);
+  EXPECT_DOUBLE_EQ(r.max_value, 0.0);
+  EXPECT_TRUE(r.value.empty());
+}
+
+TEST(GeneralizedCore, DeterministicAcrossRuns) {
+  Rng rng{13};
+  const Hypergraph h = testing::random_hypergraph(rng, 20, 25, 5);
+  const GeneralizedCoreResult a =
+      generalized_core(h, CoreMeasure::kNeighborhood);
+  const GeneralizedCoreResult b =
+      generalized_core(h, CoreMeasure::kNeighborhood);
+  EXPECT_EQ(a.value, b.value);
+}
+
+}  // namespace
+}  // namespace hp::hyper

@@ -1,0 +1,42 @@
+// Shared helpers for the hypergraph test suites.
+#pragma once
+
+#include <vector>
+
+#include "core/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace hp::hyper::testing {
+
+/// Random hypergraph: `num_edges` hyperedges, each with a uniform size in
+/// [1, max_size], members drawn uniformly (deduplicated by the builder).
+inline Hypergraph random_hypergraph(Rng& rng, index_t num_vertices,
+                                    index_t num_edges, index_t max_size) {
+  HypergraphBuilder builder{num_vertices};
+  std::vector<index_t> members;
+  for (index_t e = 0; e < num_edges; ++e) {
+    const index_t size =
+        1 + static_cast<index_t>(rng.uniform(max_size));
+    members.clear();
+    for (index_t i = 0; i < size; ++i) {
+      members.push_back(static_cast<index_t>(rng.uniform(num_vertices)));
+    }
+    builder.add_edge(members);
+  }
+  return builder.build();
+}
+
+/// The paper-style toy: two overlapping "complexes" plus satellites.
+///   e0 = {0,1,2,3}, e1 = {2,3,4}, e2 = {4,5}, e3 = {5}, e4 = {0,1,2,3,6}
+/// e0 is contained in e4, so a reduction must drop e0.
+inline Hypergraph toy_hypergraph() {
+  HypergraphBuilder b{7};
+  b.add_edge({0, 1, 2, 3});
+  b.add_edge({2, 3, 4});
+  b.add_edge({4, 5});
+  b.add_edge({5});
+  b.add_edge({0, 1, 2, 3, 6});
+  return b.build();
+}
+
+}  // namespace hp::hyper::testing

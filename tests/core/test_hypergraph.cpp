@@ -1,0 +1,157 @@
+#include "core/hypergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/common.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(HypergraphBuilder, BasicConstruction) {
+  HypergraphBuilder b{4};
+  const index_t e0 = b.add_edge({0, 1, 2});
+  const index_t e1 = b.add_edge({2, 3});
+  EXPECT_EQ(e0, 0u);
+  EXPECT_EQ(e1, 1u);
+  const Hypergraph h = b.build();
+  EXPECT_EQ(h.num_vertices(), 4u);
+  EXPECT_EQ(h.num_edges(), 2u);
+  EXPECT_EQ(h.num_pins(), 5u);
+  EXPECT_EQ(h.edge_size(0), 3u);
+  EXPECT_EQ(h.vertex_degree(2), 2u);
+  EXPECT_EQ(h.vertex_degree(3), 1u);
+}
+
+TEST(HypergraphBuilder, SortsAndDeduplicatesMembers) {
+  HypergraphBuilder b{5};
+  b.add_edge({3, 1, 3, 0, 1});
+  const Hypergraph h = b.build();
+  const auto members = h.vertices_of(0);
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], 0u);
+  EXPECT_EQ(members[1], 1u);
+  EXPECT_EQ(members[2], 3u);
+}
+
+TEST(HypergraphBuilder, RejectsEmptyEdgeAndBadVertex) {
+  HypergraphBuilder b{3};
+  EXPECT_THROW(b.add_edge(std::initializer_list<index_t>{}),
+               InvalidInputError);
+  EXPECT_THROW(b.add_edge({0, 3}), InvalidInputError);
+}
+
+TEST(Hypergraph, EdgesOfIsSortedByEdgeId) {
+  HypergraphBuilder b{3};
+  b.add_edge({0, 1});
+  b.add_edge({0, 2});
+  b.add_edge({0});
+  const Hypergraph h = b.build();
+  const auto edges = h.edges_of(0);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], 0u);
+  EXPECT_EQ(edges[1], 1u);
+  EXPECT_EQ(edges[2], 2u);
+}
+
+TEST(Hypergraph, EdgeContains) {
+  const Hypergraph h = testing::toy_hypergraph();
+  EXPECT_TRUE(h.edge_contains(0, 2));
+  EXPECT_FALSE(h.edge_contains(0, 5));
+  EXPECT_TRUE(h.edge_contains(3, 5));
+}
+
+TEST(Hypergraph, MaxDegrees) {
+  const Hypergraph h = testing::toy_hypergraph();
+  EXPECT_EQ(h.max_edge_size(), 5u);   // e4
+  EXPECT_EQ(h.max_vertex_degree(), 3u);  // vertex 2 or 3: e0, e1, e4
+}
+
+TEST(Hypergraph, IsolatedVertices) {
+  HypergraphBuilder b{5};
+  b.add_edge({0, 1});
+  const Hypergraph h = b.build();
+  EXPECT_EQ(h.vertex_degree(4), 0u);
+  EXPECT_TRUE(h.edges_of(4).empty());
+}
+
+TEST(Hypergraph, EmptyHypergraph) {
+  const Hypergraph h = HypergraphBuilder{0}.build();
+  EXPECT_EQ(h.num_vertices(), 0u);
+  EXPECT_EQ(h.num_edges(), 0u);
+  EXPECT_EQ(h.num_pins(), 0u);
+  EXPECT_EQ(h.max_vertex_degree(), 0u);
+  EXPECT_EQ(h.max_edge_size(), 0u);
+}
+
+TEST(Hypergraph, EqualityIsStructural) {
+  HypergraphBuilder a{3}, b{3};
+  a.add_edge({0, 1});
+  b.add_edge({1, 0});
+  EXPECT_EQ(a.build(), b.build());
+  b.add_edge({2});
+  EXPECT_NE(a.build(), b.build());
+}
+
+TEST(Validate, AcceptsWellFormed) {
+  EXPECT_NO_THROW(validate(testing::toy_hypergraph()));
+  EXPECT_NO_THROW(validate(HypergraphBuilder{0}.build()));
+}
+
+TEST(Validate, RandomHypergraphsAreConsistent) {
+  Rng rng{2024};
+  for (int trial = 0; trial < 10; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 40, 30, 8);
+    EXPECT_NO_THROW(validate(h));
+  }
+}
+
+TEST(Induce, KeepsSelectedAndRemaps) {
+  const Hypergraph h = testing::toy_hypergraph();
+  std::vector<bool> keep_v(7, true);
+  keep_v[4] = false;  // drop vertex 4
+  std::vector<bool> keep_e(5, true);
+  keep_e[3] = false;  // drop the singleton {5}
+  const SubHypergraph sub = induce(h, keep_v, keep_e);
+  EXPECT_EQ(sub.hypergraph.num_vertices(), 6u);
+  // e2 = {4,5} loses 4 and becomes {5}; still non-empty so it is kept.
+  EXPECT_EQ(sub.hypergraph.num_edges(), 4u);
+  EXPECT_NO_THROW(validate(sub.hypergraph));
+  // Mappings point back at the parent.
+  EXPECT_EQ(sub.vertex_to_parent.size(), 6u);
+  for (index_t e = 0; e < sub.hypergraph.num_edges(); ++e) {
+    EXPECT_NE(sub.edge_to_parent[e], 3u);
+  }
+}
+
+TEST(Induce, DropsEmptiedEdges) {
+  const Hypergraph h = testing::toy_hypergraph();
+  std::vector<bool> keep_v(7, true);
+  keep_v[5] = false;
+  std::vector<bool> keep_e(5, true);
+  const SubHypergraph sub = induce(h, keep_v, keep_e);
+  // e3 = {5} becomes empty and disappears.
+  EXPECT_EQ(sub.hypergraph.num_edges(), 4u);
+}
+
+TEST(Induce, SizeMismatchThrows) {
+  const Hypergraph h = testing::toy_hypergraph();
+  EXPECT_THROW(induce(h, std::vector<bool>(3, true),
+                      std::vector<bool>(5, true)),
+               InvalidInputError);
+  EXPECT_THROW(induce(h, std::vector<bool>(7, true),
+                      std::vector<bool>(2, true)),
+               InvalidInputError);
+}
+
+TEST(Hypergraph, StorageBytesTracksPins) {
+  HypergraphBuilder small{10}, large{10};
+  small.add_edge({0, 1});
+  for (int i = 0; i < 20; ++i) {
+    large.add_edge({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  }
+  EXPECT_LT(small.build().storage_bytes(), large.build().storage_bytes());
+}
+
+}  // namespace
+}  // namespace hp::hyper

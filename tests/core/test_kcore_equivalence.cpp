@@ -1,0 +1,93 @@
+// Differential tests: the overlap-maintaining peel (the paper's
+// algorithm), the naive set-comparison reference, and the
+// bulk-synchronous parallel variant must agree on every input.
+//
+// Agreement contract: vertex core numbers, maximum core, and per-level
+// vertex/edge counts are identical. Edge *identity* may differ between
+// implementations only within groups of hyperedges whose residual sets
+// become equal during peeling (each keeps one representative).
+#include <gtest/gtest.h>
+
+#include "core/kcore.hpp"
+#include "core/kcore_naive.hpp"
+#include "core/kcore_parallel.hpp"
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+void expect_equivalent(const HyperCoreResult& a, const HyperCoreResult& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.max_core, b.max_core) << label;
+  EXPECT_EQ(a.vertex_core, b.vertex_core) << label;
+  EXPECT_EQ(a.level_vertices, b.level_vertices) << label;
+  EXPECT_EQ(a.level_edges, b.level_edges) << label;
+}
+
+class KCoreEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KCoreEquivalence, RandomSparse) {
+  Rng rng{GetParam()};
+  const Hypergraph h = testing::random_hypergraph(rng, 30, 40, 5);
+  const HyperCoreResult fast = core_decomposition(h);
+  expect_equivalent(fast, core_decomposition_naive(h), "naive");
+  expect_equivalent(fast, core_decomposition_parallel(h), "parallel");
+}
+
+TEST_P(KCoreEquivalence, RandomDense) {
+  Rng rng{GetParam() * 7919};
+  const Hypergraph h = testing::random_hypergraph(rng, 15, 60, 8);
+  const HyperCoreResult fast = core_decomposition(h);
+  expect_equivalent(fast, core_decomposition_naive(h), "naive");
+  expect_equivalent(fast, core_decomposition_parallel(h), "parallel");
+}
+
+TEST_P(KCoreEquivalence, ManySmallEdges) {
+  Rng rng{GetParam() * 104729};
+  const Hypergraph h = testing::random_hypergraph(rng, 50, 120, 3);
+  const HyperCoreResult fast = core_decomposition(h);
+  expect_equivalent(fast, core_decomposition_naive(h), "naive");
+  expect_equivalent(fast, core_decomposition_parallel(h), "parallel");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KCoreEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+TEST(KCoreEquivalence, ToyHypergraph) {
+  const Hypergraph h = testing::toy_hypergraph();
+  const HyperCoreResult fast = core_decomposition(h);
+  expect_equivalent(fast, core_decomposition_naive(h), "naive");
+  expect_equivalent(fast, core_decomposition_parallel(h), "parallel");
+}
+
+TEST(KCoreEquivalence, DuplicateHeavyInput) {
+  // Stress representative selection: many duplicate and nested edges.
+  HypergraphBuilder b{6};
+  b.add_edge({0, 1, 2});
+  b.add_edge({0, 1, 2});
+  b.add_edge({1, 2});
+  b.add_edge({0, 1, 2, 3});
+  b.add_edge({3, 4, 5});
+  b.add_edge({4, 5});
+  b.add_edge({4, 5});
+  const Hypergraph h = b.build();
+  const HyperCoreResult fast = core_decomposition(h);
+  expect_equivalent(fast, core_decomposition_naive(h), "naive");
+  expect_equivalent(fast, core_decomposition_parallel(h), "parallel");
+}
+
+TEST(KCoreEquivalence, StarOfEdges) {
+  // One hub vertex in every edge; peeling order stresses the cascade.
+  HypergraphBuilder b{9};
+  for (index_t i = 1; i < 9; i += 2) {
+    b.add_edge({0, i, i + 1 < 9 ? i + 1 : 1});
+  }
+  const Hypergraph h = b.build();
+  const HyperCoreResult fast = core_decomposition(h);
+  expect_equivalent(fast, core_decomposition_naive(h), "naive");
+  expect_equivalent(fast, core_decomposition_parallel(h), "parallel");
+}
+
+}  // namespace
+}  // namespace hp::hyper

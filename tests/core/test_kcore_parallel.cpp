@@ -1,0 +1,69 @@
+#include "core/kcore_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/kcore.hpp"
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(ParallelKCore, EmptyAndTrivial) {
+  const HyperCoreResult empty =
+      core_decomposition_parallel(HypergraphBuilder{0}.build());
+  EXPECT_EQ(empty.max_core, 0u);
+
+  HypergraphBuilder b{2};
+  b.add_edge({0, 1});
+  const HyperCoreResult one = core_decomposition_parallel(b.build());
+  EXPECT_EQ(one.max_core, 1u);
+}
+
+TEST(ParallelKCore, ThreadCountDoesNotChangeResult) {
+  Rng rng{31337};
+  const Hypergraph h = testing::random_hypergraph(rng, 60, 80, 6);
+  const HyperCoreResult t1 = core_decomposition_parallel(h, 1);
+  const HyperCoreResult t2 = core_decomposition_parallel(h, 2);
+  const HyperCoreResult t4 = core_decomposition_parallel(h, 4);
+  EXPECT_EQ(t1.vertex_core, t2.vertex_core);
+  EXPECT_EQ(t1.vertex_core, t4.vertex_core);
+  EXPECT_EQ(t1.edge_core, t2.edge_core);
+  EXPECT_EQ(t1.edge_core, t4.edge_core);
+  EXPECT_EQ(t1.max_core, t4.max_core);
+}
+
+TEST(ParallelKCore, EdgeRepresentativeIsLowestId) {
+  // Two edges shrink to the same residual set in the same round; the
+  // parallel algorithm deterministically keeps the lower id.
+  HypergraphBuilder b{4};
+  b.add_edge({0, 1, 2});  // e0
+  b.add_edge({0, 1, 3});  // e1
+  const HyperCoreResult r = core_decomposition_parallel(b.build());
+  // At k = 2: vertices 2 and 3 peel, e0 and e1 both become {0,1};
+  // e1 (higher id) is deleted at level 2 (edge_core 1), e0 peels later.
+  EXPECT_EQ(r.max_core, 1u);
+  EXPECT_EQ(r.edge_core[1], 1u);
+}
+
+TEST(ParallelKCore, ExtractedCoreIsValid) {
+  Rng rng{71};
+  const Hypergraph h = testing::random_hypergraph(rng, 40, 60, 5);
+  const HyperCoreResult r = core_decomposition_parallel(h);
+  for (index_t k = 1; k <= r.max_core; ++k) {
+    const SubHypergraph core = extract_core(h, r, k);
+    EXPECT_TRUE(satisfies_core_conditions(core.hypergraph, k)) << k;
+  }
+}
+
+TEST(ParallelKCore, DefaultThreadsMatchesSequentialContract) {
+  Rng rng{9001};
+  const Hypergraph h = testing::random_hypergraph(rng, 35, 50, 6);
+  const HyperCoreResult par = core_decomposition_parallel(h);
+  const HyperCoreResult seq = core_decomposition(h);
+  EXPECT_EQ(par.vertex_core, seq.vertex_core);
+  EXPECT_EQ(par.level_vertices, seq.level_vertices);
+  EXPECT_EQ(par.level_edges, seq.level_edges);
+}
+
+}  // namespace
+}  // namespace hp::hyper

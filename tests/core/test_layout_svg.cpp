@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kcore.hpp"
+#include "core/layout.hpp"
+#include "core/projection.hpp"
+#include "core/svg.hpp"
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(ForceLayout, PositionsStayOnCanvas) {
+  Rng rng{5};
+  const Hypergraph h = testing::random_hypergraph(rng, 20, 15, 4);
+  const graph::Graph b = bipartite_graph(h);
+  LayoutParams params;
+  params.iterations = 30;
+  const auto pos = force_layout(b, params);
+  ASSERT_EQ(pos.size(), b.num_vertices());
+  for (const Point& p : pos) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, params.width);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, params.height);
+  }
+}
+
+TEST(ForceLayout, DeterministicForSeed) {
+  graph::GraphBuilder b{6};
+  for (index_t i = 0; i + 1 < 6; ++i) b.add_edge(i, i + 1);
+  const graph::Graph g = b.build();
+  LayoutParams params;
+  params.iterations = 25;
+  const auto a = force_layout(g, params);
+  const auto c = force_layout(g, params);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, c[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, c[i].y);
+  }
+}
+
+TEST(ForceLayout, ConnectedNodesEndUpCloserThanRandomPairs) {
+  // A path graph: layout should place adjacent vertices closer on
+  // average than the endpoints.
+  graph::GraphBuilder b{10};
+  for (index_t i = 0; i + 1 < 10; ++i) b.add_edge(i, i + 1);
+  LayoutParams params;
+  params.iterations = 150;
+  const auto pos = force_layout(b.build(), params);
+  auto dist = [&](index_t u, index_t v) {
+    const double dx = pos[u].x - pos[v].x;
+    const double dy = pos[u].y - pos[v].y;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  double adjacent = 0.0;
+  for (index_t i = 0; i + 1 < 10; ++i) adjacent += dist(i, i + 1);
+  adjacent /= 9.0;
+  EXPECT_LT(adjacent, dist(0, 9));
+}
+
+TEST(ForceLayout, TrivialGraphs) {
+  EXPECT_TRUE(force_layout(graph::GraphBuilder{0}.build()).empty());
+  EXPECT_EQ(force_layout(graph::GraphBuilder{1}.build()).size(), 1u);
+}
+
+TEST(FitToCanvas, NormalizesIntoMargins) {
+  std::vector<Point> pts{{-50.0, 0.0}, {0.0, 500.0}, {200.0, 1000.0}};
+  fit_to_canvas(pts, 100.0, 100.0, 10.0);
+  for (const Point& p : pts) {
+    EXPECT_GE(p.x, 10.0);
+    EXPECT_LE(p.x, 90.0);
+    EXPECT_GE(p.y, 10.0);
+    EXPECT_LE(p.y, 90.0);
+  }
+  // Extremes hit the margins exactly.
+  EXPECT_DOUBLE_EQ(pts[0].x, 10.0);
+  EXPECT_DOUBLE_EQ(pts[2].x, 90.0);
+}
+
+TEST(FitToCanvas, RejectsOversizedMargin) {
+  std::vector<Point> pts{{0.0, 0.0}};
+  EXPECT_THROW(fit_to_canvas(pts, 10.0, 10.0, 6.0), InvalidInputError);
+}
+
+TEST(Svg, ContainsAllNodesAndLegend) {
+  const Hypergraph h = testing::toy_hypergraph();
+  const HyperCoreResult cores = core_decomposition(h);
+  LayoutParams params;
+  params.iterations = 20;
+  const std::string svg =
+      render_fig3_svg(h, cores.vertex_core, cores.edge_core, 1, params);
+  // One circle per protein + 2 legend circles; one rect per complex +
+  // background + 2 legend rects.
+  std::size_t circles = 0, rects = 0, lines = 0;
+  for (std::size_t i = 0; (i = svg.find("<circle", i)) != std::string::npos;
+       ++i) {
+    ++circles;
+  }
+  for (std::size_t i = 0; (i = svg.find("<rect", i)) != std::string::npos;
+       ++i) {
+    ++rects;
+  }
+  for (std::size_t i = 0; (i = svg.find("<line", i)) != std::string::npos;
+       ++i) {
+    ++lines;
+  }
+  EXPECT_EQ(circles, h.num_vertices() + 2u);
+  EXPECT_EQ(rects, h.num_edges() + 3u);  // background + legend x2
+  EXPECT_EQ(lines, h.num_pins());
+  EXPECT_NE(svg.find("core complex"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, SizeMismatchThrows) {
+  const Hypergraph h = testing::toy_hypergraph();
+  const std::vector<Point> too_few(3);
+  const std::vector<Fig3Class> classes(h.num_vertices() + h.num_edges(),
+                                       Fig3Class::kProtein);
+  EXPECT_THROW(to_svg(h, too_few, classes), InvalidInputError);
+}
+
+TEST(Svg, SaveToBadPathThrows) {
+  EXPECT_THROW(save_svg("<svg/>", "/nonexistent_dir_hp/x.svg"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hp::hyper

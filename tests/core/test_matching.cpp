@@ -1,0 +1,108 @@
+#include "core/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cover.hpp"
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(GreedyMatching, DisjointEdgesAllMatched) {
+  HypergraphBuilder b{6};
+  b.add_edge({0, 1});
+  b.add_edge({2, 3});
+  b.add_edge({4, 5});
+  const MatchingResult m = greedy_matching(b.build());
+  EXPECT_EQ(m.edges.size(), 3u);
+}
+
+TEST(GreedyMatching, OverlappingEdgesPickOne) {
+  HypergraphBuilder b{3};
+  b.add_edge({0, 1});
+  b.add_edge({1, 2});
+  const Hypergraph h = b.build();
+  const MatchingResult m = greedy_matching(h);
+  EXPECT_EQ(m.edges.size(), 1u);
+  EXPECT_TRUE(is_maximal_matching(h, m.edges));
+}
+
+TEST(GreedyMatching, PrefersSmallEdges) {
+  // The small disjoint pair beats the big edge that blocks both.
+  HypergraphBuilder b{4};
+  b.add_edge({0, 1, 2, 3});
+  b.add_edge({0, 1});
+  b.add_edge({2, 3});
+  const MatchingResult m = greedy_matching(b.build());
+  EXPECT_EQ(m.edges, (std::vector<index_t>{1, 2}));
+}
+
+TEST(GreedyMatching, AlwaysMaximalOnRandomInputs) {
+  Rng rng{33};
+  for (int trial = 0; trial < 10; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 25, 30, 5);
+    const MatchingResult m = greedy_matching(h);
+    EXPECT_TRUE(is_matching(h, m.edges)) << trial;
+    EXPECT_TRUE(is_maximal_matching(h, m.edges)) << trial;
+  }
+}
+
+TEST(Matching, WeakDualityWithCovers) {
+  // |matching| <= |any vertex cover|: each matched edge needs its own
+  // cover vertex.
+  Rng rng{44};
+  for (int trial = 0; trial < 10; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 20, 25, 4);
+    const MatchingResult m = greedy_matching(h);
+    const CoverResult c = greedy_vertex_cover(h, unit_weights(h));
+    EXPECT_LE(m.edges.size(), c.vertices.size()) << trial;
+  }
+}
+
+TEST(ExactMatching, BeatsOrMatchesGreedy) {
+  Rng rng{55};
+  for (int trial = 0; trial < 8; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 15, 12, 4);
+    const MatchingResult greedy = greedy_matching(h);
+    const MatchingResult exact = exact_maximum_matching(h);
+    EXPECT_TRUE(is_matching(h, exact.edges)) << trial;
+    EXPECT_GE(exact.edges.size(), greedy.edges.size()) << trial;
+  }
+}
+
+TEST(ExactMatching, KnownOptimum) {
+  // Two disjoint pairs + a spanning edge: optimum is the two pairs.
+  HypergraphBuilder b{4};
+  b.add_edge({0, 1, 2, 3});
+  b.add_edge({0, 1});
+  b.add_edge({2, 3});
+  const MatchingResult m = exact_maximum_matching(b.build());
+  EXPECT_EQ(m.edges.size(), 2u);
+}
+
+TEST(ExactMatching, RefusesLargeInstances) {
+  Rng rng{66};
+  const Hypergraph h = testing::random_hypergraph(rng, 30, 40, 3);
+  EXPECT_THROW(exact_maximum_matching(h), std::invalid_argument);
+}
+
+TEST(IsMatching, DetectsConflicts) {
+  HypergraphBuilder b{3};
+  b.add_edge({0, 1});
+  b.add_edge({1, 2});
+  const Hypergraph h = b.build();
+  EXPECT_TRUE(is_matching(h, {0}));
+  EXPECT_FALSE(is_matching(h, {0, 1}));
+  EXPECT_TRUE(is_matching(h, {}));
+  EXPECT_THROW(is_matching(h, {7}), InvalidInputError);
+}
+
+TEST(IsMaximalMatching, EmptySetOnlyMaximalForEmptyHypergraph) {
+  EXPECT_TRUE(is_maximal_matching(HypergraphBuilder{3}.build(), {}));
+  HypergraphBuilder b{2};
+  b.add_edge({0, 1});
+  EXPECT_FALSE(is_maximal_matching(b.build(), {}));
+}
+
+}  // namespace
+}  // namespace hp::hyper

@@ -1,0 +1,95 @@
+#include "core/multicover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(Multicover, RequirementOneMatchesCoverSemantics) {
+  Rng rng{5};
+  const Hypergraph h = testing::random_hypergraph(rng, 30, 35, 5);
+  const MulticoverResult r = greedy_multicover(h, unit_weights(h), 1);
+  EXPECT_TRUE(is_multicover(h, r.vertices,
+                            std::vector<index_t>(h.num_edges(), 1)));
+  EXPECT_TRUE(is_vertex_cover(h, r.vertices));
+}
+
+TEST(Multicover, DoubleCoverageIsSatisfied) {
+  Rng rng{6};
+  for (int trial = 0; trial < 8; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 25, 30, 5);
+    const MulticoverResult r = greedy_multicover(h, unit_weights(h), 2);
+    EXPECT_TRUE(is_multicover(h, r.vertices,
+                              std::vector<index_t>(h.num_edges(), 2)))
+        << trial;
+  }
+}
+
+TEST(Multicover, SingletonEdgesAreClampedAndReported) {
+  HypergraphBuilder b{4};
+  b.add_edge({0});         // singleton: can only be covered once
+  b.add_edge({1, 2, 3});
+  const Hypergraph h = b.build();
+  const MulticoverResult r = greedy_multicover(h, unit_weights(h), 2);
+  ASSERT_EQ(r.clamped_edges.size(), 1u);
+  EXPECT_EQ(r.clamped_edges[0], 0u);
+  // Edge 1 is hit twice; edge 0 once.
+  EXPECT_TRUE(is_multicover(h, r.vertices, {2, 2}));
+}
+
+TEST(Multicover, DoubleCoverNeedsMoreVerticesThanSingle) {
+  Rng rng{8};
+  const Hypergraph h = testing::random_hypergraph(rng, 60, 60, 6);
+  const MulticoverResult once = greedy_multicover(h, unit_weights(h), 1);
+  const MulticoverResult twice = greedy_multicover(h, unit_weights(h), 2);
+  EXPECT_GT(twice.vertices.size(), once.vertices.size());
+}
+
+TEST(Multicover, PerEdgeRequirements) {
+  HypergraphBuilder b{6};
+  b.add_edge({0, 1, 2});
+  b.add_edge({3, 4, 5});
+  const Hypergraph h = b.build();
+  const MulticoverResult r =
+      greedy_multicover(h, unit_weights(h), std::vector<index_t>{3, 1});
+  // Edge 0 needs all three members; edge 1 only one.
+  EXPECT_TRUE(is_multicover(h, r.vertices, {3, 1}));
+  index_t from_first = 0;
+  for (index_t v : r.vertices) from_first += v < 3 ? 1 : 0;
+  EXPECT_EQ(from_first, 3u);
+}
+
+TEST(Multicover, NoDuplicateSelections) {
+  Rng rng{13};
+  const Hypergraph h = testing::random_hypergraph(rng, 40, 50, 5);
+  const MulticoverResult r = greedy_multicover(h, unit_weights(h), 2);
+  std::vector<index_t> sorted = r.vertices;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Multicover, RejectsBadArgs) {
+  const Hypergraph h = testing::toy_hypergraph();
+  EXPECT_THROW(greedy_multicover(h, std::vector<double>(2, 1.0), 1),
+               InvalidInputError);
+  EXPECT_THROW(
+      greedy_multicover(h, unit_weights(h), std::vector<index_t>{1, 1}),
+      InvalidInputError);
+  EXPECT_THROW(greedy_multicover(h, unit_weights(h),
+                                 std::vector<index_t>(h.num_edges(), 0)),
+               InvalidInputError);
+}
+
+TEST(IsMulticover, CountsDistinctHits) {
+  HypergraphBuilder b{3};
+  b.add_edge({0, 1, 2});
+  const Hypergraph h = b.build();
+  EXPECT_FALSE(is_multicover(h, {0}, {2}));
+  EXPECT_TRUE(is_multicover(h, {0, 2}, {2}));
+  EXPECT_TRUE(is_multicover(h, {0, 1, 2}, {3}));
+}
+
+}  // namespace
+}  // namespace hp::hyper

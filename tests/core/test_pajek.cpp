@@ -1,0 +1,101 @@
+#include "core/pajek.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/kcore.hpp"
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(Pajek, BipartiteStructure) {
+  HypergraphBuilder b{3};
+  b.add_edge({0, 1});
+  b.add_edge({1, 2});
+  const std::string net = to_pajek_bipartite(b.build());
+  // Two-mode header: 5 nodes total, 3 in the first mode.
+  EXPECT_NE(net.find("*Vertices 5 3"), std::string::npos);
+  EXPECT_NE(net.find("*Edges"), std::string::npos);
+  // Edge lines are 1-based: vertex 1 -> edge node 4.
+  EXPECT_NE(net.find("1 4"), std::string::npos);
+  EXPECT_NE(net.find("3 5"), std::string::npos);
+  // Generic labels.
+  EXPECT_NE(net.find("\"v0\""), std::string::npos);
+  EXPECT_NE(net.find("\"f1\""), std::string::npos);
+}
+
+TEST(Pajek, CustomLabelsAndQuoting) {
+  HypergraphBuilder b{2};
+  b.add_edge({0, 1});
+  const std::string net = to_pajek_bipartite(
+      b.build(), {"ADH1", "has\"quote"}, {"Arp2/3"});
+  EXPECT_NE(net.find("\"ADH1\""), std::string::npos);
+  EXPECT_NE(net.find("\"Arp2/3\""), std::string::npos);
+  // Embedded quotes are replaced, not emitted raw.
+  EXPECT_EQ(net.find("has\"quote"), std::string::npos);
+  EXPECT_NE(net.find("has'quote"), std::string::npos);
+}
+
+TEST(Pajek, LabelCountMismatchThrows) {
+  HypergraphBuilder b{2};
+  b.add_edge({0, 1});
+  EXPECT_THROW(to_pajek_bipartite(b.build(), {"only-one-label"}, {}),
+               InvalidInputError);
+}
+
+TEST(Pajek, PartitionFormat) {
+  const std::string clu = to_pajek_partition(
+      {Fig3Class::kProtein, Fig3Class::kCoreProtein, Fig3Class::kComplex,
+       Fig3Class::kCoreComplex});
+  EXPECT_EQ(clu, "*Vertices 4\n0\n1\n2\n3\n");
+}
+
+TEST(Pajek, Fig3ClassesMatchCoreMembership) {
+  const Hypergraph h = testing::toy_hypergraph();
+  const HyperCoreResult cores = core_decomposition(h);
+  const auto classes =
+      fig3_classes(h, cores.vertex_core, cores.edge_core, 1);
+  ASSERT_EQ(classes.size(), h.num_vertices() + h.num_edges());
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    const bool in_core = cores.vertex_core[v] >= 1;
+    EXPECT_EQ(classes[v] == Fig3Class::kCoreProtein, in_core);
+  }
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    const bool in_core = cores.edge_core[e] >= 1;
+    EXPECT_EQ(classes[h.num_vertices() + e] == Fig3Class::kCoreComplex,
+              in_core);
+  }
+}
+
+TEST(Pajek, GraphExport) {
+  graph::GraphBuilder b{3};
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const std::string net = to_pajek_graph(b.build(), {"a", "b", "c"});
+  EXPECT_NE(net.find("*Vertices 3"), std::string::npos);
+  EXPECT_NE(net.find("1 2"), std::string::npos);
+  EXPECT_NE(net.find("2 3"), std::string::npos);
+  EXPECT_EQ(net.find("2 1\n"), std::string::npos);  // each edge once
+}
+
+TEST(Pajek, SaveToBadPathThrows) {
+  EXPECT_THROW(save_pajek("x", "/nonexistent_dir_hp/a.net"),
+               std::runtime_error);
+}
+
+TEST(Pajek, EdgeCountMatchesPins) {
+  Rng rng{8};
+  const Hypergraph h = testing::random_hypergraph(rng, 20, 15, 5);
+  const std::string net = to_pajek_bipartite(h);
+  // Count lines after "*Edges".
+  const auto pos = net.find("*Edges\n");
+  ASSERT_NE(pos, std::string::npos);
+  count_t lines = 0;
+  for (std::size_t i = pos + 7; i < net.size(); ++i) {
+    if (net[i] == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, h.num_pins());
+}
+
+}  // namespace
+}  // namespace hp::hyper

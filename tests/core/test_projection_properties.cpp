@@ -1,0 +1,127 @@
+// Structural theorems relating the hypergraph to its projections,
+// verified on random inputs:
+//
+//   1. intersection_graph(H) == clique_expansion(dual(H)) -- the
+//      complex intersection graph is exactly the clique expansion of
+//      the dual hypergraph.
+//   2. hypergraph distances == clique-expansion graph distances -- a
+//      path through k hyperedges corresponds to a k-edge path in the
+//      clique expansion and vice versa.
+//   3. star expansion distances are >= clique expansion distances.
+//   4. edge-count identities for each projection.
+#include <gtest/gtest.h>
+
+#include "core/dual.hpp"
+#include "core/projection.hpp"
+#include "core/traversal.hpp"
+#include "graph/graph_algos.hpp"
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+class ProjectionProperties : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ProjectionProperties, IntersectionGraphIsCliqueExpansionOfDual) {
+  Rng rng{GetParam()};
+  const Hypergraph h = testing::random_hypergraph(rng, 20, 18, 5);
+  const graph::Graph inter = intersection_graph(h);
+  const graph::Graph dual_clique = clique_expansion(dual(h));
+  ASSERT_EQ(inter.num_vertices(), dual_clique.num_vertices());
+  EXPECT_EQ(inter.num_edges(), dual_clique.num_edges());
+  for (index_t u = 0; u < inter.num_vertices(); ++u) {
+    for (index_t v = u + 1; v < inter.num_vertices(); ++v) {
+      EXPECT_EQ(inter.has_edge(u, v), dual_clique.has_edge(u, v))
+          << u << "," << v;
+    }
+  }
+}
+
+TEST_P(ProjectionProperties, HypergraphDistancesMatchCliqueExpansion) {
+  Rng rng{GetParam() * 131};
+  const Hypergraph h = testing::random_hypergraph(rng, 25, 20, 5);
+  const graph::Graph clique = clique_expansion(h);
+  for (index_t s = 0; s < 5; ++s) {
+    const auto hyper_dist = bfs_distances(h, s);
+    const auto graph_dist = graph::bfs_distances(clique, s);
+    for (index_t v = 0; v < h.num_vertices(); ++v) {
+      EXPECT_EQ(hyper_dist[v], graph_dist[v]) << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST_P(ProjectionProperties, StarExpansionNeverShortensPaths) {
+  Rng rng{GetParam() * 733};
+  const Hypergraph h = testing::random_hypergraph(rng, 20, 15, 5);
+  const graph::Graph clique = clique_expansion(h);
+  const graph::Graph star = star_expansion(h, default_baits(h));
+  for (index_t s = 0; s < 4; ++s) {
+    const auto via_clique = graph::bfs_distances(clique, s);
+    const auto via_star = graph::bfs_distances(star, s);
+    for (index_t v = 0; v < h.num_vertices(); ++v) {
+      if (via_star[v] == kInvalidIndex) {
+        // Star model may even disconnect pairs the complex connects.
+        continue;
+      }
+      ASSERT_NE(via_clique[v], kInvalidIndex);
+      EXPECT_LE(via_clique[v], via_star[v]);
+    }
+  }
+}
+
+TEST_P(ProjectionProperties, EdgeCountIdentities) {
+  Rng rng{GetParam() * 977};
+  const Hypergraph h = testing::random_hypergraph(rng, 30, 20, 6);
+  // Clique expansion has at most sum C(|f|, 2) edges (dedup can only
+  // lower it); star expansion at most sum (|f| - 1).
+  count_t clique_bound = 0, star_bound = 0;
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    const count_t size = h.edge_size(e);
+    clique_bound += size * (size - 1) / 2;
+    star_bound += size - 1;
+  }
+  EXPECT_LE(clique_expansion(h).num_edges(), clique_bound);
+  EXPECT_LE(star_expansion(h, default_baits(h)).num_edges(), star_bound);
+  // Bipartite graph has exactly one edge per pin.
+  EXPECT_EQ(bipartite_graph(h).num_edges(), h.num_pins());
+}
+
+TEST_P(ProjectionProperties, StarIsSubgraphOfClique) {
+  Rng rng{GetParam() * 3571};
+  const Hypergraph h = testing::random_hypergraph(rng, 18, 14, 5);
+  const graph::Graph clique = clique_expansion(h);
+  const graph::Graph star = star_expansion(h, default_baits(h));
+  for (index_t u = 0; u < star.num_vertices(); ++u) {
+    for (index_t v : star.neighbors(u)) {
+      if (u < v) EXPECT_TRUE(clique.has_edge(u, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionProperties,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(ProjectionProperties, DoubleDualIsIdentityWithoutIsolatedVertices) {
+  // Build a hypergraph where every vertex has degree >= 1; then
+  // dual(dual(h)) reproduces h exactly (edge i of the double dual is
+  // the incidence list of dual-vertex i, which is original edge i).
+  Rng rng{424242};
+  HypergraphBuilder b{15};
+  std::vector<index_t> all(15);
+  for (index_t i = 0; i < 15; ++i) all[i] = i;
+  b.add_edge(all);  // guarantees no isolated vertices
+  for (int e = 0; e < 10; ++e) {
+    std::vector<index_t> members;
+    const index_t size = 2 + static_cast<index_t>(rng.uniform(4));
+    for (index_t i = 0; i < size; ++i) {
+      members.push_back(static_cast<index_t>(rng.uniform(15)));
+    }
+    b.add_edge(members);
+  }
+  const Hypergraph h = b.build();
+  EXPECT_EQ(dual(dual(h)), h);
+}
+
+}  // namespace
+}  // namespace hp::hyper

@@ -1,0 +1,112 @@
+#include "core/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(Reduce, DetectsStrictContainment) {
+  const Hypergraph h = testing::toy_hypergraph();
+  const ReduceResult r = find_non_maximal(h);
+  // e0 = {0,1,2,3} is inside e4 = {0,1,2,3,6}; e3 = {5} is inside
+  // e2 = {4,5}.
+  EXPECT_FALSE(r.keep[0]);
+  EXPECT_TRUE(r.keep[1]);
+  EXPECT_TRUE(r.keep[2]);
+  EXPECT_FALSE(r.keep[3]);
+  EXPECT_TRUE(r.keep[4]);
+  EXPECT_EQ(r.num_removed, 2u);
+}
+
+TEST(Reduce, KeepsLowestIdDuplicate) {
+  HypergraphBuilder b{4};
+  b.add_edge({0, 1});
+  b.add_edge({1, 0});
+  b.add_edge({0, 1});
+  b.add_edge({2, 3});
+  const ReduceResult r = find_non_maximal(b.build());
+  EXPECT_TRUE(r.keep[0]);
+  EXPECT_FALSE(r.keep[1]);
+  EXPECT_FALSE(r.keep[2]);
+  EXPECT_TRUE(r.keep[3]);
+}
+
+TEST(Reduce, ChainOfContainments) {
+  HypergraphBuilder b{5};
+  b.add_edge({0});
+  b.add_edge({0, 1});
+  b.add_edge({0, 1, 2});
+  b.add_edge({0, 1, 2, 3, 4});
+  const ReduceResult r = find_non_maximal(b.build());
+  EXPECT_FALSE(r.keep[0]);
+  EXPECT_FALSE(r.keep[1]);
+  EXPECT_FALSE(r.keep[2]);
+  EXPECT_TRUE(r.keep[3]);
+}
+
+TEST(Reduce, DisjointEdgesAllKept) {
+  HypergraphBuilder b{6};
+  b.add_edge({0, 1});
+  b.add_edge({2, 3});
+  b.add_edge({4, 5});
+  EXPECT_EQ(find_non_maximal(b.build()).num_removed, 0u);
+}
+
+TEST(Reduce, OverlapWithoutContainmentKept) {
+  HypergraphBuilder b{4};
+  b.add_edge({0, 1, 2});
+  b.add_edge({1, 2, 3});
+  EXPECT_EQ(find_non_maximal(b.build()).num_removed, 0u);
+}
+
+TEST(Reduce, BuildsReducedHypergraph) {
+  const SubHypergraph sub = reduce(testing::toy_hypergraph());
+  EXPECT_EQ(sub.hypergraph.num_edges(), 3u);
+  EXPECT_TRUE(is_reduced(sub.hypergraph));
+  // Vertices are all retained.
+  EXPECT_EQ(sub.hypergraph.num_vertices(), 7u);
+  // edge_to_parent skips the removed ids 0 and 3.
+  EXPECT_EQ(sub.edge_to_parent, (std::vector<index_t>{1, 2, 4}));
+}
+
+TEST(Reduce, IsIdempotent) {
+  Rng rng{123};
+  for (int trial = 0; trial < 8; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 20, 25, 5);
+    const SubHypergraph once = reduce(h);
+    EXPECT_TRUE(is_reduced(once.hypergraph)) << "trial " << trial;
+    const SubHypergraph twice = reduce(once.hypergraph);
+    EXPECT_EQ(twice.hypergraph.num_edges(), once.hypergraph.num_edges());
+  }
+}
+
+TEST(Reduce, ReducedNeverGainsEdges) {
+  Rng rng{321};
+  for (int trial = 0; trial < 8; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 15, 30, 4);
+    const SubHypergraph sub = reduce(h);
+    EXPECT_LE(sub.hypergraph.num_edges(), h.num_edges());
+    // Every surviving edge is one of the originals, verbatim.
+    for (index_t e = 0; e < sub.hypergraph.num_edges(); ++e) {
+      const auto new_members = sub.hypergraph.vertices_of(e);
+      const auto old_members = h.vertices_of(sub.edge_to_parent[e]);
+      ASSERT_EQ(new_members.size(), old_members.size());
+      EXPECT_TRUE(std::equal(new_members.begin(), new_members.end(),
+                             old_members.begin()));
+    }
+  }
+}
+
+TEST(IsReduced, EmptyAndSingle) {
+  EXPECT_TRUE(is_reduced(HypergraphBuilder{0}.build()));
+  HypergraphBuilder b{2};
+  b.add_edge({0, 1});
+  EXPECT_TRUE(is_reduced(b.build()));
+}
+
+}  // namespace
+}  // namespace hp::hyper

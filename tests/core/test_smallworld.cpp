@@ -1,0 +1,71 @@
+#include "core/smallworld.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/stats.hpp"
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(ConfigurationModel, PreservesEdgeSizesApproximately) {
+  Rng rng{101};
+  const Hypergraph h = testing::random_hypergraph(rng, 50, 40, 6);
+  const Hypergraph null_h = configuration_model(h, rng);
+  EXPECT_EQ(null_h.num_vertices(), h.num_vertices());
+  EXPECT_EQ(null_h.num_edges(), h.num_edges());
+  // Stub matching preserves pin count up to rare collision drops.
+  EXPECT_GE(null_h.num_pins(), h.num_pins() * 95 / 100);
+  EXPECT_LE(null_h.num_pins(), h.num_pins());
+}
+
+TEST(ConfigurationModel, PreservesDegreeSequenceApproximately) {
+  Rng rng{103};
+  const Hypergraph h = testing::random_hypergraph(rng, 40, 40, 5);
+  const Hypergraph null_h = configuration_model(h, rng);
+  const Histogram before = vertex_degree_histogram(h);
+  const Histogram after = vertex_degree_histogram(null_h);
+  // Total degree mass is nearly identical.
+  EXPECT_NEAR(static_cast<double>(after.total()) * after.mean(),
+              static_cast<double>(before.total()) * before.mean(),
+              0.05 * static_cast<double>(h.num_pins()) + 1.0);
+}
+
+TEST(ConfigurationModel, RandomizesStructure) {
+  Rng rng{107};
+  const Hypergraph h = testing::random_hypergraph(rng, 60, 50, 5);
+  const Hypergraph null_h = configuration_model(h, rng);
+  EXPECT_NE(h, null_h);
+}
+
+TEST(ConfigurationModel, ValidOutput) {
+  Rng rng{109};
+  const Hypergraph h = testing::random_hypergraph(rng, 30, 25, 6);
+  EXPECT_NO_THROW(validate(configuration_model(h, rng)));
+}
+
+TEST(SmallWorldReport, ChainIsNotSmallWorld) {
+  // A long chain has average path length ~ n/3, far above the rewired
+  // null model's ~ log n.
+  HypergraphBuilder b{40};
+  for (index_t i = 0; i + 1 < 40; ++i) {
+    b.add_edge({i, static_cast<index_t>(i + 1)});
+  }
+  Rng rng{113};
+  const SmallWorldReport r = small_world_report(b.build(), rng);
+  EXPECT_GT(r.observed.average_length, 10.0);
+  EXPECT_GT(r.path_ratio, 2.0);
+}
+
+TEST(SmallWorldReport, RandomHypergraphIsSmallWorld) {
+  Rng rng{127};
+  const Hypergraph h = testing::random_hypergraph(rng, 150, 120, 6);
+  const SmallWorldReport r = small_world_report(h, rng);
+  // A random hypergraph IS its own null model: ratio near 1.
+  EXPECT_GT(r.path_ratio, 0.5);
+  EXPECT_LT(r.path_ratio, 2.0);
+  EXPECT_GT(r.log_num_vertices, 0.0);
+}
+
+}  // namespace
+}  // namespace hp::hyper

@@ -1,0 +1,106 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace hp::hyper {
+namespace {
+
+TEST(Summarize, ToyValues) {
+  const HypergraphSummary s = summarize(testing::toy_hypergraph());
+  EXPECT_EQ(s.num_vertices, 7u);
+  EXPECT_EQ(s.num_edges, 5u);
+  EXPECT_EQ(s.num_pins, 15u);
+  EXPECT_EQ(s.max_vertex_degree, 3u);
+  EXPECT_EQ(s.max_edge_size, 5u);
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_EQ(s.largest_component_vertices, 7u);
+  EXPECT_EQ(s.largest_component_edges, 5u);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_edge_size, 3.0);
+}
+
+TEST(Summarize, DegreeOneAndIsolatedCounts) {
+  HypergraphBuilder b{5};
+  b.add_edge({0, 1});
+  b.add_edge({1, 2});
+  // 3, 4 isolated; 0 and 2 have degree 1.
+  const HypergraphSummary s = summarize(b.build());
+  EXPECT_EQ(s.degree_one_vertices, 2u);
+  EXPECT_EQ(s.isolated_vertices, 2u);
+  EXPECT_EQ(s.num_components, 3u);
+}
+
+TEST(Summarize, EmptyHypergraph) {
+  const HypergraphSummary s = summarize(HypergraphBuilder{0}.build());
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.num_components, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_vertex_degree, 0.0);
+}
+
+TEST(DegreeHistograms, MatchDirectCounts) {
+  const Hypergraph h = testing::toy_hypergraph();
+  const Histogram vd = vertex_degree_histogram(h);
+  EXPECT_EQ(vd.total(), h.num_vertices());
+  index_t deg1 = 0;
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    if (h.vertex_degree(v) == 1) ++deg1;
+  }
+  EXPECT_EQ(vd.count(1), deg1);
+
+  const Histogram es = edge_size_histogram(h);
+  EXPECT_EQ(es.total(), h.num_edges());
+  EXPECT_EQ(es.count(5), 1u);  // e4
+  EXPECT_EQ(es.count(1), 1u);  // e3
+}
+
+TEST(VertexDegreePowerLaw, RecoversPlantedExponent) {
+  // Build a hypergraph whose degree frequencies follow d^-2.5 exactly,
+  // using singleton-ish edges to realize the degrees.
+  HypergraphBuilder b{400};
+  index_t next_vertex = 0;
+  index_t edge_budget = 0;
+  std::vector<std::vector<index_t>> edges;
+  // counts per degree d: round(300 * d^-2.5), d = 1..8
+  const index_t counts[] = {300, 53, 19, 9, 5, 3, 2, 1};
+  for (index_t d = 1; d <= 8; ++d) {
+    edge_budget = std::max<index_t>(edge_budget, d);
+    for (index_t i = 0; i < counts[d - 1]; ++i) {
+      (void)next_vertex;
+      ++next_vertex;
+    }
+  }
+  // Realize with `edge_budget` big edges; vertex v of target degree d is
+  // placed into the first d of them.
+  edges.resize(edge_budget);
+  index_t v = 0;
+  for (index_t d = 1; d <= 8; ++d) {
+    for (index_t i = 0; i < counts[d - 1]; ++i, ++v) {
+      for (index_t e = 0; e < d; ++e) edges[e].push_back(v);
+    }
+  }
+  HypergraphBuilder builder{v};
+  for (const auto& members : edges) builder.add_edge(members);
+  const PowerLawFit fit = vertex_degree_power_law(builder.build());
+  EXPECT_NEAR(fit.gamma, 2.5, 0.2);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(EdgeSizeFits, ReturnsBothModels) {
+  Rng rng{88};
+  const Hypergraph h = testing::random_hypergraph(rng, 60, 50, 8);
+  const EdgeSizeFits fits = edge_size_fits(h);
+  EXPECT_GT(fits.power.n, 0u);
+  EXPECT_GT(fits.exponential.n, 0u);
+}
+
+TEST(ToString, MentionsKeyFields) {
+  const std::string s = to_string(summarize(testing::toy_hypergraph()));
+  EXPECT_NE(s.find("|V|"), std::string::npos);
+  EXPECT_NE(s.find("Delta_2,F"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hp::hyper

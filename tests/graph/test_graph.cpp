@@ -1,0 +1,98 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace hp::graph {
+namespace {
+
+TEST(GraphBuilder, BuildsTriangle) {
+  GraphBuilder b{3};
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b{2};
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoopAndOutOfRange) {
+  GraphBuilder b{2};
+  EXPECT_THROW(b.add_edge(0, 0), InvalidInputError);
+  EXPECT_THROW(b.add_edge(0, 2), InvalidInputError);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  GraphBuilder b{5};
+  b.add_edge(2, 4);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 3u);
+  EXPECT_EQ(nbrs[2], 4u);
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = GraphBuilder{0}.build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, IsolatedVerticesHaveDegreeZero) {
+  GraphBuilder b{4};
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+TEST(Graph, MaxDegree) {
+  GraphBuilder b{4};
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  EXPECT_EQ(b.build().max_degree(), 3u);
+}
+
+TEST(Graph, StorageBytesGrowsWithEdges) {
+  GraphBuilder small{10};
+  small.add_edge(0, 1);
+  GraphBuilder big{10};
+  for (index_t u = 0; u < 10; ++u) {
+    for (index_t v = u + 1; v < 10; ++v) big.add_edge(u, v);
+  }
+  EXPECT_LT(small.build().storage_bytes(), big.build().storage_bytes());
+}
+
+TEST(GraphBuilder, ReusableAfterBuild) {
+  GraphBuilder b{3};
+  b.add_edge(0, 1);
+  const Graph g1 = b.build();
+  b.add_edge(1, 2);
+  const Graph g2 = b.build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace hp::graph

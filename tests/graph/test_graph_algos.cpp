@@ -1,0 +1,93 @@
+#include "graph/graph_algos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_generators.hpp"
+#include "util/rng.hpp"
+
+namespace hp::graph {
+namespace {
+
+Graph path_graph(index_t n) {
+  GraphBuilder b{n};
+  for (index_t i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return b.build();
+}
+
+TEST(BfsDistances, PathGraph) {
+  const Graph g = path_graph(5);
+  const auto dist = bfs_distances(g, 0);
+  for (index_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(dist[v], v);
+  }
+}
+
+TEST(BfsDistances, UnreachableIsMarked) {
+  GraphBuilder b{4};
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const auto dist = bfs_distances(b.build(), 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kInvalidIndex);
+  EXPECT_EQ(dist[3], kInvalidIndex);
+}
+
+TEST(BfsDistances, SourceOutOfRangeThrows) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(bfs_distances(g, 3), InvalidInputError);
+}
+
+TEST(ConnectedComponents, CountsAndSizes) {
+  GraphBuilder b{6};
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Components c = connected_components(b.build());
+  EXPECT_EQ(c.count, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(c.sizes[c.largest()], 3u);
+  EXPECT_EQ(c.label[0], c.label[2]);
+  EXPECT_NE(c.label[0], c.label[3]);
+}
+
+TEST(ConnectedComponents, EmptyGraph) {
+  const Components c = connected_components(GraphBuilder{0}.build());
+  EXPECT_EQ(c.count, 0u);
+  EXPECT_THROW(c.largest(), InvalidInputError);
+}
+
+TEST(PathSummary, PathGraphDiameter) {
+  const PathSummary s = path_summary(path_graph(6));
+  EXPECT_EQ(s.diameter, 5u);
+  EXPECT_EQ(s.pairs, 30u);  // all ordered pairs connected
+}
+
+TEST(PathSummary, CompleteGraphAveragesOne) {
+  GraphBuilder b{5};
+  for (index_t u = 0; u < 5; ++u) {
+    for (index_t v = u + 1; v < 5; ++v) b.add_edge(u, v);
+  }
+  const PathSummary s = path_summary(b.build());
+  EXPECT_EQ(s.diameter, 1u);
+  EXPECT_DOUBLE_EQ(s.average_length, 1.0);
+}
+
+TEST(PathSummary, DisconnectedPairsExcluded) {
+  GraphBuilder b{4};
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const PathSummary s = path_summary(b.build());
+  EXPECT_EQ(s.pairs, 4u);
+  EXPECT_DOUBLE_EQ(s.average_length, 1.0);
+}
+
+TEST(PathSummary, RandomGraphIsSmallWorldScale) {
+  Rng rng{7};
+  const Graph g = generate_erdos_renyi(200, 1000, rng);
+  const PathSummary s = path_summary(g);
+  // Dense ER graph: short paths.
+  EXPECT_LE(s.diameter, 5u);
+  EXPECT_GT(s.pairs, 0u);
+}
+
+}  // namespace
+}  // namespace hp::graph

@@ -1,0 +1,128 @@
+#include "graph/graph_generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_algos.hpp"
+#include "graph/graph_stats.hpp"
+#include "util/rng.hpp"
+
+namespace hp::graph {
+namespace {
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  Rng rng{1};
+  const Graph g = generate_erdos_renyi(50, 200, rng);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_EQ(g.num_edges(), 200u);
+}
+
+TEST(ErdosRenyi, CompleteGraphLimit) {
+  Rng rng{2};
+  const Graph g = generate_erdos_renyi(6, 15, rng);  // C(6,2)
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(g.max_degree(), 5u);
+}
+
+TEST(ErdosRenyi, RejectsTooManyEdges) {
+  Rng rng{3};
+  EXPECT_THROW(generate_erdos_renyi(4, 7, rng), InvalidInputError);
+}
+
+TEST(ErdosRenyi, DeterministicForSeed) {
+  Rng a{9}, b{9};
+  const Graph g1 = generate_erdos_renyi(30, 60, a);
+  const Graph g2 = generate_erdos_renyi(30, 60, b);
+  for (index_t v = 0; v < 30; ++v) {
+    EXPECT_EQ(g1.degree(v), g2.degree(v));
+  }
+}
+
+TEST(BarabasiAlbert, SizeAndDegreeFloor) {
+  Rng rng{5};
+  const Graph g = generate_barabasi_albert(200, 3, rng);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  // Every non-seed vertex attaches with 3 edges.
+  for (index_t v = 4; v < 200; ++v) {
+    EXPECT_GE(g.degree(v), 3u);
+  }
+}
+
+TEST(BarabasiAlbert, ProducesSkewedDegrees) {
+  Rng rng{7};
+  const Graph g = generate_barabasi_albert(1000, 2, rng);
+  // Hubs: max degree far above the mean (2 * m).
+  EXPECT_GT(g.max_degree(), 20u);
+}
+
+TEST(BarabasiAlbert, RejectsBadParams) {
+  Rng rng{1};
+  EXPECT_THROW(generate_barabasi_albert(3, 0, rng), InvalidInputError);
+  EXPECT_THROW(generate_barabasi_albert(3, 3, rng), InvalidInputError);
+}
+
+TEST(PowerLawWeights, MatchesTargetAverage) {
+  const auto w = power_law_weights(1000, 2.5, 6.0);
+  double sum = 0.0;
+  for (double x : w) sum += x;
+  EXPECT_NEAR(sum / 1000.0, 6.0, 1e-9);
+  // Decreasing sequence.
+  EXPECT_GT(w.front(), w.back());
+}
+
+TEST(PowerLawWeights, RejectsGammaAtMostTwo) {
+  EXPECT_THROW(power_law_weights(10, 2.0, 3.0), InvalidInputError);
+}
+
+TEST(ChungLu, ApproximatesExpectedDegrees) {
+  Rng rng{11};
+  const auto w = power_law_weights(2000, 2.5, 8.0);
+  const Graph g = generate_chung_lu(w, rng);
+  const double mean_degree =
+      2.0 * static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_NEAR(mean_degree, 8.0, 1.5);
+}
+
+TEST(ChungLu, PowerLawWeightsYieldSkewedGraph) {
+  Rng rng{13};
+  const auto w = power_law_weights(3000, 2.4, 10.0);
+  const Graph g = generate_chung_lu(w, rng);
+  const PowerLawFit fit = degree_power_law(g);
+  EXPECT_GT(fit.gamma, 1.3);
+  EXPECT_LT(fit.gamma, 4.0);
+}
+
+TEST(Rewire, PreservesDegreeSequence) {
+  Rng rng{17};
+  const Graph g = generate_erdos_renyi(60, 150, rng);
+  const Graph r = rewire_preserving_degrees(g, 300, rng);
+  ASSERT_EQ(r.num_vertices(), g.num_vertices());
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.degree(v), g.degree(v));
+  }
+}
+
+TEST(Rewire, ActuallyChangesStructure) {
+  Rng rng{19};
+  const Graph g = generate_erdos_renyi(80, 200, rng);
+  const Graph r = rewire_preserving_degrees(g, 400, rng);
+  count_t differing = 0;
+  for (index_t u = 0; u < g.num_vertices(); ++u) {
+    for (index_t v : g.neighbors(u)) {
+      if (u < v && !r.has_edge(u, v)) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 50u);
+}
+
+TEST(Rewire, TinyGraphIsStable) {
+  GraphBuilder b{2};
+  b.add_edge(0, 1);
+  Rng rng{23};
+  const Graph r = rewire_preserving_degrees(b.build(), 10, rng);
+  EXPECT_EQ(r.num_edges(), 1u);
+  EXPECT_TRUE(r.has_edge(0, 1));
+}
+
+}  // namespace
+}  // namespace hp::graph

@@ -1,0 +1,115 @@
+#include "graph/graph_kcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_generators.hpp"
+#include "util/rng.hpp"
+
+namespace hp::graph {
+namespace {
+
+// The paper's Fig. 2 example: a graph whose maximum core is a 3-core,
+// where the 2-core equals the 3-core. We use a K4 with pendant paths.
+Graph fig2_like_graph() {
+  GraphBuilder b{8};
+  // K4 on {0,1,2,3} -> the 3-core.
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  // Tree hanging off: degree-1 chain.
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(5, 6);
+  b.add_edge(5, 7);
+  return b.build();
+}
+
+TEST(GraphKCore, Fig2Example) {
+  const CoreDecomposition d = core_decomposition(fig2_like_graph());
+  EXPECT_EQ(d.max_core, 3u);
+  const auto core3 = d.max_core_vertices();
+  EXPECT_EQ(core3, (std::vector<index_t>{0, 1, 2, 3}));
+  // Pendant vertices have core number 1.
+  EXPECT_EQ(d.core[6], 1u);
+  EXPECT_EQ(d.core[4], 1u);
+}
+
+TEST(GraphKCore, CliqueCore) {
+  GraphBuilder b{6};
+  for (index_t u = 0; u < 6; ++u) {
+    for (index_t v = u + 1; v < 6; ++v) b.add_edge(u, v);
+  }
+  const CoreDecomposition d = core_decomposition(b.build());
+  EXPECT_EQ(d.max_core, 5u);
+  EXPECT_EQ(d.max_core_vertices().size(), 6u);
+}
+
+TEST(GraphKCore, CycleIsTwoCore) {
+  GraphBuilder b{5};
+  for (index_t i = 0; i < 5; ++i) b.add_edge(i, (i + 1) % 5);
+  const CoreDecomposition d = core_decomposition(b.build());
+  EXPECT_EQ(d.max_core, 2u);
+  for (index_t v = 0; v < 5; ++v) EXPECT_EQ(d.core[v], 2u);
+}
+
+TEST(GraphKCore, TreeIsOneCore) {
+  GraphBuilder b{7};
+  for (index_t i = 1; i < 7; ++i) b.add_edge(i, (i - 1) / 2);
+  const CoreDecomposition d = core_decomposition(b.build());
+  EXPECT_EQ(d.max_core, 1u);
+}
+
+TEST(GraphKCore, EdgelessGraphHasCoreZero) {
+  const CoreDecomposition d = core_decomposition(GraphBuilder{4}.build());
+  EXPECT_EQ(d.max_core, 0u);
+  EXPECT_TRUE(d.max_core_vertices().empty());
+}
+
+TEST(GraphKCore, KCoreVerticesFilter) {
+  const CoreDecomposition d = core_decomposition(fig2_like_graph());
+  EXPECT_EQ(k_core_vertices(d, 1).size(), 8u);
+  EXPECT_EQ(k_core_vertices(d, 2).size(), 4u);
+  EXPECT_EQ(k_core_vertices(d, 3).size(), 4u);  // 2-core == 3-core
+  EXPECT_TRUE(k_core_vertices(d, 4).empty());
+}
+
+TEST(GraphKCore, CoreSubgraphMinDegreeInvariant) {
+  // Property: within the k-core, every vertex has >= k neighbors that
+  // are also in the k-core.
+  Rng rng{13};
+  const Graph g = generate_erdos_renyi(120, 600, rng);
+  const CoreDecomposition d = core_decomposition(g);
+  for (index_t k = 1; k <= d.max_core; ++k) {
+    const auto members = k_core_vertices(d, k);
+    ASSERT_FALSE(members.empty());
+    std::vector<bool> in(g.num_vertices(), false);
+    for (index_t v : members) in[v] = true;
+    for (index_t v : members) {
+      index_t inside = 0;
+      for (index_t u : g.neighbors(v)) inside += in[u] ? 1 : 0;
+      EXPECT_GE(inside, k) << "vertex " << v << " at level " << k;
+    }
+  }
+}
+
+class GraphKCoreRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphKCoreRandomized, MatchesNaiveReference) {
+  Rng rng{GetParam()};
+  const index_t n = 30 + static_cast<index_t>(rng.uniform(50));
+  const count_t m = 40 + rng.uniform(200);
+  const Graph g = generate_erdos_renyi(n, std::min<count_t>(m, static_cast<count_t>(n) * (n - 1) / 2), rng);
+  const CoreDecomposition fast = core_decomposition(g);
+  const CoreDecomposition naive = core_decomposition_naive(g);
+  EXPECT_EQ(fast.max_core, naive.max_core);
+  EXPECT_EQ(fast.core, naive.core);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphKCoreRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace hp::graph

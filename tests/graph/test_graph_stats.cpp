@@ -1,0 +1,78 @@
+#include "graph/graph_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_generators.hpp"
+#include "util/rng.hpp"
+
+namespace hp::graph {
+namespace {
+
+Graph triangle_plus_pendant() {
+  GraphBuilder b{4};
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+TEST(DegreeHistogram, Counts) {
+  const Histogram h = degree_histogram(triangle_plus_pendant());
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(1), 1u);  // the pendant
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Clustering, TriangleIsFullyClustered) {
+  GraphBuilder b{3};
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  EXPECT_DOUBLE_EQ(average_clustering_coefficient(b.build()), 1.0);
+  EXPECT_DOUBLE_EQ(transitivity(b.build()), 1.0);
+}
+
+TEST(Clustering, StarHasZeroClustering) {
+  GraphBuilder b{5};
+  for (index_t v = 1; v < 5; ++v) b.add_edge(0, v);
+  EXPECT_DOUBLE_EQ(average_clustering_coefficient(b.build()), 0.0);
+  EXPECT_DOUBLE_EQ(transitivity(b.build()), 0.0);
+}
+
+TEST(Clustering, MixedGraphValues) {
+  const Graph g = triangle_plus_pendant();
+  // Vertex 0: nbrs {1,2} linked -> 1; vertex 1: same -> 1;
+  // vertex 2: nbrs {0,1,3}, one of three pairs linked -> 1/3;
+  // vertex 3: degree 1 -> 0. Average = (1 + 1 + 1/3 + 0) / 4.
+  EXPECT_NEAR(average_clustering_coefficient(g), (2.0 + 1.0 / 3.0) / 4.0,
+              1e-12);
+  // Wedges: v0:1, v1:1, v2:3 -> 5; closed: 3 (one per triangle corner).
+  EXPECT_NEAR(transitivity(g), 3.0 / 5.0, 1e-12);
+}
+
+TEST(Clustering, EmptyGraph) {
+  EXPECT_DOUBLE_EQ(average_clustering_coefficient(GraphBuilder{0}.build()),
+                   0.0);
+  EXPECT_DOUBLE_EQ(transitivity(GraphBuilder{0}.build()), 0.0);
+}
+
+TEST(DegreePowerLaw, BaGraphIsHeavyTailed) {
+  Rng rng{31};
+  const Graph g = generate_barabasi_albert(2000, 2, rng);
+  const PowerLawFit fit = degree_power_law(g);
+  // BA exponent is ~3 in theory; log-binning noise allows a wide band.
+  EXPECT_GT(fit.gamma, 1.5);
+  EXPECT_GT(fit.r_squared, 0.5);
+}
+
+TEST(Clustering, ErGraphHasLowClustering) {
+  Rng rng{37};
+  const Graph g = generate_erdos_renyi(300, 900, rng);
+  // Expected clustering ~ p = 2m/(n(n-1)) ~ 0.02.
+  EXPECT_LT(average_clustering_coefficient(g), 0.1);
+}
+
+}  // namespace
+}  // namespace hp::graph

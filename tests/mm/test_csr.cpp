@@ -1,0 +1,127 @@
+#include "mm/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mm/mm_synth.hpp"
+#include "util/rng.hpp"
+
+namespace hp::mm {
+namespace {
+
+CooMatrix small_general() {
+  CooMatrix m;
+  m.num_rows = 3;
+  m.num_cols = 4;
+  m.entries = {{0, 0, 1.0}, {0, 2, 2.0}, {1, 3, 3.0}, {2, 0, 4.0},
+               {2, 1, 5.0}};
+  return m;
+}
+
+TEST(CsrMatrix, BuildsFromCoo) {
+  const CsrMatrix csr{small_general()};
+  EXPECT_EQ(csr.num_rows(), 3u);
+  EXPECT_EQ(csr.num_cols(), 4u);
+  EXPECT_EQ(csr.nnz(), 5u);
+  const auto row0 = csr.row_columns(0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0], 0u);
+  EXPECT_EQ(row0[1], 2u);
+  EXPECT_DOUBLE_EQ(csr.row_values(0)[1], 2.0);
+}
+
+TEST(CsrMatrix, SymmetricExpansion) {
+  CooMatrix m;
+  m.num_rows = 3;
+  m.num_cols = 3;
+  m.symmetry = Symmetry::kSymmetric;
+  m.entries = {{0, 0, 1.0}, {1, 0, 2.0}, {2, 1, 3.0}};
+  const CsrMatrix csr{m};
+  EXPECT_EQ(csr.nnz(), 5u);  // diagonal + 2 mirrored pairs
+  EXPECT_EQ(csr.row_size(0), 2u);  // (0,0) and mirrored (0,1)
+  EXPECT_EQ(csr.row_columns(0)[1], 1u);
+}
+
+TEST(CsrMatrix, DuplicatesAreSummed) {
+  CooMatrix m;
+  m.num_rows = 1;
+  m.num_cols = 2;
+  m.entries = {{0, 1, 2.0}, {0, 1, 3.0}};
+  const CsrMatrix csr{m};
+  EXPECT_EQ(csr.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(csr.row_values(0)[0], 5.0);
+}
+
+TEST(CsrMatrix, MultiplyMatchesManualComputation) {
+  const CsrMatrix csr{small_general()};
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = csr.multiply(x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 * 1 + 2.0 * 3);   // 7
+  EXPECT_DOUBLE_EQ(y[1], 3.0 * 4);             // 12
+  EXPECT_DOUBLE_EQ(y[2], 4.0 * 1 + 5.0 * 2);   // 14
+  EXPECT_THROW(csr.multiply({1.0}), InvalidInputError);
+}
+
+TEST(CsrMatrix, TransposeRoundTrip) {
+  const CsrMatrix csr{small_general()};
+  const CsrMatrix tt = csr.transpose().transpose();
+  ASSERT_EQ(tt.num_rows(), csr.num_rows());
+  ASSERT_EQ(tt.nnz(), csr.nnz());
+  for (index_t r = 0; r < csr.num_rows(); ++r) {
+    const auto a = csr.row_columns(r);
+    const auto b = tt.row_columns(r);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]);
+      EXPECT_DOUBLE_EQ(csr.row_values(r)[i], tt.row_values(r)[i]);
+    }
+  }
+}
+
+TEST(CsrMatrix, TransposeIsAdjoint) {
+  // <A x, y> == <x, A^T y> for random vectors.
+  Rng rng{3};
+  const CooMatrix m = synthesize_random(20, 15, 60, rng);
+  const CsrMatrix a{m};
+  const CsrMatrix at = a.transpose();
+  std::vector<double> x(15), y(20);
+  for (double& v : x) v = rng.uniform_real(-1.0, 1.0);
+  for (double& v : y) v = rng.uniform_real(-1.0, 1.0);
+  const auto ax = a.multiply(x);
+  const auto aty = at.multiply(y);
+  double lhs = 0.0, rhs = 0.0;
+  for (index_t i = 0; i < 20; ++i) lhs += ax[i] * y[i];
+  for (index_t i = 0; i < 15; ++i) rhs += x[i] * aty[i];
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+TEST(MatrixStats, BandedMatrixDescriptors) {
+  Rng rng{5};
+  const CooMatrix m = synthesize_banded(100, 4, 1.0, rng);
+  const MatrixStats s = matrix_stats(m);
+  EXPECT_EQ(s.bandwidth, 4u);
+  EXPECT_EQ(s.empty_rows, 0u);
+  EXPECT_EQ(s.max_row_size, 9u);  // full band in the interior
+  EXPECT_GT(s.profile, 0u);
+}
+
+TEST(MatrixStats, TokamakHasLargeBandwidth) {
+  Rng rng{7};
+  const CooMatrix banded = synthesize_banded(200, 3, 0.5, rng);
+  const CooMatrix tokamak = synthesize_tokamak(200, 3, 5, 0.5, rng);
+  EXPECT_GT(matrix_stats(tokamak).bandwidth,
+            matrix_stats(banded).bandwidth);
+}
+
+TEST(MatrixStats, EmptyRowsCounted) {
+  CooMatrix m;
+  m.num_rows = 4;
+  m.num_cols = 4;
+  m.entries = {{0, 0, 1.0}, {2, 3, 1.0}};
+  const MatrixStats s = matrix_stats(m);
+  EXPECT_EQ(s.empty_rows, 2u);
+  EXPECT_EQ(s.nnz, 2u);
+}
+
+}  // namespace
+}  // namespace hp::mm

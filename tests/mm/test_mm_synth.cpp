@@ -1,0 +1,113 @@
+#include "mm/mm_synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mm/mm_to_hypergraph.hpp"
+
+namespace hp::mm {
+namespace {
+
+TEST(SynthBanded, EntriesStayInBand) {
+  Rng rng{1};
+  const CooMatrix m = synthesize_banded(50, 3, 0.6, rng);
+  EXPECT_EQ(m.num_rows, 50u);
+  for (const Entry& e : m.entries) {
+    const auto diff = e.row > e.col ? e.row - e.col : e.col - e.row;
+    EXPECT_LE(diff, 3u);
+  }
+}
+
+TEST(SynthBanded, DiagonalAlwaysPresent) {
+  Rng rng{2};
+  const CooMatrix m = synthesize_banded(20, 2, 0.0, rng);
+  std::set<index_t> diag;
+  for (const Entry& e : m.entries) {
+    EXPECT_EQ(e.row, e.col);  // fill = 0: only the diagonal
+    diag.insert(e.row);
+  }
+  EXPECT_EQ(diag.size(), 20u);
+}
+
+TEST(SynthFemBlocks, ProducesOverlappingBlocks) {
+  Rng rng{3};
+  const CooMatrix m = synthesize_fem_blocks(60, 8, 30, rng);
+  EXPECT_GT(m.nnz_stored(), 60u * 8u / 2u);
+  // No duplicate coordinates.
+  std::set<std::pair<index_t, index_t>> seen;
+  for (const Entry& e : m.entries) {
+    EXPECT_TRUE(seen.insert({e.row, e.col}).second);
+  }
+}
+
+TEST(SynthStiffness, SymmetricLowerTriangle) {
+  Rng rng{4};
+  const CooMatrix m = synthesize_stiffness(80, 4, 40, rng);
+  EXPECT_EQ(m.symmetry, Symmetry::kSymmetric);
+  for (const Entry& e : m.entries) {
+    EXPECT_GE(e.row, e.col);
+  }
+}
+
+TEST(SynthTokamak, BorderRowsAreDense) {
+  Rng rng{5};
+  const CooMatrix m = synthesize_tokamak(100, 2, 5, 0.5, rng);
+  // Count entries in the border columns: should be substantial.
+  count_t border_entries = 0;
+  for (const Entry& e : m.entries) {
+    if (e.col >= 95 || e.row >= 95) ++border_entries;
+  }
+  EXPECT_GT(border_entries, 100u);
+}
+
+TEST(SynthRandom, ExactNnz) {
+  Rng rng{6};
+  const CooMatrix m = synthesize_random(30, 40, 200, rng);
+  EXPECT_EQ(m.nnz_stored(), 200u);
+  std::set<std::pair<index_t, index_t>> seen;
+  for (const Entry& e : m.entries) {
+    EXPECT_LT(e.row, 30u);
+    EXPECT_LT(e.col, 40u);
+    EXPECT_TRUE(seen.insert({e.row, e.col}).second);
+  }
+}
+
+TEST(SynthRandom, RejectsOverfull) {
+  Rng rng{7};
+  EXPECT_THROW(synthesize_random(3, 3, 10, rng), InvalidInputError);
+}
+
+TEST(SynthMatrices, ConvertAndValidateAsHypergraphs) {
+  Rng rng{8};
+  EXPECT_NO_THROW(
+      hyper::validate(row_net_hypergraph(synthesize_banded(60, 4, 0.5, rng))));
+  EXPECT_NO_THROW(hyper::validate(
+      row_net_hypergraph(synthesize_fem_blocks(60, 6, 20, rng))));
+  EXPECT_NO_THROW(hyper::validate(
+      row_net_hypergraph(synthesize_stiffness(60, 4, 30, rng))));
+  EXPECT_NO_THROW(hyper::validate(
+      row_net_hypergraph(synthesize_tokamak(60, 3, 4, 0.5, rng))));
+}
+
+TEST(SynthMatrices, RoundTripThroughFormat) {
+  Rng rng{9};
+  const CooMatrix m = synthesize_stiffness(30, 3, 15, rng);
+  const CooMatrix back = parse_matrix_market(format_matrix_market(m));
+  EXPECT_EQ(back.symmetry, Symmetry::kSymmetric);
+  EXPECT_EQ(back.nnz_stored(), m.nnz_stored());
+}
+
+TEST(SynthMatrices, DeterministicForSeed) {
+  Rng a{10}, b{10};
+  const CooMatrix m1 = synthesize_banded(40, 3, 0.5, a);
+  const CooMatrix m2 = synthesize_banded(40, 3, 0.5, b);
+  ASSERT_EQ(m1.nnz_stored(), m2.nnz_stored());
+  for (std::size_t i = 0; i < m1.entries.size(); ++i) {
+    EXPECT_EQ(m1.entries[i].row, m2.entries[i].row);
+    EXPECT_EQ(m1.entries[i].col, m2.entries[i].col);
+  }
+}
+
+}  // namespace
+}  // namespace hp::mm

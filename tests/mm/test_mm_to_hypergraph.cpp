@@ -1,0 +1,91 @@
+#include "mm/mm_to_hypergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hypergraph.hpp"
+
+namespace hp::mm {
+namespace {
+
+TEST(RowNet, GeneralMatrix) {
+  // Rows -> hyperedges over column vertices.
+  const CooMatrix m = parse_matrix_market(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 4 5\n"
+      "1 1 1.0\n"
+      "1 2 1.0\n"
+      "2 3 1.0\n"
+      "3 1 1.0\n"
+      "3 4 1.0\n");
+  const hyper::Hypergraph h = row_net_hypergraph(m);
+  EXPECT_EQ(h.num_vertices(), 4u);
+  EXPECT_EQ(h.num_edges(), 3u);
+  EXPECT_EQ(h.num_pins(), 5u);
+  EXPECT_TRUE(h.edge_contains(0, 0));
+  EXPECT_TRUE(h.edge_contains(0, 1));
+  EXPECT_TRUE(h.edge_contains(2, 3));
+}
+
+TEST(RowNet, SymmetricExpansion) {
+  const CooMatrix m = parse_matrix_market(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 3\n"
+      "1 1\n"
+      "2 1\n"
+      "3 2\n");
+  const hyper::Hypergraph h = row_net_hypergraph(m);
+  // Expanded rows: r0 = {0,1}, r1 = {0,2}... wait: entries (0,0), (1,0),
+  // (2,1); expansion adds (0,1) and (1,2).
+  EXPECT_EQ(h.num_edges(), 3u);
+  EXPECT_TRUE(h.edge_contains(0, 0));
+  EXPECT_TRUE(h.edge_contains(0, 1));  // from transpose of (1,0)
+  EXPECT_TRUE(h.edge_contains(1, 0));
+  EXPECT_TRUE(h.edge_contains(1, 2));
+  EXPECT_TRUE(h.edge_contains(2, 1));
+}
+
+TEST(RowNet, EmptyRowsProduceNoEdges) {
+  const CooMatrix m = parse_matrix_market(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 2 1\n"
+      "2 1 1.0\n");
+  const hyper::Hypergraph h = row_net_hypergraph(m);
+  EXPECT_EQ(h.num_edges(), 1u);
+  EXPECT_EQ(h.num_vertices(), 2u);
+}
+
+TEST(RowNet, DuplicateEntriesMerged) {
+  CooMatrix m;
+  m.num_rows = 1;
+  m.num_cols = 3;
+  m.entries = {{0, 1, 1.0}, {0, 1, 2.0}, {0, 2, 1.0}};
+  const hyper::Hypergraph h = row_net_hypergraph(m);
+  EXPECT_EQ(h.edge_size(0), 2u);
+}
+
+TEST(ColumnNet, IsTransposedRowNet) {
+  const CooMatrix m = parse_matrix_market(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 3 3\n"
+      "1 1 1.0\n"
+      "1 3 1.0\n"
+      "2 2 1.0\n");
+  const hyper::Hypergraph h = column_net_hypergraph(m);
+  EXPECT_EQ(h.num_vertices(), 2u);  // rows become vertices
+  EXPECT_EQ(h.num_edges(), 3u);     // columns become edges
+  EXPECT_TRUE(h.edge_contains(0, 0));  // col 0 contains row 0
+  EXPECT_TRUE(h.edge_contains(2, 0));  // col 2 contains row 0
+  EXPECT_TRUE(h.edge_contains(1, 1));
+}
+
+TEST(RowNet, ValidatesStructurally) {
+  CooMatrix m;
+  m.num_rows = 5;
+  m.num_cols = 5;
+  m.symmetry = Symmetry::kSymmetric;
+  m.entries = {{1, 0, 1.0}, {2, 2, 1.0}, {4, 3, 1.0}, {4, 4, 1.0}};
+  EXPECT_NO_THROW(hyper::validate(row_net_hypergraph(m)));
+}
+
+}  // namespace
+}  // namespace hp::mm

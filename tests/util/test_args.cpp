@@ -1,0 +1,74 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace hp {
+namespace {
+
+Args make_args(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return Args{static_cast<int>(v.size()), v.data()};
+}
+
+TEST(Args, EqualsForm) {
+  const Args a = make_args({"prog", "--seed=42", "--name=x"});
+  EXPECT_EQ(a.get_int("seed", 0), 42);
+  EXPECT_EQ(a.get("name", ""), "x");
+  EXPECT_EQ(a.program(), "prog");
+}
+
+TEST(Args, SpaceForm) {
+  const Args a = make_args({"prog", "--seed", "7"});
+  EXPECT_EQ(a.get_int("seed", 0), 7);
+}
+
+TEST(Args, BooleanFlag) {
+  const Args a = make_args({"prog", "--verbose"});
+  EXPECT_TRUE(a.get_bool("verbose", false));
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_FALSE(a.has("quiet"));
+}
+
+TEST(Args, BoolParsing) {
+  const Args a = make_args(
+      {"prog", "--a=true", "--b=0", "--c=YES", "--d=off", "--e=1"});
+  EXPECT_TRUE(a.get_bool("a", false));
+  EXPECT_FALSE(a.get_bool("b", true));
+  EXPECT_TRUE(a.get_bool("c", false));
+  EXPECT_FALSE(a.get_bool("d", true));
+  EXPECT_TRUE(a.get_bool("e", false));
+}
+
+TEST(Args, Defaults) {
+  const Args a = make_args({"prog"});
+  EXPECT_EQ(a.get_int("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(a.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(a.get("missing", "dflt"), "dflt");
+}
+
+TEST(Args, Positional) {
+  const Args a = make_args({"prog", "input.txt", "--k=3", "more"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "input.txt");
+  EXPECT_EQ(a.positional()[1], "more");
+}
+
+TEST(Args, DoubleValues) {
+  const Args a = make_args({"prog", "--rate=0.7"});
+  EXPECT_DOUBLE_EQ(a.get_double("rate", 0.0), 0.7);
+}
+
+TEST(Args, MalformedFlagThrows) {
+  EXPECT_THROW(make_args({"prog", "--"}), ParseError);
+  EXPECT_THROW(make_args({"prog", "--=5"}), ParseError);
+}
+
+TEST(Args, LastValueWins) {
+  const Args a = make_args({"prog", "--k=1", "--k=2"});
+  EXPECT_EQ(a.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace hp

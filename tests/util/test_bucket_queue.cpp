@@ -1,0 +1,100 @@
+#include "util/bucket_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hp {
+namespace {
+
+TEST(BucketQueue, PopsInPriorityOrder) {
+  BucketQueue q{{3, 1, 2}, 3};
+  index_t p = 0;
+  EXPECT_EQ(q.pop_min(p), 1u);
+  EXPECT_EQ(p, 1u);
+  EXPECT_EQ(q.pop_min(p), 2u);
+  EXPECT_EQ(p, 2u);
+  EXPECT_EQ(q.pop_min(p), 0u);
+  EXPECT_EQ(p, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueue, DecreaseKeyMovesItem) {
+  BucketQueue q{{5, 5, 5}, 5};
+  q.decrease_key(2, 1);
+  index_t p = 0;
+  EXPECT_EQ(q.pop_min(p), 2u);
+  EXPECT_EQ(p, 1u);
+}
+
+TEST(BucketQueue, DecreaseKeyToSameValueIsNoop) {
+  BucketQueue q{{2}, 2};
+  q.decrease_key(0, 2);
+  EXPECT_EQ(q.priority(0), 2u);
+}
+
+TEST(BucketQueue, DecreaseKeyRejectsIncrease) {
+  BucketQueue q{{1}, 3};
+  EXPECT_THROW(q.decrease_key(0, 2), std::invalid_argument);
+}
+
+TEST(BucketQueue, EraseRemovesItem) {
+  BucketQueue q{{1, 2}, 2};
+  q.erase(0);
+  EXPECT_FALSE(q.contains(0));
+  EXPECT_EQ(q.size(), 1u);
+  index_t p = 0;
+  EXPECT_EQ(q.pop_min(p), 1u);
+}
+
+TEST(BucketQueue, OperationsOnAbsentItemsThrow) {
+  BucketQueue q{{1}, 1};
+  index_t p = 0;
+  q.pop_min(p);
+  EXPECT_THROW(q.pop_min(p), std::logic_error);
+  EXPECT_THROW(q.erase(0), std::logic_error);
+  EXPECT_THROW(q.decrease_key(0, 0), std::logic_error);
+}
+
+TEST(BucketQueue, RejectsPriorityAboveMax) {
+  EXPECT_THROW(BucketQueue({5}, 4), std::invalid_argument);
+}
+
+TEST(BucketQueue, CursorHandlesNonMonotoneMinimum) {
+  // Pop at priority 2, then decrease another item below it; the queue
+  // must rewind its cursor (the paper notes the min degree can decrease).
+  BucketQueue q{{2, 4, 4}, 4};
+  index_t p = 0;
+  EXPECT_EQ(q.pop_min(p), 0u);
+  q.decrease_key(1, 1);
+  EXPECT_EQ(q.pop_min(p), 1u);
+  EXPECT_EQ(p, 1u);
+}
+
+TEST(BucketQueue, PeelingSimulation) {
+  // Simulate a degree-peeling pattern: repeatedly pop min and decrement
+  // two arbitrary survivors.
+  std::vector<index_t> init{4, 4, 4, 4, 4, 4};
+  BucketQueue q{init, 4};
+  index_t pops = 0;
+  index_t max_min = 0;
+  while (!q.empty()) {
+    index_t p = 0;
+    const index_t v = q.pop_min(p);
+    (void)v;
+    max_min = std::max(max_min, p);
+    ++pops;
+    // Decrement priorities of up to two remaining items.
+    for (index_t u = 0; u < init.size() && q.size() > 0; ++u) {
+      if (q.contains(u) && q.priority(u) > 0) {
+        q.decrease_key(u, q.priority(u) - 1);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(pops, 6u);
+  EXPECT_LE(max_min, 4u);
+}
+
+}  // namespace
+}  // namespace hp

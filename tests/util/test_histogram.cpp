@@ -1,0 +1,67 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp {
+namespace {
+
+TEST(Histogram, EmptyDefaults) {
+  Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_EQ(h.min_value(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_THROW(h.percentile(0.5), std::logic_error);
+}
+
+TEST(Histogram, CountsValues) {
+  Histogram h{{1, 1, 2, 5}};
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(3), 0u);
+  EXPECT_EQ(h.count(99), 0u);
+}
+
+TEST(Histogram, AddWithMultiplicity) {
+  Histogram h;
+  h.add(3, 10);
+  h.add(3);
+  EXPECT_EQ(h.count(3), 11u);
+  EXPECT_EQ(h.total(), 11u);
+}
+
+TEST(Histogram, MinMax) {
+  Histogram h{{4, 7, 2, 9}};
+  EXPECT_EQ(h.min_value(), 2u);
+  EXPECT_EQ(h.max_value(), 9u);
+}
+
+TEST(Histogram, MeanAndVariance) {
+  Histogram h{{1, 2, 3, 4}};
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.variance(), 1.25);
+}
+
+TEST(Histogram, Percentiles) {
+  Histogram h{{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}};
+  EXPECT_EQ(h.percentile(0.0), 1u);
+  EXPECT_EQ(h.percentile(0.5), 5u);
+  EXPECT_EQ(h.percentile(1.0), 10u);
+  EXPECT_THROW(h.percentile(1.5), std::invalid_argument);
+}
+
+TEST(Histogram, ToStringSkipsZeros) {
+  Histogram h{{1, 1, 3}};
+  EXPECT_EQ(h.to_string(), "1 2\n3 1\n");
+}
+
+TEST(Histogram, ZeroIsAValidValue) {
+  Histogram h{{0, 0, 1}};
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.min_value(), 0u);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,28 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp {
+namespace {
+
+TEST(Log, LevelRoundTrips) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(original);
+}
+
+TEST(Log, StreamsComposeWithoutCrashing) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);  // silence output during the test
+  log_info() << "value=" << 42 << " pi=" << 3.14;
+  log_debug() << "suppressed";
+  log_warn() << "also suppressed";
+  set_log_level(original);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,205 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace hp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a{7};
+  const auto first = a();
+  a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(10), 10u);
+  }
+}
+
+TEST(Rng, UniformRejectsZero) {
+  Rng rng{3};
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformCoversAllValues) {
+  Rng rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIsApproximatelyUniform) {
+  Rng rng{5};
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, 4 * std::sqrt(n / 8.0));
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng{9};
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng{9};
+  EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng{9};
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng{13};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{17};
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng{19};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(1.0, 0.5), 0.0);
+  }
+}
+
+TEST(Rng, ZipfStaysInRange) {
+  Rng rng{23};
+  for (int i = 0; i < 5000; ++i) {
+    const auto k = rng.zipf(100, 1.5);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 100u);
+  }
+}
+
+TEST(Rng, ZipfFavorsSmallValues) {
+  Rng rng{29};
+  int ones = 0, big = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = rng.zipf(1000, 2.0);
+    if (k == 1) ++ones;
+    if (k > 100) ++big;
+  }
+  EXPECT_GT(ones, 10 * big);
+}
+
+TEST(Rng, ZipfExponentNearOne) {
+  Rng rng{31};
+  for (int i = 0; i < 2000; ++i) {
+    const auto k = rng.zipf(50, 1.0);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 50u);
+  }
+}
+
+TEST(Rng, ZipfRejectsBadArgs) {
+  Rng rng{1};
+  EXPECT_THROW(rng.zipf(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.zipf(10, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng{37};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng{41};
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);
+}
+
+TEST(AliasTable, SamplesProportionally) {
+  Rng rng{43};
+  AliasTable table{{1.0, 3.0, 6.0}};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(AliasTable, HandlesZeroWeights) {
+  Rng rng{47};
+  AliasTable table{{0.0, 1.0, 0.0}};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.sample(rng), 1u);
+  }
+}
+
+TEST(AliasTable, SingleEntry) {
+  Rng rng{53};
+  AliasTable table{{2.5}};
+  EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable{std::vector<double>{}}, std::invalid_argument);
+  EXPECT_THROW((AliasTable{std::vector<double>{-1.0, 2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((AliasTable{std::vector<double>{0.0, 0.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hp

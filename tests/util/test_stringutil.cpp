@@ -1,0 +1,86 @@
+#include "util/stringutil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\tabc\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Trim, EmptyAndWhitespaceOnly) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   \t\n"), "");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWhitespace, SkipsRuns) {
+  const auto parts = split_whitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWhitespace, EmptyInput) {
+  EXPECT_TRUE(split_whitespace("").empty());
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("hypergraph", "hyper"));
+  EXPECT_FALSE(starts_with("hyper", "hypergraph"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("MatrixMarket", "matrixmarket"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+}
+
+TEST(ToLower, Converts) { EXPECT_EQ(to_lower("AbC"), "abc"); }
+
+TEST(ParseInt, ValidAndInvalid) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_EQ(parse_int("  7 "), 7);
+  EXPECT_THROW(parse_int("4x"), ParseError);
+  EXPECT_THROW(parse_int(""), ParseError);
+  EXPECT_THROW(parse_int("1.5"), ParseError);
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e-3"), -1e-3);
+  EXPECT_THROW(parse_double("abc"), ParseError);
+  EXPECT_THROW(parse_double(""), ParseError);
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"one"}, ","), "one");
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t{{"name", "count"}};
+  t.row().cell("a").cell(10);
+  t.row().cell("longer").cell(3);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer | 3"), std::string::npos);
+  // Header separator rule present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, DoubleCellPrecision) {
+  Table t{{"x"}};
+  t.row().cell(3.14159, 2);
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("3.142"), std::string::npos);
+}
+
+TEST(Table, IntegerOverloads) {
+  Table t{{"a", "b", "c", "d"}};
+  t.row()
+      .cell(static_cast<std::int64_t>(-5))
+      .cell(static_cast<std::uint64_t>(7))
+      .cell(-3)
+      .cell(9u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("-5"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t{{"a", "b"}};
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().cell("x").cell("y");
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, RejectsMisuse) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+  Table t{{"only"}};
+  EXPECT_THROW(t.cell("no row yet"), std::logic_error);
+  t.row().cell("ok");
+  EXPECT_THROW(t.cell("too many"), std::logic_error);
+}
+
+TEST(Table, IncompleteRowDetectedOnNextRow) {
+  Table t{{"a", "b"}};
+  t.row().cell("only one");
+  EXPECT_THROW(t.row(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,40 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp {
+namespace {
+
+TEST(Timer, ElapsedIsNonNegativeAndMonotone) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Timer, ResetRestartsClock) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.5);
+}
+
+TEST(FormatDuration, PicksUnits) {
+  EXPECT_EQ(format_duration(0.47), "470.00 ms");
+  EXPECT_EQ(format_duration(2.0), "2.00 s");
+  EXPECT_EQ(format_duration(90.0), "1.50 m");
+  EXPECT_EQ(format_duration(7200.0), "2.00 h");
+  EXPECT_EQ(format_duration(5e-5), "50.0 us");
+}
+
+TEST(FormatDuration, BoundaryValues) {
+  EXPECT_EQ(format_duration(1.0), "1.00 s");
+  EXPECT_EQ(format_duration(60.0), "1.00 m");
+  EXPECT_EQ(format_duration(3600.0), "1.00 h");
+  EXPECT_EQ(format_duration(1e-3), "1.00 ms");
+}
+
+}  // namespace
+}  // namespace hp
