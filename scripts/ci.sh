@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Tier-1 build pipeline: plain Release build + full ctest, then the same
+# suite under AddressSanitizer + UBSan (HP_SANITIZE) to guard the raw
+# flat-array indexing in the peeling substrate (src/core/peel/).
+#
+# Usage: scripts/ci.sh [build-dir-prefix]   (default: build)
+set -eu
+
+prefix="${1:-build}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "=== tier-1: release build + ctest ==="
+cmake -B "${prefix}" -S "${root}"
+cmake --build "${prefix}" -j
+ctest --test-dir "${prefix}" --output-on-failure
+
+echo "=== tier-1: sanitized build + ctest (HP_SANITIZE=address;undefined) ==="
+cmake -B "${prefix}-asan" -S "${root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DHP_SANITIZE=address;undefined"
+cmake --build "${prefix}-asan" -j
+ctest --test-dir "${prefix}-asan" --output-on-failure
+
+echo "ci: all green"

@@ -120,8 +120,11 @@ int cmd_stats(const Args& args, std::ostream& out) {
 int cmd_core(const Args& args, std::ostream& out) {
   const bio::ComplexDataset data = load_dataset(input_path(args));
   const hyper::Hypergraph& h = data.hypergraph;
+  const bool want_stats = args.get_bool("peel-stats", false);
+  hyper::PeelStats stats;
   Timer timer;
-  const hyper::HyperCoreResult cores = hyper::core_decomposition(h);
+  const hyper::HyperCoreResult cores =
+      hyper::core_decomposition(h, want_stats ? &stats : nullptr);
   out << "core decomposition in " << format_duration(timer.seconds())
       << "\n\nk-core ladder (k, vertices, hyperedges):\n";
   for (std::size_t k = 0; k < cores.level_vertices.size(); ++k) {
@@ -139,6 +142,9 @@ int cmd_core(const Args& args, std::ostream& out) {
   }
   if (members.size() > limit) out << " ...";
   out << '\n';
+  if (want_stats) {
+    out << "\npeel substrate counters:\n" << hyper::to_string(stats);
+  }
   if (args.has("out")) {
     const hyper::SubHypergraph core = hyper::extract_core(h, cores, k);
     hyper::save_text(core.hypergraph, args.get("out", "core.hyper"));
@@ -318,7 +324,8 @@ std::string usage() {
          "  stats <file> [--paths]                 structural summary\n"
          "  report <file> [--no-paper]             full paper-vs-measured "
          "table\n"
-         "  core <file> [--k K] [--out f.hyper]    k-core decomposition\n"
+         "  core <file> [--k K] [--out f.hyper] [--peel-stats]\n"
+         "                                         k-core decomposition\n"
          "  cover <file> [--weights unit|deg2] [--multicover R]\n"
          "                                         greedy bait cover\n"
          "  match <file>                           maximal matching\n"

@@ -3,24 +3,19 @@
 #include <algorithm>
 #include <queue>
 
+#include "core/peel/residual.hpp"
+
 namespace hp::hyper {
 
 namespace {
 
-/// Shared residual state for measure evaluation.
-struct MeasureState {
+/// Measure policy on top of the shared residual substrate: the
+/// substrate tracks alive vertices and residual edge sizes; this
+/// evaluates the chosen vertex measure against that state.
+struct MeasurePolicy {
   const Hypergraph& h;
+  const ResidualHypergraph& residual;
   CoreMeasure measure;
-  std::vector<bool> alive;
-  std::vector<index_t> live_size;  // live members per edge
-
-  MeasureState(const Hypergraph& hg, CoreMeasure m)
-      : h(hg), measure(m), alive(hg.num_vertices(), true),
-        live_size(hg.num_edges()) {
-    for (index_t e = 0; e < hg.num_edges(); ++e) {
-      live_size[e] = hg.edge_size(e);
-    }
-  }
 
   double evaluate(index_t v) const {
     switch (measure) {
@@ -29,7 +24,7 @@ struct MeasureState {
         // co-member.
         index_t degree = 0;
         for (index_t e : h.edges_of(v)) {
-          if (live_size[e] >= 2) ++degree;
+          if (residual.edge_size(e) >= 2) ++degree;
         }
         return static_cast<double>(degree);
       }
@@ -41,7 +36,7 @@ struct MeasureState {
         for (index_t e : h.edges_of(v)) {
           const index_t full = h.edge_size(e);
           if (full < 2) continue;
-          total += static_cast<double>(live_size[e] - 1) /
+          total += static_cast<double>(residual.edge_size(e) - 1) /
                    static_cast<double>(full - 1);
         }
         return total;
@@ -50,7 +45,7 @@ struct MeasureState {
         std::vector<index_t> seen;
         for (index_t e : h.edges_of(v)) {
           for (index_t w : h.vertices_of(e)) {
-            if (w != v && alive[w]) seen.push_back(w);
+            if (w != v && residual.vertex_alive(w)) seen.push_back(w);
           }
         }
         std::sort(seen.begin(), seen.end());
@@ -59,22 +54,6 @@ struct MeasureState {
       }
     }
     return 0.0;
-  }
-
-  /// Remove v and return the vertices whose measure may have changed.
-  std::vector<index_t> remove(index_t v) {
-    alive[v] = false;
-    std::vector<index_t> affected;
-    for (index_t e : h.edges_of(v)) {
-      --live_size[e];
-      for (index_t w : h.vertices_of(e)) {
-        if (alive[w]) affected.push_back(w);
-      }
-    }
-    std::sort(affected.begin(), affected.end());
-    affected.erase(std::unique(affected.begin(), affected.end()),
-                   affected.end());
-    return affected;
   }
 };
 
@@ -87,14 +66,33 @@ struct HeapEntry {
   }
 };
 
+/// Remove v on the substrate and return the live vertices whose measure
+/// may have changed (the live co-members of v's edges).
+std::vector<index_t> remove_vertex(ResidualHypergraph& residual,
+                                   index_t v) {
+  std::vector<index_t> touched;
+  residual.erase_vertex(v, touched);
+  std::vector<index_t> affected;
+  for (index_t e : touched) {
+    for (index_t w : residual.base().vertices_of(e)) {
+      if (residual.vertex_alive(w)) affected.push_back(w);
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  return affected;
+}
+
 }  // namespace
 
 std::vector<double> measure_values(const Hypergraph& h,
                                    CoreMeasure measure) {
-  const MeasureState state{h, measure};
+  const ResidualHypergraph residual{h};
+  const MeasurePolicy policy{h, residual, measure};
   std::vector<double> values(h.num_vertices());
   for (index_t v = 0; v < h.num_vertices(); ++v) {
-    values[v] = state.evaluate(v);
+    values[v] = policy.evaluate(v);
   }
   return values;
 }
@@ -106,30 +104,30 @@ GeneralizedCoreResult generalized_core(const Hypergraph& h,
   result.value.assign(n, 0.0);
   if (n == 0) return result;
 
-  MeasureState state{h, measure};
+  ResidualHypergraph residual{h};
+  const MeasurePolicy policy{h, residual, measure};
   std::vector<double> current(n);
   std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                       std::greater<HeapEntry>>
       heap;
   for (index_t v = 0; v < n; ++v) {
-    current[v] = state.evaluate(v);
+    current[v] = policy.evaluate(v);
     heap.push({current[v], v});
   }
 
   double running_max = 0.0;
-  index_t removed = 0;
-  while (removed < n) {
+  while (residual.live_vertices() > 0) {
     const HeapEntry top = heap.top();
     heap.pop();
-    if (!state.alive[top.vertex] || top.key != current[top.vertex]) {
+    if (!residual.vertex_alive(top.vertex) ||
+        top.key != current[top.vertex]) {
       continue;  // stale entry; a fresher one is in the heap
     }
     const index_t v = top.vertex;
     running_max = std::max(running_max, current[v]);
     result.value[v] = running_max;
-    ++removed;
-    for (index_t w : state.remove(v)) {
-      const double fresh = state.evaluate(w);
+    for (index_t w : remove_vertex(residual, v)) {
+      const double fresh = policy.evaluate(w);
       if (fresh != current[w]) {
         current[w] = fresh;
         heap.push({fresh, w});

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "core/overlap.hpp"
+#include "core/peel/peel.hpp"
 
 namespace hp::hyper {
 
@@ -24,29 +24,24 @@ std::vector<index_t> HyperCoreResult::core_edges(index_t k) const {
 
 namespace {
 
-/// Mutable peeling state shared across levels k = 1, 2, ...
-class PeelState {
+/// Sequential overlap-maintaining peel policy (the paper's Fig. 4) on
+/// top of the shared substrate: the substrate owns alive masks, residual
+/// degrees/sizes and core stamping; this class owns only the work queue
+/// and the threshold rule.
+class OverlapPeeler {
  public:
-  explicit PeelState(const Hypergraph& h)
+  OverlapPeeler(const Hypergraph& h, HyperCoreResult& result,
+                PeelStats& stats)
       : h_(h),
+        residual_(h),
         overlaps_(h),
-        vertex_alive_(h.num_vertices(), true),
-        edge_alive_(h.num_edges(), true),
-        vertex_degree_(h.num_vertices()),
-        edge_size_(h.num_edges()),
+        stats_(stats),
         in_queue_(h.num_vertices(), false) {
-    for (index_t v = 0; v < h.num_vertices(); ++v) {
-      vertex_degree_[v] = h.vertex_degree(v);
-    }
-    for (index_t e = 0; e < h.num_edges(); ++e) {
-      edge_size_[e] = h.edge_size(e);
-    }
+    residual_.bind_stats(&stats);
+    residual_.bind_cores(&result.vertex_core, &result.edge_core);
   }
 
-  index_t alive_vertices() const { return alive_vertex_count_; }
-  index_t alive_edges() const { return alive_edge_count_; }
-  bool vertex_alive(index_t v) const { return vertex_alive_[v]; }
-  bool edge_alive(index_t e) const { return edge_alive_[e]; }
+  const ResidualHypergraph& residual() const { return residual_; }
 
   /// Remove every non-maximal edge currently present. This is the
   /// initial reduction required before the level-1 peel (the k-core must
@@ -54,27 +49,33 @@ class PeelState {
   /// removing edges only lowers vertex degrees, which the subsequent
   /// peel handles.
   void initial_reduction() {
+    residual_.set_peel_level(0);
     for (index_t f = 0; f < h_.num_edges(); ++f) {
-      if (!edge_alive_[f]) continue;
-      if (find_container(f) != kInvalidIndex) delete_edge(f, 0);
+      if (!residual_.edge_alive(f)) continue;
+      if (find_container(residual_, overlaps_, f, &stats_) != kInvalidIndex) {
+        residual_.erase_edge(f);
+      }
     }
   }
 
   /// Peel at level k: repeatedly remove vertices of residual degree < k,
   /// cascading edge deletions, until every live vertex has degree >= k.
-  /// Removed items are stamped with core number k - 1.
-  void peel(index_t k, std::vector<index_t>& vertex_core,
-            std::vector<index_t>& edge_core) {
+  /// Removed items are stamped with core number k - 1 by the substrate.
+  void peel(index_t k) {
+    residual_.set_peel_level(k);
+    ++stats_.peel_rounds;
     // Seed the work queue with all sub-threshold live vertices.
     for (index_t v = 0; v < h_.num_vertices(); ++v) {
-      if (vertex_alive_[v] && vertex_degree_[v] < k) enqueue(v);
+      if (residual_.vertex_alive(v) && residual_.vertex_degree(v) < k) {
+        enqueue(v);
+      }
     }
     while (!queue_.empty()) {
       const index_t v = queue_.back();
       queue_.pop_back();
       in_queue_[v] = false;
-      if (!vertex_alive_[v]) continue;
-      delete_vertex(v, k, vertex_core, edge_core);
+      if (!residual_.vertex_alive(v)) continue;
+      delete_vertex(v, k);
     }
   }
 
@@ -83,128 +84,75 @@ class PeelState {
     if (!in_queue_[v]) {
       in_queue_[v] = true;
       queue_.push_back(v);
+      stats_.note_queue_length(queue_.size());
     }
-  }
-
-  /// Live edge g that contains f (f's residual members all inside g),
-  /// or kInvalidIndex. For identical residual sets, f counts as contained
-  /// (the later-checked duplicate is the one removed), so exactly one
-  /// representative survives.
-  index_t find_container(index_t f) const {
-    const index_t size_f = edge_size_[f];
-    if (size_f == 0) return f;  // empty edge: "contained" sentinel
-    for (const auto& [g, ov] : overlaps_.row(f)) {
-      if (!edge_alive_[g] || ov == 0) continue;
-      if (ov == size_f) return g;  // f subset of (or equal to) g
-    }
-    return kInvalidIndex;
   }
 
   /// Remove vertex v: take it out of every live edge, maintaining edge
   /// sizes and pairwise overlaps, then delete edges that stopped being
-  /// maximal. Finally mark v with its core number.
-  void delete_vertex(index_t v, index_t k, std::vector<index_t>& vertex_core,
-                     std::vector<index_t>& edge_core) {
-    vertex_alive_[v] = false;
-    --alive_vertex_count_;
-    vertex_core[v] = k - 1;
-
-    // Live edges containing v.
+  /// maximal.
+  void delete_vertex(index_t v, index_t k) {
     touched_.clear();
-    for (index_t e : h_.edges_of(v)) {
-      if (edge_alive_[e]) touched_.push_back(e);
-    }
+    residual_.erase_vertex(v, touched_);
 
     // Every pair of touched edges loses one unit of overlap (they shared
     // v); this is the O(d(v)^2) update from the paper's analysis.
-    for (std::size_t i = 0; i < touched_.size(); ++i) {
-      for (std::size_t j = i + 1; j < touched_.size(); ++j) {
-        auto& row_i = overlaps_.mutable_row(touched_[i]);
-        auto& row_j = overlaps_.mutable_row(touched_[j]);
-        --row_i[touched_[j]];
-        --row_j[touched_[i]];
-      }
-    }
-    for (index_t e : touched_) --edge_size_[e];
+    overlaps_.decrement_clique(touched_, &stats_);
 
     // Only edges whose cardinality just dropped can have become
     // non-maximal.
     for (index_t f : touched_) {
-      if (!edge_alive_[f]) continue;  // deleted earlier in this loop
-      if (find_container(f) != kInvalidIndex) {
-        delete_edge(f, k, &edge_core);
+      if (!residual_.edge_alive(f)) continue;  // deleted earlier here
+      if (find_container(residual_, overlaps_, f, &stats_) != kInvalidIndex) {
+        residual_.erase_edge(f, [&](index_t w, index_t degree) {
+          if (degree < k) enqueue(w);
+        });
       }
     }
   }
 
-  /// Delete edge f; member vertices lose one degree and may fall under
-  /// the threshold. `k == 0` marks the initial reduction (no cascade,
-  /// core number 0).
-  void delete_edge(index_t f, index_t k,
-                   std::vector<index_t>* edge_core = nullptr) {
-    edge_alive_[f] = false;
-    --alive_edge_count_;
-    if (edge_core != nullptr && k >= 1) (*edge_core)[f] = k - 1;
-    for (index_t w : h_.vertices_of(f)) {
-      if (!vertex_alive_[w]) continue;
-      --vertex_degree_[w];
-      if (k >= 1 && vertex_degree_[w] < k) enqueue(w);
-    }
-  }
-
   const Hypergraph& h_;
-  OverlapTable overlaps_;
-  std::vector<bool> vertex_alive_;
-  std::vector<bool> edge_alive_;
-  std::vector<index_t> vertex_degree_;  // live incident edges
-  std::vector<index_t> edge_size_;      // live member vertices
+  ResidualHypergraph residual_;
+  FlatOverlapTracker overlaps_;
+  PeelStats& stats_;
   std::vector<bool> in_queue_;
   std::vector<index_t> queue_;
   std::vector<index_t> touched_;
-  index_t alive_vertex_count_ = 0;
-  index_t alive_edge_count_ = 0;
-
- public:
-  void init_counts() {
-    alive_vertex_count_ = h_.num_vertices();
-    alive_edge_count_ = h_.num_edges();
-  }
 };
 
 }  // namespace
 
-HyperCoreResult core_decomposition(const Hypergraph& h) {
+HyperCoreResult core_decomposition(const Hypergraph& h, PeelStats* stats) {
   HyperCoreResult result;
   result.vertex_core.assign(h.num_vertices(), 0);
   result.edge_core.assign(h.num_edges(), 0);
 
-  PeelState state{h};
-  state.init_counts();
-  state.initial_reduction();
+  PeelStats local;
+  OverlapPeeler peeler{h, result, local};
+  peeler.initial_reduction();
 
   // level 0 = reduced input.
-  result.level_vertices.push_back(state.alive_vertices());
-  result.level_edges.push_back(state.alive_edges());
+  result.level_vertices.push_back(peeler.residual().live_vertices());
+  result.level_edges.push_back(peeler.residual().live_edges());
 
+  // The substrate stamps core numbers at deletion time, so the loop only
+  // has to record per-level population counts; no survivor sweeps.
   for (index_t k = 1;; ++k) {
-    state.peel(k, result.vertex_core, result.edge_core);
-    if (state.alive_vertices() == 0) {
+    peeler.peel(k);
+    if (peeler.residual().live_vertices() == 0) {
       result.max_core = k - 1;
       break;
     }
     // Everything still alive is in the k-core.
-    result.level_vertices.push_back(state.alive_vertices());
-    result.level_edges.push_back(state.alive_edges());
-    // Stamp survivors so that if the loop ends next level, their core
-    // numbers are correct.
-    for (index_t v = 0; v < h.num_vertices(); ++v) {
-      if (state.vertex_alive(v)) result.vertex_core[v] = k;
-    }
-    for (index_t e = 0; e < h.num_edges(); ++e) {
-      if (state.edge_alive(e)) result.edge_core[e] = k;
-    }
+    result.level_vertices.push_back(peeler.residual().live_vertices());
+    result.level_edges.push_back(peeler.residual().live_edges());
   }
+  if (stats != nullptr) *stats += local;
   return result;
+}
+
+HyperCoreResult core_decomposition(const Hypergraph& h) {
+  return core_decomposition(h, nullptr);
 }
 
 SubHypergraph extract_core(const Hypergraph& h, const HyperCoreResult& d,

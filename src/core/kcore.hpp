@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/hypergraph.hpp"
+#include "core/peel/peel_stats.hpp"
 
 namespace hp::hyper {
 
@@ -50,6 +51,11 @@ struct HyperCoreResult {
 
 /// Full core decomposition via the overlap-maintaining peel.
 HyperCoreResult core_decomposition(const Hypergraph& h);
+
+/// Instrumented variant: substrate counters (overlap decrements,
+/// containment probes, cascades, rounds, peak queue) are accumulated
+/// into `*stats` when non-null.
+HyperCoreResult core_decomposition(const Hypergraph& h, PeelStats* stats);
 
 /// Extract the k-core as a standalone hypergraph (residual hyperedges
 /// restricted to core vertices), with id maps back to the input.

@@ -1,85 +1,59 @@
 #include "core/kcore_naive.hpp"
 
-#include <algorithm>
 #include <vector>
+
+#include "core/peel/residual.hpp"
 
 namespace hp::hyper {
 
 namespace {
 
-struct NaiveState {
-  // Residual member sets (sorted) and alive flags.
-  std::vector<std::vector<index_t>> members;
-  std::vector<bool> edge_alive;
-  std::vector<bool> vertex_alive;
-  std::vector<index_t> vertex_degree;
+/// Reference policy: explicit residual-set comparisons for maximality
+/// (what the paper argues against). All alive/degree/size bookkeeping
+/// and core stamping live in the shared ResidualHypergraph; only the
+/// set-comparison test is private to this oracle.
+struct NaivePolicy {
+  const Hypergraph& h;
+  ResidualHypergraph& residual;
 
-  explicit NaiveState(const Hypergraph& h)
-      : edge_alive(h.num_edges(), true),
-        vertex_alive(h.num_vertices(), true),
-        vertex_degree(h.num_vertices()) {
-    members.reserve(h.num_edges());
-    for (index_t e = 0; e < h.num_edges(); ++e) {
-      const auto m = h.vertices_of(e);
-      members.emplace_back(m.begin(), m.end());
+  /// Is the residual set of f a subset of the residual set of g?
+  /// Two-pointer sweep over the sorted member lists, skipping dead
+  /// vertices (the residual sets are never materialized).
+  bool residual_subset(index_t f, index_t g) const {
+    const auto fv = h.vertices_of(f);
+    const auto gv = h.vertices_of(g);
+    std::size_t j = 0;
+    for (index_t w : fv) {
+      if (!residual.vertex_alive(w)) continue;
+      while (j < gv.size() &&
+             (gv[j] < w || !residual.vertex_alive(gv[j]))) {
+        ++j;
+      }
+      if (j == gv.size() || gv[j] != w) return false;
+      ++j;
     }
-    for (index_t v = 0; v < h.num_vertices(); ++v) {
-      vertex_degree[v] = h.vertex_degree(v);
-    }
+    return true;
   }
 
   /// Remove non-maximal / empty edges by pairwise subset tests until
   /// stable (one pass suffices: deleting edges cannot create
-  /// containment).
-  void reduce_by_comparison(index_t level, std::vector<index_t>* edge_core) {
-    const index_t ne = static_cast<index_t>(members.size());
+  /// containment). Strict containment dooms f; among identical residual
+  /// sets the lowest id survives.
+  void reduce_by_comparison() {
+    const index_t ne = h.num_edges();
     for (index_t f = 0; f < ne; ++f) {
-      if (!edge_alive[f]) continue;
-      bool contained = members[f].empty();
-      if (!contained) {
-        for (index_t g = 0; g < ne && !contained; ++g) {
-          if (g == f || !edge_alive[g]) continue;
-          if (members[g].size() < members[f].size()) continue;
-          if (members[g].size() == members[f].size() && g > f &&
-              members[g] == members[f]) {
-            // Duplicate pair: delete the later-scanned one (f is the
-            // earlier; skip here, g will be deleted when scanned).
-            continue;
-          }
-          contained = std::includes(members[g].begin(), members[g].end(),
-                                    members[f].begin(), members[f].end());
-        }
+      if (!residual.edge_alive(f)) continue;
+      const index_t size_f = residual.edge_size(f);
+      bool contained = size_f == 0;
+      for (index_t g = 0; g < ne && !contained; ++g) {
+        if (g == f || !residual.edge_alive(g)) continue;
+        const index_t size_g = residual.edge_size(g);
+        if (size_g < size_f) continue;
+        if (size_g == size_f && g > f) continue;  // duplicate: lowest id wins
+        contained = residual_subset(f, g);
       }
-      if (contained) delete_edge(f, level, edge_core);
+      if (contained) residual.erase_edge(f);
     }
-  }
-
-  void delete_edge(index_t f, index_t level, std::vector<index_t>* edge_core) {
-    edge_alive[f] = false;
-    if (edge_core != nullptr && level >= 1) (*edge_core)[f] = level - 1;
-    for (index_t w : members[f]) {
-      if (vertex_alive[w]) --vertex_degree[w];
-    }
-  }
-
-  void delete_vertex(index_t v) {
-    vertex_alive[v] = false;
-    for (auto& m : members) {
-      // Removing v from dead edges too is harmless and keeps this simple.
-      const auto it = std::lower_bound(m.begin(), m.end(), v);
-      if (it != m.end() && *it == v) m.erase(it);
-    }
-  }
-
-  index_t alive_vertex_count() const {
-    index_t n = 0;
-    for (bool a : vertex_alive) n += a ? 1 : 0;
-    return n;
-  }
-  index_t alive_edge_count() const {
-    index_t n = 0;
-    for (bool a : edge_alive) n += a ? 1 : 0;
-    return n;
   }
 };
 
@@ -90,56 +64,39 @@ HyperCoreResult core_decomposition_naive(const Hypergraph& h) {
   result.vertex_core.assign(h.num_vertices(), 0);
   result.edge_core.assign(h.num_edges(), 0);
 
-  NaiveState state{h};
-  state.reduce_by_comparison(0, nullptr);
-  result.level_vertices.push_back(state.alive_vertex_count());
-  result.level_edges.push_back(state.alive_edge_count());
+  ResidualHypergraph residual{h};
+  residual.bind_cores(&result.vertex_core, &result.edge_core);
+  NaivePolicy policy{h, residual};
+
+  residual.set_peel_level(0);
+  policy.reduce_by_comparison();
+  result.level_vertices.push_back(residual.live_vertices());
+  result.level_edges.push_back(residual.live_edges());
 
   for (index_t k = 1;; ++k) {
-    // Fixpoint: strip sub-threshold vertices, re-reduce, repeat.
+    residual.set_peel_level(k);
+    // Fixpoint: strip sub-threshold vertices, re-reduce, repeat. Core
+    // numbers are stamped by the substrate on deletion.
     bool changed = true;
     while (changed) {
       changed = false;
       for (index_t v = 0; v < h.num_vertices(); ++v) {
-        if (!state.vertex_alive[v] || state.vertex_degree[v] >= k) continue;
-        // Deleting v shrinks its edges; recompute degrees from scratch
-        // afterwards for simplicity.
-        state.delete_vertex(v);
-        result.vertex_core[v] = k - 1;
+        if (!residual.vertex_alive(v) || residual.vertex_degree(v) >= k) {
+          continue;
+        }
+        residual.erase_vertex(v);
         changed = true;
       }
-      // Recompute vertex degrees over live edges after removals.
-      std::fill(state.vertex_degree.begin(), state.vertex_degree.end(), 0);
-      for (index_t e = 0; e < h.num_edges(); ++e) {
-        if (!state.edge_alive[e]) continue;
-        for (index_t w : state.members[e]) {
-          if (state.vertex_alive[w]) ++state.vertex_degree[w];
-        }
-      }
-      const index_t before = state.alive_edge_count();
-      state.reduce_by_comparison(k, &result.edge_core);
-      if (state.alive_edge_count() != before) changed = true;
-      // Edge deletions changed degrees; recompute once more.
-      std::fill(state.vertex_degree.begin(), state.vertex_degree.end(), 0);
-      for (index_t e = 0; e < h.num_edges(); ++e) {
-        if (!state.edge_alive[e]) continue;
-        for (index_t w : state.members[e]) {
-          if (state.vertex_alive[w]) ++state.vertex_degree[w];
-        }
-      }
+      const index_t before = residual.live_edges();
+      policy.reduce_by_comparison();
+      if (residual.live_edges() != before) changed = true;
     }
-    if (state.alive_vertex_count() == 0) {
+    if (residual.live_vertices() == 0) {
       result.max_core = k - 1;
       break;
     }
-    result.level_vertices.push_back(state.alive_vertex_count());
-    result.level_edges.push_back(state.alive_edge_count());
-    for (index_t v = 0; v < h.num_vertices(); ++v) {
-      if (state.vertex_alive[v]) result.vertex_core[v] = k;
-    }
-    for (index_t e = 0; e < h.num_edges(); ++e) {
-      if (state.edge_alive[e]) result.edge_core[e] = k;
-    }
+    result.level_vertices.push_back(residual.live_vertices());
+    result.level_edges.push_back(residual.live_edges());
   }
   return result;
 }

@@ -1,7 +1,8 @@
 #include "core/kcore_parallel.hpp"
 
-#include <algorithm>
 #include <vector>
+
+#include "core/peel/peel.hpp"
 
 #ifdef HP_HAVE_OPENMP
 #include <omp.h>
@@ -11,109 +12,20 @@ namespace hp::hyper {
 
 namespace {
 
-/// Shared bulk-synchronous peel state.
-struct BulkState {
-  const Hypergraph& h;
-  std::vector<char> vertex_alive;
-  std::vector<char> edge_alive;
-  std::vector<index_t> vertex_degree;  // live incident edges
-  std::vector<index_t> edge_size;      // live member vertices
-  index_t alive_vertices = 0;
-  index_t alive_edges = 0;
-
-  explicit BulkState(const Hypergraph& hg)
-      : h(hg),
-        vertex_alive(hg.num_vertices(), 1),
-        edge_alive(hg.num_edges(), 1),
-        vertex_degree(hg.num_vertices()),
-        edge_size(hg.num_edges()),
-        alive_vertices(hg.num_vertices()),
-        alive_edges(hg.num_edges()) {
-    for (index_t v = 0; v < hg.num_vertices(); ++v) {
-      vertex_degree[v] = hg.vertex_degree(v);
-    }
-    for (index_t e = 0; e < hg.num_edges(); ++e) {
-      edge_size[e] = hg.edge_size(e);
-    }
+/// Delete a batch of doomed edges on the substrate (stamping and degree
+/// maintenance are the substrate's job; this is pure policy glue).
+void delete_edges(ResidualHypergraph& residual,
+                  const std::vector<index_t>& doomed) {
+  for (index_t f : doomed) {
+    if (residual.edge_alive(f)) residual.erase_edge(f);
   }
-
-  /// Decide, in parallel, which of `candidates` are non-maximal under
-  /// the current residual sets. Uses an overlap-counting sweep per
-  /// candidate with thread-local counters. Returns the doomed edges.
-  std::vector<index_t> find_non_maximal(const std::vector<index_t>& candidates)
-      const {
-    std::vector<char> doomed(h.num_edges(), 0);
-    const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(candidates.size());
-#ifdef HP_HAVE_OPENMP
-#pragma omp parallel
-#endif
-    {
-      std::vector<index_t> count(h.num_edges(), 0);
-      std::vector<index_t> seen;
-#ifdef HP_HAVE_OPENMP
-#pragma omp for schedule(dynamic, 8)
-#endif
-      for (std::ptrdiff_t idx = 0; idx < n; ++idx) {
-        const index_t f = candidates[idx];
-        if (!edge_alive[f]) continue;
-        const index_t size_f = edge_size[f];
-        if (size_f == 0) {
-          doomed[f] = 1;
-          continue;
-        }
-        seen.clear();
-        bool contained = false;
-        for (index_t w : h.vertices_of(f)) {
-          if (!vertex_alive[w]) continue;
-          for (index_t g : h.edges_of(w)) {
-            if (g == f || !edge_alive[g]) continue;
-            if (count[g] == 0) seen.push_back(g);
-            ++count[g];
-            if (count[g] == size_f) {
-              // f's residual set lies inside g's. Strict containment
-              // always dooms f; for identical residual sets the lowest
-              // id survives (deterministic under any schedule).
-              if (edge_size[g] > size_f || (edge_size[g] == size_f && g < f)) {
-                contained = true;
-                break;
-              }
-            }
-          }
-          if (contained) break;
-        }
-        for (index_t g : seen) count[g] = 0;
-        if (contained) doomed[f] = 1;
-      }
-    }
-    std::vector<index_t> result;
-    for (index_t f : candidates) {
-      if (doomed[f]) result.push_back(f);
-    }
-    // Candidates may contain duplicates; dedupe.
-    std::sort(result.begin(), result.end());
-    result.erase(std::unique(result.begin(), result.end()), result.end());
-    return result;
-  }
-
-  /// Apply edge deletions; returns vertices whose degree dropped.
-  void delete_edges(const std::vector<index_t>& doomed, index_t level,
-                    std::vector<index_t>& edge_core) {
-    for (index_t f : doomed) {
-      if (!edge_alive[f]) continue;
-      edge_alive[f] = 0;
-      --alive_edges;
-      if (level >= 1) edge_core[f] = level - 1;
-      for (index_t w : h.vertices_of(f)) {
-        if (vertex_alive[w]) --vertex_degree[w];
-      }
-    }
-  }
-};
+}
 
 }  // namespace
 
 HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
-                                            int num_threads) {
+                                            int num_threads,
+                                            PeelStats* stats) {
 #ifdef HP_HAVE_OPENMP
   if (num_threads > 0) omp_set_num_threads(num_threads);
 #else
@@ -123,10 +35,14 @@ HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
   result.vertex_core.assign(h.num_vertices(), 0);
   result.edge_core.assign(h.num_edges(), 0);
 
-  BulkState state{h};
+  PeelStats local;
+  ResidualHypergraph residual{h};
+  residual.bind_stats(&local);
+  residual.bind_cores(&result.vertex_core, &result.edge_core);
 
   // Initial reduction: every edge is a containment candidate.
   {
+    residual.set_peel_level(0);
     std::vector<index_t> all_edges(h.num_edges());
     for (index_t e = 0; e < h.num_edges(); ++e) all_edges[e] = e;
     // Iterate to a fixpoint: deleting one duplicate representative can
@@ -134,63 +50,58 @@ HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
     // the id-tiebreak resolves whole equality classes in one pass, so a
     // single pass suffices; we still loop defensively.
     for (;;) {
-      const std::vector<index_t> doomed = state.find_non_maximal(all_edges);
+      const std::vector<index_t> doomed =
+          find_non_maximal(residual, all_edges, &local);
       if (doomed.empty()) break;
-      state.delete_edges(doomed, 0, result.edge_core);
+      delete_edges(residual, doomed);
       all_edges.clear();
       for (index_t e = 0; e < h.num_edges(); ++e) {
-        if (state.edge_alive[e]) all_edges.push_back(e);
+        if (residual.edge_alive(e)) all_edges.push_back(e);
       }
     }
   }
 
-  result.level_vertices.push_back(state.alive_vertices);
-  result.level_edges.push_back(state.alive_edges);
+  result.level_vertices.push_back(residual.live_vertices());
+  result.level_edges.push_back(residual.live_edges());
 
+  // Core numbers are stamped by the substrate at deletion time; the
+  // level loop only records populations (no survivor sweeps).
   std::vector<index_t> frontier;
   std::vector<index_t> touched;
   for (index_t k = 1;; ++k) {
+    residual.set_peel_level(k);
     // Cascade rounds within this level.
     for (;;) {
       frontier.clear();
       for (index_t v = 0; v < h.num_vertices(); ++v) {
-        if (state.vertex_alive[v] && state.vertex_degree[v] < k) {
+        if (residual.vertex_alive(v) && residual.vertex_degree(v) < k) {
           frontier.push_back(v);
         }
       }
       if (frontier.empty()) break;
+      ++local.peel_rounds;
+      local.note_queue_length(frontier.size());
 
       touched.clear();
-      for (index_t v : frontier) {
-        state.vertex_alive[v] = 0;
-        --state.alive_vertices;
-        result.vertex_core[v] = k - 1;
-      }
-      for (index_t v : frontier) {
-        for (index_t e : h.edges_of(v)) {
-          if (state.edge_alive[e]) {
-            --state.edge_size[e];
-            touched.push_back(e);
-          }
-        }
-      }
-      const std::vector<index_t> doomed = state.find_non_maximal(touched);
-      state.delete_edges(doomed, k, result.edge_core);
+      for (index_t v : frontier) residual.erase_vertex(v, touched);
+      const std::vector<index_t> doomed =
+          find_non_maximal(residual, touched, &local);
+      delete_edges(residual, doomed);
     }
-    if (state.alive_vertices == 0) {
+    if (residual.live_vertices() == 0) {
       result.max_core = k - 1;
       break;
     }
-    result.level_vertices.push_back(state.alive_vertices);
-    result.level_edges.push_back(state.alive_edges);
-    for (index_t v = 0; v < h.num_vertices(); ++v) {
-      if (state.vertex_alive[v]) result.vertex_core[v] = k;
-    }
-    for (index_t e = 0; e < h.num_edges(); ++e) {
-      if (state.edge_alive[e]) result.edge_core[e] = k;
-    }
+    result.level_vertices.push_back(residual.live_vertices());
+    result.level_edges.push_back(residual.live_edges());
   }
+  if (stats != nullptr) *stats += local;
   return result;
+}
+
+HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
+                                            int num_threads) {
+  return core_decomposition_parallel(h, num_threads, nullptr);
 }
 
 }  // namespace hp::hyper

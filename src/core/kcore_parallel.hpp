@@ -24,4 +24,11 @@ namespace hp::hyper {
 HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
                                             int num_threads = 0);
 
+/// Instrumented variant: substrate counters accumulate into `*stats`
+/// when non-null (rounds = bulk frontier rounds, peak queue = largest
+/// frontier).
+HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
+                                            int num_threads,
+                                            PeelStats* stats);
+
 }  // namespace hp::hyper

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/peel/residual.hpp"
 #include "util/lazy_heap.hpp"
 
 namespace hp::hyper {
@@ -16,7 +17,8 @@ MulticoverResult greedy_multicover(const Hypergraph& h,
              "greedy_multicover: requirements size mismatch");
 
   MulticoverResult result;
-  // Residual demand per edge, clamped to cardinality.
+  // Residual demand per edge, clamped to cardinality (>= 1 always, so
+  // every edge starts alive on the substrate).
   std::vector<index_t> demand(h.num_edges());
   for (index_t e = 0; e < h.num_edges(); ++e) {
     HP_REQUIRE(requirements[e] >= 1,
@@ -25,49 +27,43 @@ MulticoverResult greedy_multicover(const Hypergraph& h,
     if (demand[e] != requirements[e]) result.clamped_edges.push_back(e);
   }
 
+  // Substrate mapping: an edge is alive while its demand is positive;
+  // a vertex's usefulness (adjacent edges still demanding coverage) is
+  // then exactly its residual degree. Chosen vertices stay alive -- a
+  // cover vertex remains inside its edges -- so only the edge-deletion
+  // half of the substrate is exercised.
+  ResidualHypergraph residual{h};
   std::vector<bool> chosen(h.num_vertices(), false);
-  // useful[v] = number of adjacent edges with positive residual demand
-  // that v has not yet been counted toward (v not chosen).
-  std::vector<index_t> useful(h.num_vertices(), 0);
-  index_t unsatisfied = 0;
-  for (index_t e = 0; e < h.num_edges(); ++e) {
-    if (demand[e] > 0) ++unsatisfied;
-  }
-  for (index_t v = 0; v < h.num_vertices(); ++v) {
-    for (index_t e : h.edges_of(v)) {
-      if (demand[e] > 0) ++useful[v];
-    }
-  }
 
   LazyMinHeap heap;
   for (index_t v = 0; v < h.num_vertices(); ++v) {
-    if (useful[v] > 0) {
-      heap.push(v, weights[v] / static_cast<double>(useful[v]));
+    if (residual.vertex_degree(v) > 0) {
+      heap.push(v, weights[v] / static_cast<double>(residual.vertex_degree(v)));
     }
   }
 
   const auto current_key = [&](index_t v) {
-    return useful[v] > 0 ? weights[v] / static_cast<double>(useful[v])
-                         : std::numeric_limits<double>::infinity();
+    const index_t useful = residual.vertex_degree(v);
+    return useful > 0 ? weights[v] / static_cast<double>(useful)
+                      : std::numeric_limits<double>::infinity();
   };
   const auto still_live = [&](index_t v) {
-    return !chosen[v] && useful[v] > 0;
+    return !chosen[v] && residual.vertex_degree(v) > 0;
   };
 
-  while (unsatisfied > 0) {
+  while (residual.live_edges() > 0) {
     const index_t v = heap.pop_current(current_key, still_live);
     chosen[v] = true;
     result.vertices.push_back(v);
     result.total_weight += weights[v];
     for (index_t e : h.edges_of(v)) {
-      if (demand[e] == 0) continue;
+      if (!residual.edge_alive(e)) continue;
       --demand[e];
       if (demand[e] == 0) {
-        --unsatisfied;
-        // Edge satisfied: it stops contributing to anyone's usefulness.
-        for (index_t w : h.vertices_of(e)) {
-          if (!chosen[w] && useful[w] > 0) --useful[w];
-        }
+        // Edge satisfied: delete it from the residual so it stops
+        // contributing to anyone's usefulness (degree maintenance is
+        // the substrate's job; the lazy heap re-keys on pop).
+        residual.erase_edge(e);
       } else {
         // Edge still demands more vertices, but v itself can no longer
         // contribute to it (a vertex hits an edge at most once); v is

@@ -4,35 +4,6 @@
 
 namespace hp::hyper {
 
-OverlapTable::OverlapTable(const Hypergraph& h) : rows_(h.num_edges()) {
-  // Process each vertex's incidence list: every pair of edges sharing
-  // this vertex gains one unit of overlap.
-  for (index_t v = 0; v < h.num_vertices(); ++v) {
-    const auto edges = h.edges_of(v);
-    for (std::size_t i = 0; i < edges.size(); ++i) {
-      for (std::size_t j = i + 1; j < edges.size(); ++j) {
-        ++rows_[edges[i]][edges[j]];
-        ++rows_[edges[j]][edges[i]];
-      }
-    }
-  }
-}
-
-index_t OverlapTable::overlap(index_t f, index_t g) const {
-  if (f == g) return 0;
-  const auto& row = rows_[f];
-  const auto it = row.find(g);
-  return it == row.end() ? 0 : it->second;
-}
-
-index_t OverlapTable::max_degree2() const {
-  index_t best = 0;
-  for (const auto& row : rows_) {
-    best = std::max(best, static_cast<index_t>(row.size()));
-  }
-  return best;
-}
-
 std::vector<index_t> vertex_degree2(const Hypergraph& h) {
   std::vector<index_t> d2(h.num_vertices(), 0);
   std::vector<index_t> scratch;

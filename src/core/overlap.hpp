@@ -1,4 +1,4 @@
-// Pairwise hyperedge overlap table.
+// Pairwise hyperedge overlap table -- adapter over the flat substrate.
 //
 // overlap(f, g) = |f ∩ g| is the quantity the paper's k-core algorithm
 // maintains instead of comparing vertex sets: an edge f is contained in g
@@ -7,46 +7,90 @@
 // sharing at least one vertex with f (Delta_2,F = max over f), and d2(v)
 // = number of distinct other vertices co-occurring with v, both of which
 // appear in the paper's complexity bounds and in Table 1.
+//
+// Adapter status: storage and lookups live in FlatOverlapTracker
+// (core/peel/flat_overlap.hpp), the CSR-of-rows structure the peeling
+// substrate mutates. This class is the stable read-only facade kept for
+// stats.cpp / Table-1 reporting, the s-overlap census and their tests;
+// new peeling code should use the tracker directly.
 #pragma once
 
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/hypergraph.hpp"
+#include "core/peel/flat_overlap.hpp"
 
 namespace hp::hyper {
 
 /// Sparse symmetric table of nonzero pairwise overlaps.
 class OverlapTable {
  public:
-  /// Build from the incidence lists in O(sum_v d(v)^2) expected time.
-  explicit OverlapTable(const Hypergraph& h);
+  /// Build from the incidence lists in O(sum_v d(v)^2) time.
+  explicit OverlapTable(const Hypergraph& h) : tracker_(h) {}
 
-  /// |f ∩ g|; zero when disjoint.
-  index_t overlap(index_t f, index_t g) const;
-
-  /// Row of f: all g (!= f) with overlap(f, g) > 0 and their counts.
-  const std::unordered_map<index_t, index_t>& row(index_t f) const {
-    return rows_[f];
+  /// |f ∩ g|; zero when disjoint or f == g.
+  index_t overlap(index_t f, index_t g) const {
+    return tracker_.overlap(f, g);
   }
 
-  /// Mutable row access for peeling algorithms that decrement overlaps.
-  std::unordered_map<index_t, index_t>& mutable_row(index_t f) {
-    return rows_[f];
+  /// Row of f viewed as (g, overlap) pairs over all g (!= f) with
+  /// overlap(f, g) > 0, in ascending g.
+  class RowView {
+   public:
+    class iterator {
+     public:
+      iterator(const index_t* g, const index_t* ov) : g_(g), ov_(ov) {}
+      std::pair<index_t, index_t> operator*() const { return {*g_, *ov_}; }
+      iterator& operator++() {
+        ++g_;
+        ++ov_;
+        return *this;
+      }
+      bool operator!=(const iterator& other) const { return g_ != other.g_; }
+
+     private:
+      const index_t* g_;
+      const index_t* ov_;
+    };
+    RowView(std::span<const index_t> neighbors,
+            std::span<const index_t> counts)
+        : neighbors_(neighbors), counts_(counts) {}
+    iterator begin() const {
+      return {neighbors_.data(), counts_.data()};
+    }
+    iterator end() const {
+      return {neighbors_.data() + neighbors_.size(),
+              counts_.data() + counts_.size()};
+    }
+    std::size_t size() const { return neighbors_.size(); }
+
+   private:
+    std::span<const index_t> neighbors_;
+    std::span<const index_t> counts_;
+  };
+
+  RowView row(index_t f) const {
+    return {tracker_.neighbors(f), tracker_.counts(f)};
   }
 
   /// d2(f): number of hyperedges overlapping f.
-  index_t degree2(index_t f) const {
-    return static_cast<index_t>(rows_[f].size());
-  }
+  index_t degree2(index_t f) const { return tracker_.degree2(f); }
 
   /// Delta_2,F: max degree2 over all hyperedges (0 if no edges).
-  index_t max_degree2() const;
+  index_t max_degree2() const { return tracker_.max_degree2(); }
 
-  index_t num_edges() const { return static_cast<index_t>(rows_.size()); }
+  index_t num_edges() const { return tracker_.num_edges(); }
+
+  /// Bytes held by the underlying flat arrays.
+  std::size_t storage_bytes() const { return tracker_.storage_bytes(); }
+
+  /// The underlying substrate structure (for peeling code migrating off
+  /// the adapter).
+  const FlatOverlapTracker& tracker() const { return tracker_; }
 
  private:
-  std::vector<std::unordered_map<index_t, index_t>> rows_;
+  FlatOverlapTracker tracker_;
 };
 
 /// d2(v): number of distinct vertices other than v sharing a hyperedge

@@ -1,0 +1,104 @@
+#include "core/peel/containment.hpp"
+
+#include <algorithm>
+
+#ifdef HP_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace hp::hyper {
+
+index_t find_container(const ResidualHypergraph& residual,
+                       const FlatOverlapTracker& overlaps, index_t f,
+                       PeelStats* stats) {
+  const index_t size_f = residual.edge_size(f);
+  if (size_f == 0) {
+    // Empty residual set: "contained" sentinel. Counted as one probe so
+    // that probes >= cascaded deletions holds.
+    if (stats != nullptr) ++stats->containment_probes;
+    return f;
+  }
+  const auto row = overlaps.neighbors(f);
+  const auto counts = overlaps.counts(f);
+  index_t container = kInvalidIndex;
+  std::size_t probes = 0;
+  for (std::size_t s = 0; s < row.size(); ++s) {
+    ++probes;
+    const index_t g = row[s];
+    const index_t ov = counts[s];
+    if (!residual.edge_alive(g) || ov == 0) continue;
+    if (ov == size_f) {  // f subset of (or equal to) g
+      container = g;
+      break;
+    }
+  }
+  if (stats != nullptr) stats->containment_probes += probes;
+  return container;
+}
+
+std::vector<index_t> find_non_maximal(const ResidualHypergraph& residual,
+                                      std::span<const index_t> candidates,
+                                      PeelStats* stats) {
+  const Hypergraph& h = residual.base();
+  std::vector<char> doomed(h.num_edges(), 0);
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(candidates.size());
+  count_t probes_total = 0;
+#ifdef HP_HAVE_OPENMP
+#pragma omp parallel reduction(+ : probes_total)
+#endif
+  {
+    std::vector<index_t> count(h.num_edges(), 0);
+    std::vector<index_t> seen;
+    count_t probes = 0;
+#ifdef HP_HAVE_OPENMP
+#pragma omp for schedule(dynamic, 8)
+#endif
+    for (std::ptrdiff_t idx = 0; idx < n; ++idx) {
+      const index_t f = candidates[idx];
+      if (!residual.edge_alive(f)) continue;
+      const index_t size_f = residual.edge_size(f);
+      if (size_f == 0) {
+        doomed[f] = 1;
+        ++probes;
+        continue;
+      }
+      seen.clear();
+      bool contained = false;
+      for (index_t w : h.vertices_of(f)) {
+        if (!residual.vertex_alive(w)) continue;
+        for (index_t g : h.edges_of(w)) {
+          if (g == f || !residual.edge_alive(g)) continue;
+          ++probes;
+          if (count[g] == 0) seen.push_back(g);
+          ++count[g];
+          if (count[g] == size_f) {
+            // f's residual set lies inside g's. Strict containment
+            // always dooms f; identical residual sets keep the lowest
+            // id (deterministic under any schedule).
+            const index_t size_g = residual.edge_size(g);
+            if (size_g > size_f || (size_g == size_f && g < f)) {
+              contained = true;
+              break;
+            }
+          }
+        }
+        if (contained) break;
+      }
+      for (index_t g : seen) count[g] = 0;
+      if (contained) doomed[f] = 1;
+    }
+    probes_total += probes;
+  }
+  if (stats != nullptr) stats->containment_probes += probes_total;
+
+  std::vector<index_t> result;
+  for (index_t f : candidates) {
+    if (doomed[f]) result.push_back(f);
+  }
+  // Candidates may contain duplicates; dedupe.
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace hp::hyper

@@ -1,0 +1,94 @@
+#include "core/peel/flat_overlap.hpp"
+
+#include <algorithm>
+
+namespace hp::hyper {
+
+namespace {
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+}  // namespace
+
+FlatOverlapTracker::FlatOverlapTracker(const Hypergraph& h)
+    : in_clique_(h.num_edges(), 0) {
+  const index_t ne = h.num_edges();
+  offsets_.reserve(static_cast<std::size_t>(ne) + 1);
+  offsets_.push_back(0);
+
+  // Per-row accumulation: count, over f's members, how often each other
+  // incident edge appears; that multiplicity is |f ∩ g|. The scratch
+  // counter array is cleared via the `seen` list, keeping each row
+  // O(sum_{v in f} d(v)).
+  std::vector<index_t> scratch(ne, 0);
+  std::vector<index_t> seen;
+  for (index_t f = 0; f < ne; ++f) {
+    seen.clear();
+    for (index_t v : h.vertices_of(f)) {
+      for (index_t g : h.edges_of(v)) {
+        if (g == f) continue;
+        if (scratch[g] == 0) seen.push_back(g);
+        ++scratch[g];
+      }
+    }
+    std::sort(seen.begin(), seen.end());
+    for (index_t g : seen) {
+      neighbors_.push_back(g);
+      counts_.push_back(scratch[g]);
+      scratch[g] = 0;
+    }
+    offsets_.push_back(neighbors_.size());
+  }
+}
+
+std::size_t FlatOverlapTracker::slot_of(index_t f, index_t g) const {
+  const auto row = neighbors(f);
+  const auto it = std::lower_bound(row.begin(), row.end(), g);
+  if (it == row.end() || *it != g) return kNoSlot;
+  return offsets_[f] + static_cast<std::size_t>(it - row.begin());
+}
+
+index_t FlatOverlapTracker::overlap(index_t f, index_t g) const {
+  if (f == g) return 0;
+  const std::size_t slot = slot_of(f, g);
+  return slot == kNoSlot ? 0 : counts_[slot];
+}
+
+index_t FlatOverlapTracker::max_degree2() const {
+  index_t best = 0;
+  for (index_t f = 0; f < num_edges(); ++f) {
+    best = std::max(best, degree2(f));
+  }
+  return best;
+}
+
+void FlatOverlapTracker::decrement_clique(std::span<const index_t> clique,
+                                          PeelStats* stats) {
+  if (clique.size() < 2) return;
+  for (index_t f : clique) in_clique_[f] = 1;
+  count_t decrements = 0;
+  for (index_t f : clique) {
+    // One contiguous sweep of row f handles f's side of every pair
+    // (f, g) with g marked; g's sweep handles the mirror entry.
+    const std::size_t begin = offsets_[f];
+    const std::size_t end = offsets_[f + 1];
+    for (std::size_t s = begin; s < end; ++s) {
+      if (in_clique_[neighbors_[s]]) {
+        --counts_[s];
+        ++decrements;
+      }
+    }
+  }
+  for (index_t f : clique) in_clique_[f] = 0;
+  if (stats != nullptr) stats->overlap_decrements += decrements;
+}
+
+void FlatOverlapTracker::decrement(index_t f, index_t g, PeelStats* stats) {
+  const std::size_t sf = slot_of(f, g);
+  const std::size_t sg = slot_of(g, f);
+  HP_REQUIRE(sf != kNoSlot && sg != kNoSlot,
+             "FlatOverlapTracker::decrement: pair never overlapped");
+  --counts_[sf];
+  --counts_[sg];
+  if (stats != nullptr) stats->overlap_decrements += 2;
+}
+
+}  // namespace hp::hyper

@@ -1,0 +1,93 @@
+// Flat sparse pairwise-overlap tracker (CSR-of-rows).
+//
+// Stores overlap(f, g) = |f ∩ g| for every unordered pair of distinct
+// hyperedges sharing at least one vertex, the quantity the paper's
+// k-core peel maintains instead of comparing vertex sets. Unlike the
+// historical vector-of-unordered_map layout, all rows live in two
+// contiguous arrays (neighbor ids, counts) addressed by per-row offsets:
+//
+//   offsets_:   |F|+1 row starts
+//   neighbors_: row f = sorted ids of edges overlapping f   (static)
+//   counts_:    counts_[s] = current overlap with neighbors_[s]
+//
+// The neighbor structure is fixed at construction (peeling only ever
+// *decrements* counts; an entry that reaches zero stays in place), so
+// point lookups are binary searches -- the paper's Delta_V ln Delta_2,F
+// term -- while the hot batch update (all edges sharing a just-deleted
+// vertex lose one unit of pairwise overlap) is a marked sweep over the
+// touched rows: amortized O(1) per row entry, contiguous, allocation
+// free. Row sweeps are bounded by Delta_2,F per touch and every edge is
+// touched once per member deletion, which is exactly the paper's
+// O(|E| Delta_2,F) overlap-maintenance term.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/hypergraph.hpp"
+#include "core/peel/peel_stats.hpp"
+
+namespace hp::hyper {
+
+class FlatOverlapTracker {
+ public:
+  /// Build from incidence lists in O(sum_f sum_{v in f} d(v)) time.
+  explicit FlatOverlapTracker(const Hypergraph& h);
+
+  index_t num_edges() const {
+    return static_cast<index_t>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Sorted ids of edges that (initially) overlap f.
+  std::span<const index_t> neighbors(index_t f) const {
+    return {neighbors_.data() + offsets_[f],
+            neighbors_.data() + offsets_[f + 1]};
+  }
+
+  /// Current counts, parallel to neighbors(f). Entries may be zero once
+  /// peeling has erased every shared vertex of the pair.
+  std::span<const index_t> counts(index_t f) const {
+    return {counts_.data() + offsets_[f], counts_.data() + offsets_[f + 1]};
+  }
+
+  /// |f ∩ g| under all decrements so far; 0 when disjoint or f == g.
+  index_t overlap(index_t f, index_t g) const;
+
+  /// d2(f): number of hyperedges overlapping f in the *input* hypergraph
+  /// (row width; decrements do not shrink it, matching the paper's
+  /// Delta_2,F which is a static quantity).
+  index_t degree2(index_t f) const {
+    return static_cast<index_t>(offsets_[f + 1] - offsets_[f]);
+  }
+
+  /// Delta_2,F: max degree2 over all hyperedges (0 if no edges).
+  index_t max_degree2() const;
+
+  /// Every pair of distinct edges in `clique` loses one unit of overlap
+  /// (they shared a vertex that was just deleted). `clique` must hold
+  /// distinct edge ids whose pairwise overlaps are all currently >= 1.
+  /// Cost: sum of the touched rows' widths, one contiguous sweep each.
+  void decrement_clique(std::span<const index_t> clique, PeelStats* stats);
+
+  /// Point decrement of the symmetric pair (f, g); O(log d2) each side.
+  void decrement(index_t f, index_t g, PeelStats* stats);
+
+  /// Bytes held by the CSR arrays (footprint reporting / benches).
+  std::size_t storage_bytes() const {
+    return offsets_.size() * sizeof(offsets_[0]) +
+           neighbors_.size() * sizeof(neighbors_[0]) +
+           counts_.size() * sizeof(counts_[0]) +
+           in_clique_.size() * sizeof(in_clique_[0]);
+  }
+
+ private:
+  /// Slot of g inside row f, or kInvalidIndex when disjoint.
+  std::size_t slot_of(index_t f, index_t g) const;
+
+  std::vector<std::size_t> offsets_;
+  std::vector<index_t> neighbors_;
+  std::vector<index_t> counts_;
+  std::vector<char> in_clique_;  // |F| scratch marks for decrement_clique
+};
+
+}  // namespace hp::hyper

@@ -1,0 +1,20 @@
+#include "core/peel/peel_stats.hpp"
+
+#include <sstream>
+
+namespace hp::hyper {
+
+std::string to_string(const PeelStats& stats) {
+  std::ostringstream out;
+  out << "overlap decrements        : " << stats.overlap_decrements << '\n'
+      << "containment probes        : " << stats.containment_probes << '\n'
+      << "vertex deletions          : " << stats.vertex_deletions << '\n'
+      << "edge deletions            : " << stats.edge_deletions << '\n'
+      << "  cascaded (level >= 1)   : " << stats.cascaded_edge_deletions
+      << '\n'
+      << "peel rounds               : " << stats.peel_rounds << '\n'
+      << "peak queue length         : " << stats.peak_queue_length << '\n';
+  return out.str();
+}
+
+}  // namespace hp::hyper

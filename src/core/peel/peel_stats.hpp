@@ -1,0 +1,66 @@
+// Instrumentation counters for the peeling substrate.
+//
+// The paper's complexity claim for the k-core algorithm is
+// O(|E| (Delta_2,F + Delta_V log Delta_2,F)): the first term pays for
+// overlap maintenance (every pin deletion touches at most Delta_2,F
+// overlap entries), the second for containment detection. PeelStats
+// makes both terms observable: every algorithm built on the substrate
+// reports how many overlap decrements and containment probes it actually
+// performed, so the bound can be checked empirically (bench_micro_kcore,
+// bench_table1_cores) instead of trusted.
+//
+// Invariants maintained by the substrate (asserted by
+// tests/core/test_peel_substrate.cpp):
+//   * overlap_decrements is even -- overlaps are symmetric and always
+//     decremented in (f,g)/(g,f) pairs;
+//   * containment_probes >= cascaded_edge_deletions -- an edge is only
+//     deleted mid-peel after a probe found a container (or found the
+//     edge empty, which counts as one probe);
+//   * vertex_deletions <= |V| and edge_deletions <= |F|.
+#pragma once
+
+#include <string>
+
+#include "util/common.hpp"
+
+namespace hp::hyper {
+
+struct PeelStats {
+  /// Single (f,g) overlap-entry decrements; symmetric pairs count twice.
+  count_t overlap_decrements = 0;
+  /// Overlap entries (or per-candidate counter bumps in bulk sweeps)
+  /// examined while testing edges for containment.
+  count_t containment_probes = 0;
+  /// Vertices removed from the residual hypergraph.
+  count_t vertex_deletions = 0;
+  /// Hyperedges removed, including the initial (level-0) reduction.
+  count_t edge_deletions = 0;
+  /// Hyperedges removed during a level >= 1 peel, i.e. deletions
+  /// cascading from vertex removals rather than input non-maximality.
+  count_t cascaded_edge_deletions = 0;
+  /// Peel rounds: levels processed by sequential peels, frontier rounds
+  /// by bulk-synchronous peels.
+  count_t peel_rounds = 0;
+  /// Largest work-queue (or frontier) population observed.
+  count_t peak_queue_length = 0;
+
+  void note_queue_length(count_t length) {
+    if (length > peak_queue_length) peak_queue_length = length;
+  }
+
+  PeelStats& operator+=(const PeelStats& other) {
+    overlap_decrements += other.overlap_decrements;
+    containment_probes += other.containment_probes;
+    vertex_deletions += other.vertex_deletions;
+    edge_deletions += other.edge_deletions;
+    cascaded_edge_deletions += other.cascaded_edge_deletions;
+    peel_rounds += other.peel_rounds;
+    note_queue_length(other.peak_queue_length);
+    return *this;
+  }
+};
+
+/// Multi-line human-readable rendering (CLI --peel-stats, benches).
+std::string to_string(const PeelStats& stats);
+
+}  // namespace hp::hyper

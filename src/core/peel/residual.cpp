@@ -1,0 +1,66 @@
+#include "core/peel/residual.hpp"
+
+namespace hp::hyper {
+
+ResidualHypergraph::ResidualHypergraph(const Hypergraph& h)
+    : h_(&h),
+      vertex_alive_(h.num_vertices(), 1),
+      edge_alive_(h.num_edges(), 1),
+      vertex_degree_(h.num_vertices()),
+      edge_size_(h.num_edges()),
+      live_vertices_(h.num_vertices()),
+      live_edges_(h.num_edges()) {
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    vertex_degree_[v] = h.vertex_degree(v);
+  }
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    edge_size_[e] = h.edge_size(e);
+  }
+}
+
+void ResidualHypergraph::mark_vertex_dead(index_t v) {
+  vertex_alive_[v] = 0;
+  --live_vertices_;
+  if (stats_ != nullptr) ++stats_->vertex_deletions;
+  if (vertex_core_ != nullptr && level_ >= 1) {
+    (*vertex_core_)[v] = level_ - 1;
+  }
+}
+
+void ResidualHypergraph::mark_edge_dead(index_t f) {
+  edge_alive_[f] = 0;
+  --live_edges_;
+  if (stats_ != nullptr) {
+    ++stats_->edge_deletions;
+    if (level_ >= 1) ++stats_->cascaded_edge_deletions;
+  }
+  if (edge_core_ != nullptr && level_ >= 1) {
+    (*edge_core_)[f] = level_ - 1;
+  }
+}
+
+void ResidualHypergraph::erase_vertex(index_t v,
+                                      std::vector<index_t>& touched) {
+  mark_vertex_dead(v);
+  for (index_t e : h_->edges_of(v)) {
+    if (edge_alive_[e] == 0) continue;
+    --edge_size_[e];
+    touched.push_back(e);
+  }
+}
+
+void ResidualHypergraph::erase_vertex(index_t v) {
+  mark_vertex_dead(v);
+  for (index_t e : h_->edges_of(v)) {
+    if (edge_alive_[e] != 0) --edge_size_[e];
+  }
+}
+
+void ResidualHypergraph::erase_edge(index_t f) {
+  mark_edge_dead(f);
+  for (index_t w : h_->vertices_of(f)) {
+    if (vertex_alive_[w] != 0) --vertex_degree_[w];
+  }
+}
+
+}  // namespace hp::hyper

@@ -1,0 +1,99 @@
+// Residual-hypergraph bookkeeping shared by every peeling algorithm.
+//
+// A peel works on a shrinking sub-hypergraph of an immutable Hypergraph:
+// alive masks, residual vertex degrees (live incident edges), residual
+// edge sizes (live member vertices), and live counts. Historically each
+// algorithm (sequential/naive/parallel k-core, generalized cores,
+// reduction, multicover) carried a private copy of this state; this
+// class is the single substrate they now share, leaving each algorithm
+// only its *policy* -- peel order, threshold rule, measure.
+//
+// Deletion primitives are cascade-free by design: erase_vertex reports
+// the live edges it shrank, erase_edge invokes a caller-supplied hook per
+// member vertex whose degree dropped. The caller decides what to enqueue
+// or delete next, so the same substrate serves threshold peels, bulk
+// frontiers, measure-driven heaps and cover demand tracking.
+//
+// Core stamping (satellite of the paper's Fig. 4): when core-number
+// arrays are bound, erase_* stamps the removed item with level-1 at the
+// moment of deletion. Since a peel runs until nothing is alive, every
+// item is stamped exactly once -- no per-level survivor sweeps needed.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/hypergraph.hpp"
+#include "core/peel/peel_stats.hpp"
+
+namespace hp::hyper {
+
+class ResidualHypergraph {
+ public:
+  explicit ResidualHypergraph(const Hypergraph& h);
+
+  const Hypergraph& base() const { return *h_; }
+
+  bool vertex_alive(index_t v) const { return vertex_alive_[v] != 0; }
+  bool edge_alive(index_t e) const { return edge_alive_[e] != 0; }
+  index_t vertex_degree(index_t v) const { return vertex_degree_[v]; }
+  index_t edge_size(index_t e) const { return edge_size_[e]; }
+  index_t live_vertices() const { return live_vertices_; }
+  index_t live_edges() const { return live_edges_; }
+
+  /// Optional instrumentation: deletions are counted into `stats`.
+  void bind_stats(PeelStats* stats) { stats_ = stats; }
+
+  /// Optional core stamping: erase_vertex / erase_edge write level-1
+  /// into these arrays (sized |V| / |F|) while peel_level() >= 1.
+  void bind_cores(std::vector<index_t>* vertex_core,
+                  std::vector<index_t>* edge_core) {
+    vertex_core_ = vertex_core;
+    edge_core_ = edge_core;
+  }
+
+  /// Current peel level k; level 0 is the initial reduction (deletions
+  /// are not stamped and not counted as cascaded).
+  void set_peel_level(index_t k) { level_ = k; }
+  index_t peel_level() const { return level_; }
+
+  /// Delete vertex v: mark dead, shrink every live incident edge by one,
+  /// append those edges to `touched` (not cleared). Stamps v if bound.
+  void erase_vertex(index_t v, std::vector<index_t>& touched);
+
+  /// Same, discarding the touched-edge list.
+  void erase_vertex(index_t v);
+
+  /// Delete edge f: mark dead, decrement the degree of every live member
+  /// vertex, invoking on_degree_drop(w, new_degree) for each. Stamps f
+  /// if bound.
+  template <typename F>
+  void erase_edge(index_t f, F&& on_degree_drop) {
+    mark_edge_dead(f);
+    for (index_t w : h_->vertices_of(f)) {
+      if (vertex_alive_[w] == 0) continue;
+      on_degree_drop(w, --vertex_degree_[w]);
+    }
+  }
+
+  /// Same, without a degree-drop hook.
+  void erase_edge(index_t f);
+
+ private:
+  void mark_vertex_dead(index_t v);
+  void mark_edge_dead(index_t f);
+
+  const Hypergraph* h_;
+  std::vector<char> vertex_alive_;
+  std::vector<char> edge_alive_;
+  std::vector<index_t> vertex_degree_;  // live incident edges
+  std::vector<index_t> edge_size_;      // live member vertices
+  index_t live_vertices_ = 0;
+  index_t live_edges_ = 0;
+  index_t level_ = 0;
+  PeelStats* stats_ = nullptr;
+  std::vector<index_t>* vertex_core_ = nullptr;
+  std::vector<index_t>* edge_core_ = nullptr;
+};
+
+}  // namespace hp::hyper

@@ -1,31 +1,23 @@
 #include "core/reduce.hpp"
 
-#include "core/overlap.hpp"
+#include "core/peel/containment.hpp"
 
 namespace hp::hyper {
 
 ReduceResult find_non_maximal(const Hypergraph& h) {
-  const OverlapTable table{h};
+  // Fresh residual = the input itself; one bulk containment sweep over
+  // all edges decides maximality (deleting an edge cannot create new
+  // containments, so no fixpoint is needed).
+  const ResidualHypergraph residual{h};
+  std::vector<index_t> all_edges(h.num_edges());
+  for (index_t e = 0; e < h.num_edges(); ++e) all_edges[e] = e;
+  const std::vector<index_t> doomed =
+      find_non_maximal(residual, all_edges, nullptr);
+
   ReduceResult result;
   result.keep.assign(h.num_edges(), true);
-  for (index_t f = 0; f < h.num_edges(); ++f) {
-    const index_t size_f = h.edge_size(f);
-    for (const auto& [g, ov] : table.row(f)) {
-      if (ov != size_f) continue;  // f not fully inside g
-      const index_t size_g = h.edge_size(g);
-      if (size_g > size_f) {
-        result.keep[f] = false;  // strict containment
-        break;
-      }
-      if (size_g == size_f && g < f) {
-        result.keep[f] = false;  // duplicate: keep lowest id
-        break;
-      }
-    }
-  }
-  for (index_t e = 0; e < h.num_edges(); ++e) {
-    if (!result.keep[e]) ++result.num_removed;
-  }
+  for (index_t f : doomed) result.keep[f] = false;
+  result.num_removed = static_cast<index_t>(doomed.size());
   return result;
 }
 
