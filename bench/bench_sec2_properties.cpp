@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bio/cellzome_synth.hpp"
+#include "core/context/analysis_context.hpp"
 #include "core/smallworld.hpp"
 #include "core/stats.hpp"
 #include "core/traversal.hpp"
@@ -21,12 +22,13 @@ int main(int argc, char** argv) {
   hp::bio::CellzomeParams params;
   params.seed = static_cast<std::uint64_t>(args.get_int("seed", 20040426));
 
-  const hp::bio::ComplexDataset data = hp::bio::cellzome_surrogate(params);
-  const hp::hyper::Hypergraph& h = data.hypergraph;
-  const hp::hyper::HypergraphSummary s = hp::hyper::summarize(h);
+  hp::bio::ComplexDataset data = hp::bio::cellzome_surrogate(params);
+  const hp::hyper::AnalysisContext ctx{std::move(data.hypergraph)};
+  const hp::hyper::Hypergraph& h = ctx.hypergraph();
+  const hp::hyper::HypergraphSummary& s = ctx.summary();
 
   hp::Timer timer;
-  const hp::hyper::HyperPathSummary paths = hp::hyper::path_summary(h);
+  const hp::hyper::HyperPathSummary& paths = ctx.paths();
   const double path_seconds = timer.seconds();
 
   std::puts(
@@ -80,9 +82,11 @@ int main(int argc, char** argv) {
   std::printf("all-pairs BFS time: %s\n",
               hp::format_duration(path_seconds).c_str());
 
-  // Small-world check against a degree-preserving null model.
+  // Small-world check against a degree-preserving null model; the
+  // observed side reuses the context's cached all-pairs summary.
   hp::Rng rng{params.seed ^ 0x5157ULL};
-  const hp::hyper::SmallWorldReport sw = hp::hyper::small_world_report(h, rng);
+  const hp::hyper::SmallWorldReport sw =
+      hp::hyper::small_world_report(h, ctx.paths(), rng);
   std::puts("\n--- Small-world assessment ---");
   hp::Table sw_table{{"quantity", "observed", "null model (config. model)"}};
   sw_table.row()

@@ -17,6 +17,7 @@
 #include "bio/core_recovery.hpp"
 #include "bio/dip_surrogate.hpp"
 #include "bio/enrichment.hpp"
+#include "core/context/analysis_context.hpp"
 #include "core/kcore.hpp"
 #include "core/projection.hpp"
 #include "graph/graph_kcore.hpp"
@@ -29,11 +30,12 @@ int main(int argc, char** argv) {
   hp::bio::CellzomeParams params;
   params.seed = static_cast<std::uint64_t>(args.get_int("seed", 20040426));
 
-  const hp::bio::ComplexDataset data = hp::bio::cellzome_surrogate(params);
-  const hp::hyper::Hypergraph& h = data.hypergraph;
+  hp::bio::ComplexDataset data = hp::bio::cellzome_surrogate(params);
+  const hp::hyper::AnalysisContext ctx{std::move(data.hypergraph)};
+  const hp::hyper::Hypergraph& h = ctx.hypergraph();
 
   hp::Timer timer;
-  const hp::hyper::HyperCoreResult cores = hp::hyper::core_decomposition(h);
+  const hp::hyper::HyperCoreResult& cores = ctx.cores();
   const double core_seconds = timer.seconds();
   const auto core_vertices = cores.core_vertices(cores.max_core);
   const auto core_edges = cores.core_edges(cores.max_core);
@@ -111,7 +113,7 @@ int main(int argc, char** argv) {
     const hp::bio::RecoveryStats hyper_stats =
         hp::bio::recovery_stats(core_vertices, planted);
 
-    const hp::graph::Graph clique = hp::hyper::clique_expansion(h);
+    const hp::graph::Graph& clique = ctx.clique_projection();
     const hp::graph::CoreDecomposition gcores =
         hp::graph::core_decomposition(clique);
     const auto graph_core = gcores.max_core_vertices();

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bio/cellzome_synth.hpp"
+#include "core/context/analysis_context.hpp"
 #include "core/kcore.hpp"
 #include "core/overlap.hpp"
 #include "core/stats.hpp"
@@ -41,13 +42,16 @@ struct NamedHypergraph {
 
 void add_row(hp::Table& table, const NamedHypergraph& item,
              hp::hyper::PeelStats* stats) {
-  const hp::hyper::Hypergraph& h = item.hypergraph;
-  const hp::index_t delta2 = hp::hyper::OverlapTable{h}.max_degree2();
+  // One artifact cache per row: the overlap table behind Delta_2,F is
+  // built once here instead of once per consumer.
+  const hp::hyper::AnalysisContext ctx{item.hypergraph};
+  const hp::hyper::Hypergraph& h = ctx.hypergraph();
+  const hp::index_t delta2 = ctx.overlaps().max_degree2();
 
   hp::Timer timer;
-  const hp::hyper::HyperCoreResult cores =
-      hp::hyper::core_decomposition(h, stats);
+  const hp::hyper::HyperCoreResult& cores = ctx.cores();
   const double seconds = timer.seconds();
+  if (stats != nullptr) *stats = ctx.core_peel_stats();
 
   table.row()
       .cell(item.name)

@@ -14,6 +14,9 @@ cmake -B "${prefix}" -S "${root}"
 cmake --build "${prefix}" -j
 ctest --test-dir "${prefix}" --output-on-failure
 
+echo "=== context memoization bench (quick) ==="
+"${prefix}/bench/bench_micro_context" --quick --json "${root}/BENCH_context.json"
+
 echo "=== tier-1: sanitized build + ctest (HP_SANITIZE=address;undefined) ==="
 cmake -B "${prefix}-asan" -S "${root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DHP_SANITIZE=address;undefined"

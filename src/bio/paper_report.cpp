@@ -33,14 +33,21 @@ PaperReference PaperReference::cellzome() {
 }
 
 PaperReport analyze(const hyper::Hypergraph& h) {
+  const hyper::AnalysisContext context{h};
+  return analyze(context);
+}
+
+PaperReport analyze(const hyper::AnalysisContext& context) {
+  const hyper::Hypergraph& h = context.hypergraph();
   PaperReport report;
-  report.summary = hyper::summarize(h);
-  report.paths = hyper::path_summary(h);
-  report.degree_fit = hyper::vertex_degree_power_law(h);
-  report.size_fits = hyper::edge_size_fits(h);
+  report.summary = context.summary();
+  report.paths = context.paths();
+  report.degree_fit =
+      hyper::vertex_degree_power_law(context.vertex_degree_histogram());
+  report.size_fits = hyper::edge_size_fits(context.edge_size_histogram());
 
   Timer timer;
-  const hyper::HyperCoreResult cores = hyper::core_decomposition(h);
+  const hyper::HyperCoreResult& cores = context.cores();
   report.core_seconds = timer.seconds();
   report.max_core = cores.max_core;
   report.core_proteins =

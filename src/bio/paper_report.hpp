@@ -12,6 +12,7 @@
 #include <string>
 
 #include "bio/complex_io.hpp"
+#include "core/context/analysis_context.hpp"
 #include "core/kcore.hpp"
 #include "core/stats.hpp"
 #include "core/traversal.hpp"
@@ -56,7 +57,13 @@ struct PaperReference {
 };
 
 /// Run the complete analysis (components, all-pairs paths, fits, core
-/// decomposition, the three covers).
+/// decomposition, the three covers) against a shared artifact cache:
+/// summary, paths, histograms, and the core decomposition are taken from
+/// the context, so a caller that already touched them (e.g. the CLI)
+/// pays for each exactly once.
+PaperReport analyze(const hyper::AnalysisContext& context);
+
+/// Convenience overload: runs against a fresh private context.
 PaperReport analyze(const hyper::Hypergraph& h);
 
 /// Render a side-by-side table ("quantity | paper | measured"); pass

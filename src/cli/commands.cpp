@@ -6,6 +6,7 @@
 #include "bio/cellzome_synth.hpp"
 #include "bio/paper_report.hpp"
 #include "core/binary_io.hpp"
+#include "core/context/analysis_context.hpp"
 #include "core/cover.hpp"
 #include "core/hypergraph_io.hpp"
 #include "core/kcore.hpp"
@@ -62,22 +63,62 @@ std::string input_path(const Args& args) {
   return args.positional()[1];
 }
 
+/// Every analysis command runs off one shared artifact cache. The
+/// context owns the hypergraph (moved out of the dataset); names stay
+/// behind in `data`.
+struct Session {
+  bio::ComplexDataset data;
+  hyper::AnalysisContext context;
+
+  explicit Session(bio::ComplexDataset loaded)
+      : data(std::move(loaded)), context(std::move(data.hypergraph)) {}
+};
+
+Session open_session(const Args& args) {
+  return Session{load_dataset(input_path(args))};
+}
+
+/// Honor the global --context-stats flag: print the artifact counters
+/// of the command's shared context.
+void maybe_context_stats(const Args& args,
+                         const hyper::AnalysisContext& context,
+                         std::ostream& out) {
+  if (args.get_bool("context-stats", false)) {
+    out << '\n' << hyper::to_string(context.stats());
+  }
+}
+
 }  // namespace
 
 bio::ComplexDataset load_dataset(const std::string& path) {
-  switch (detect_format(path)) {
-    case Format::kHyper:
-      return wrap(hyper::load_text(path));
-    case Format::kHmetis:
-      return wrap(hyper::load_hmetis(path));
-    case Format::kBinary:
-      return wrap(hyper::load_binary(path));
-    case Format::kMatrixMarket:
-      return wrap(mm::row_net_hypergraph(mm::load_matrix_market(path)));
-    case Format::kComplexTable:
-      return bio::load_complex_table(path);
+  bio::ComplexDataset data = [&] {
+    switch (detect_format(path)) {
+      case Format::kHyper:
+        return wrap(hyper::load_text(path));
+      case Format::kHmetis:
+        return wrap(hyper::load_hmetis(path));
+      case Format::kBinary:
+        return wrap(hyper::load_binary(path));
+      case Format::kMatrixMarket:
+        return wrap(mm::row_net_hypergraph(mm::load_matrix_market(path)));
+      case Format::kComplexTable:
+        return bio::load_complex_table(path);
+    }
+    throw std::logic_error{"unreachable"};
+  }();
+  // Every loader's output goes through the structural validator, so a
+  // malformed file fails here, with its name, instead of corrupting an
+  // analysis downstream.
+  try {
+    hyper::validate(data.hypergraph);
+  } catch (const InvalidInputError& error) {
+    std::string message = "invalid hypergraph loaded from '";
+    message += path;
+    message += "': ";
+    message += error.what();
+    throw InvalidInputError{message};
   }
-  throw std::logic_error{"unreachable"};
+  return data;
 }
 
 void save_dataset(const bio::ComplexDataset& data, const std::string& path) {
@@ -103,28 +144,27 @@ void save_dataset(const bio::ComplexDataset& data, const std::string& path) {
 }
 
 int cmd_stats(const Args& args, std::ostream& out) {
-  const bio::ComplexDataset data = load_dataset(input_path(args));
-  const hyper::Hypergraph& h = data.hypergraph;
-  out << hyper::to_string(hyper::summarize(h));
+  const Session session = open_session(args);
+  const hyper::AnalysisContext& ctx = session.context;
+  out << hyper::to_string(ctx.summary());
   if (args.get_bool("paths", false)) {
-    const hyper::HyperPathSummary paths = hyper::path_summary(h);
+    const hyper::HyperPathSummary& paths = ctx.paths();
     out << "diameter                  : " << paths.diameter << '\n'
         << "average path length       : " << paths.average_length << '\n';
   }
-  const PowerLawFit fit = hyper::vertex_degree_power_law(h);
+  const PowerLawFit fit =
+      hyper::vertex_degree_power_law(ctx.vertex_degree_histogram());
   out << "degree power-law exponent : " << fit.gamma
       << " (R^2 = " << fit.r_squared << ")\n";
+  maybe_context_stats(args, ctx, out);
   return 0;
 }
 
 int cmd_core(const Args& args, std::ostream& out) {
-  const bio::ComplexDataset data = load_dataset(input_path(args));
-  const hyper::Hypergraph& h = data.hypergraph;
-  const bool want_stats = args.get_bool("peel-stats", false);
-  hyper::PeelStats stats;
+  const Session session = open_session(args);
+  const hyper::AnalysisContext& ctx = session.context;
   Timer timer;
-  const hyper::HyperCoreResult cores =
-      hyper::core_decomposition(h, want_stats ? &stats : nullptr);
+  const hyper::HyperCoreResult& cores = ctx.cores();
   out << "core decomposition in " << format_duration(timer.seconds())
       << "\n\nk-core ladder (k, vertices, hyperedges):\n";
   for (std::size_t k = 0; k < cores.level_vertices.size(); ++k) {
@@ -138,24 +178,27 @@ int cmd_core(const Args& args, std::ostream& out) {
   const std::size_t limit =
       static_cast<std::size_t>(args.get_int("limit", 30));
   for (std::size_t i = 0; i < members.size() && i < limit; ++i) {
-    out << ' ' << data.proteins.name_of(members[i]);
+    out << ' ' << session.data.proteins.name_of(members[i]);
   }
   if (members.size() > limit) out << " ...";
   out << '\n';
-  if (want_stats) {
-    out << "\npeel substrate counters:\n" << hyper::to_string(stats);
+  if (args.get_bool("peel-stats", false)) {
+    out << "\npeel substrate counters:\n"
+        << hyper::to_string(ctx.core_peel_stats());
   }
   if (args.has("out")) {
-    const hyper::SubHypergraph core = hyper::extract_core(h, cores, k);
+    const hyper::SubHypergraph core =
+        hyper::extract_core(ctx.hypergraph(), cores, k);
     hyper::save_text(core.hypergraph, args.get("out", "core.hyper"));
     out << "wrote " << args.get("out", "core.hyper") << '\n';
   }
+  maybe_context_stats(args, ctx, out);
   return 0;
 }
 
 int cmd_cover(const Args& args, std::ostream& out) {
-  const bio::ComplexDataset data = load_dataset(input_path(args));
-  const hyper::Hypergraph& h = data.hypergraph;
+  const Session session = open_session(args);
+  const hyper::Hypergraph& h = session.context.hypergraph();
   const std::string weighting = args.get("weights", "unit");
   std::vector<double> weights;
   if (weighting == "unit") {
@@ -188,56 +231,62 @@ int cmd_cover(const Args& args, std::ostream& out) {
   const std::size_t limit =
       static_cast<std::size_t>(args.get_int("limit", 30));
   for (std::size_t i = 0; i < cover.size() && i < limit; ++i) {
-    out << ' ' << data.proteins.name_of(cover[i]);
+    out << ' ' << session.data.proteins.name_of(cover[i]);
   }
   if (cover.size() > limit) out << " ...";
   out << '\n';
+  maybe_context_stats(args, session.context, out);
   return 0;
 }
 
 int cmd_match(const Args& args, std::ostream& out) {
-  const bio::ComplexDataset data = load_dataset(input_path(args));
-  const hyper::Hypergraph& h = data.hypergraph;
-  const hyper::MatchingResult m = hyper::greedy_matching(h);
+  const Session session = open_session(args);
+  const hyper::MatchingResult m =
+      hyper::greedy_matching(session.context.hypergraph());
   out << "maximal matching: " << m.edges.size()
       << " pairwise-disjoint hyperedges (lower bound on any vertex "
          "cover)\n";
   const std::size_t limit =
       static_cast<std::size_t>(args.get_int("limit", 20));
   for (std::size_t i = 0; i < m.edges.size() && i < limit; ++i) {
-    out << ' ' << data.complex_names[m.edges[i]];
+    out << ' ' << session.data.complex_names[m.edges[i]];
   }
   if (m.edges.size() > limit) out << " ...";
   out << '\n';
+  maybe_context_stats(args, session.context, out);
   return 0;
 }
 
 int cmd_soverlap(const Args& args, std::ostream& out) {
-  const bio::ComplexDataset data = load_dataset(input_path(args));
-  const hyper::Hypergraph& h = data.hypergraph;
-  const index_t s_max = hyper::max_meaningful_s(h);
+  const Session session = open_session(args);
+  const hyper::AnalysisContext& ctx = session.context;
+  const hyper::OverlapTable& table = ctx.overlaps();
+  const index_t s_max = hyper::max_meaningful_s(table);
   out << "max meaningful s: " << s_max
       << "\n s  components  largest  edges\n";
   for (index_t s = 1; s <= s_max; ++s) {
-    const hyper::SComponents comp = hyper::s_components(h, s);
+    const hyper::SComponents comp = hyper::s_components(table, s);
     index_t largest = 0;
     if (comp.count > 0) largest = comp.sizes[comp.largest()];
     out << ' ' << s << "  " << comp.count << "  " << largest << "  "
-        << hyper::s_intersection_graph(h, s).num_edges() << '\n';
+        << hyper::s_intersection_graph(table, s).num_edges() << '\n';
   }
+  maybe_context_stats(args, ctx, out);
   return 0;
 }
 
 int cmd_smallworld(const Args& args, std::ostream& out) {
-  const bio::ComplexDataset data = load_dataset(input_path(args));
+  const Session session = open_session(args);
+  const hyper::AnalysisContext& ctx = session.context;
   Rng rng{static_cast<std::uint64_t>(args.get_int("seed", 1))};
   const hyper::SmallWorldReport r =
-      hyper::small_world_report(data.hypergraph, rng);
+      hyper::small_world_report(ctx.hypergraph(), ctx.paths(), rng);
   out << "observed:   diameter " << r.observed.diameter
       << ", average path length " << r.observed.average_length << '\n'
       << "null model: diameter " << r.null_model.diameter
       << ", average path length " << r.null_model.average_length << '\n'
       << "ratio observed/null: " << r.path_ratio << '\n';
+  maybe_context_stats(args, ctx, out);
   return 0;
 }
 
@@ -268,16 +317,17 @@ int cmd_generate(const Args& args, std::ostream& out) {
 int cmd_pajek(const Args& args, std::ostream& out) {
   HP_REQUIRE(args.positional().size() >= 3,
              "pajek needs an input file and an output prefix");
-  const bio::ComplexDataset data = load_dataset(args.positional()[1]);
+  Session session{load_dataset(args.positional()[1])};
+  const hyper::AnalysisContext& ctx = session.context;
   const std::string prefix = args.positional()[2];
-  const hyper::Hypergraph& h = data.hypergraph;
-  const hyper::HyperCoreResult cores = hyper::core_decomposition(h);
+  const hyper::Hypergraph& h = ctx.hypergraph();
+  const hyper::HyperCoreResult& cores = ctx.cores();
   const index_t k = static_cast<index_t>(
       args.get_int("k", static_cast<std::int64_t>(cores.max_core)));
 
   hyper::save_pajek(
-      hyper::to_pajek_bipartite(h, data.proteins.names(),
-                                data.complex_names),
+      hyper::to_pajek_bipartite(h, session.data.proteins.names(),
+                                session.data.complex_names),
       prefix + ".net");
   hyper::save_pajek(
       hyper::to_pajek_partition(hyper::fig3_classes(
@@ -285,35 +335,38 @@ int cmd_pajek(const Args& args, std::ostream& out) {
       prefix + ".clu");
   out << "wrote " << prefix << ".net and " << prefix << ".clu ("
       << k << "-core coloring)\n";
+  maybe_context_stats(args, ctx, out);
   return 0;
 }
 
 int cmd_report(const Args& args, std::ostream& out) {
-  const bio::ComplexDataset data = load_dataset(input_path(args));
-  const bio::PaperReport report = bio::analyze(data.hypergraph);
+  const Session session = open_session(args);
+  const bio::PaperReport report = bio::analyze(session.context);
   const bio::PaperReference reference = args.get_bool("no-paper", false)
                                             ? bio::PaperReference{}
                                             : bio::PaperReference::cellzome();
   out << bio::render_report(report, reference);
+  maybe_context_stats(args, session.context, out);
   return 0;
 }
 
 int cmd_render(const Args& args, std::ostream& out) {
   HP_REQUIRE(args.positional().size() >= 3,
              "render needs an input file and an output .svg path");
-  const bio::ComplexDataset data = load_dataset(args.positional()[1]);
-  const hyper::Hypergraph& h = data.hypergraph;
-  const hyper::HyperCoreResult cores = hyper::core_decomposition(h);
+  Session session{load_dataset(args.positional()[1])};
+  const hyper::AnalysisContext& ctx = session.context;
+  const hyper::HyperCoreResult& cores = ctx.cores();
   const index_t k = static_cast<index_t>(
       args.get_int("k", static_cast<std::int64_t>(cores.max_core)));
   hyper::LayoutParams layout;
   layout.iterations = static_cast<int>(args.get_int("iterations", 60));
   layout.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  hyper::save_svg(hyper::render_fig3_svg(h, cores.vertex_core,
+  hyper::save_svg(hyper::render_fig3_svg(ctx.hypergraph(), cores.vertex_core,
                                          cores.edge_core, k, layout),
                   args.positional()[2]);
   out << "wrote " << args.positional()[2] << " (" << k
       << "-core highlighted)\n";
+  maybe_context_stats(args, ctx, out);
   return 0;
 }
 
@@ -336,6 +389,9 @@ std::string usage() {
          "  pajek <file> <prefix> [--k K]          Figure-3 style export\n"
          "  render <file> <out.svg> [--k K] [--iterations N]\n"
          "                                         offline Figure-3 SVG\n"
+         "\n"
+         "every analysis command also accepts --context-stats: print the\n"
+         "  shared derived-artifact cache counters (builds, hits, bytes)\n"
          "\n"
          "formats by extension: .hyper (native), .hgr (hMETIS),\n"
          "  .mtx (MatrixMarket row-net), .tsv/.txt (complex table)\n";

@@ -1,0 +1,54 @@
+#include "core/context/context_stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/timer.hpp"
+
+namespace hp::hyper {
+
+count_t ContextStats::total_builds() const {
+  count_t total = 0;
+  for (const ArtifactStats& a : artifacts) total += a.builds;
+  return total;
+}
+
+count_t ContextStats::total_hits() const {
+  count_t total = 0;
+  for (const ArtifactStats& a : artifacts) total += a.hits;
+  return total;
+}
+
+double ContextStats::total_build_seconds() const {
+  double total = 0.0;
+  for (const ArtifactStats& a : artifacts) total += a.build_seconds;
+  return total;
+}
+
+std::size_t ContextStats::total_bytes() const {
+  std::size_t total = 0;
+  for (const ArtifactStats& a : artifacts) total += a.bytes;
+  return total;
+}
+
+std::string to_string(const ContextStats& stats) {
+  std::ostringstream out;
+  out << "context artifact counters:\n"
+      << "  " << std::left << std::setw(26) << "artifact" << std::right
+      << std::setw(7) << "builds" << std::setw(7) << "hits" << std::setw(12)
+      << "build time" << std::setw(12) << "bytes" << '\n';
+  for (const ArtifactStats& a : stats.artifacts) {
+    out << "  " << std::left << std::setw(26) << a.name << std::right
+        << std::setw(7) << a.builds << std::setw(7) << a.hits << std::setw(12)
+        << (a.builds > 0 ? format_duration(a.build_seconds) : "-")
+        << std::setw(12) << a.bytes << '\n';
+  }
+  out << "  " << std::left << std::setw(26) << "total" << std::right
+      << std::setw(7) << stats.total_builds() << std::setw(7)
+      << stats.total_hits() << std::setw(12)
+      << format_duration(stats.total_build_seconds()) << std::setw(12)
+      << stats.total_bytes() << '\n';
+  return out.str();
+}
+
+}  // namespace hp::hyper

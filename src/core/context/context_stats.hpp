@@ -1,0 +1,44 @@
+// Instrumentation for the AnalysisContext derived-artifact cache.
+//
+// Mirrors PeelStats in spirit: every number the memoization layer could
+// hide (what was built, how long it took, what it weighs, how often the
+// cache was hit) is surfaced as a counter, so "the context builds each
+// artifact exactly once" is an observable (hp_cli --context-stats,
+// bench_micro_context) rather than a comment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hp::hyper {
+
+/// Counters for one memoized artifact slot.
+struct ArtifactStats {
+  std::string name;
+  /// Accesses that had to build the artifact (0 = never requested,
+  /// 1 = built; the slot design makes > 1 impossible).
+  count_t builds = 0;
+  /// Accesses served from the cache after the build.
+  count_t hits = 0;
+  /// Wall-clock seconds the (single) build took.
+  double build_seconds = 0.0;
+  /// Bytes held by the cached artifact (0 until built).
+  std::size_t bytes = 0;
+};
+
+/// Snapshot of every slot of an AnalysisContext, in declaration order.
+struct ContextStats {
+  std::vector<ArtifactStats> artifacts;
+
+  count_t total_builds() const;
+  count_t total_hits() const;
+  double total_build_seconds() const;
+  std::size_t total_bytes() const;
+};
+
+/// Multi-line human-readable rendering (CLI --context-stats, benches).
+std::string to_string(const ContextStats& stats);
+
+}  // namespace hp::hyper

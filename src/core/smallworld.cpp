@@ -50,8 +50,14 @@ Hypergraph configuration_model(const Hypergraph& h, Rng& rng,
 }
 
 SmallWorldReport small_world_report(const Hypergraph& h, Rng& rng) {
+  return small_world_report(h, path_summary(h), rng);
+}
+
+SmallWorldReport small_world_report(const Hypergraph& h,
+                                    const HyperPathSummary& observed,
+                                    Rng& rng) {
   SmallWorldReport report;
-  report.observed = path_summary(h);
+  report.observed = observed;
   const Hypergraph null_h = configuration_model(h, rng);
   report.null_model = path_summary(null_h);
   report.log_num_vertices =

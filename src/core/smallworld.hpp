@@ -34,4 +34,11 @@ Hypergraph configuration_model(const Hypergraph& h, Rng& rng,
 /// Compute the report. Uses one configuration-model sample.
 SmallWorldReport small_world_report(const Hypergraph& h, Rng& rng);
 
+/// Same, with the observed path summary supplied by the caller (the
+/// AnalysisContext path: its cached all-pairs summary is reused instead
+/// of re-running the BFS sweep here).
+SmallWorldReport small_world_report(const Hypergraph& h,
+                                    const HyperPathSummary& observed,
+                                    Rng& rng);
+
 }  // namespace hp::hyper

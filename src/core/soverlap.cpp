@@ -8,10 +8,13 @@
 namespace hp::hyper {
 
 graph::Graph s_intersection_graph(const Hypergraph& h, index_t s) {
+  return s_intersection_graph(OverlapTable{h}, s);
+}
+
+graph::Graph s_intersection_graph(const OverlapTable& table, index_t s) {
   HP_REQUIRE(s >= 1, "s_intersection_graph: s must be >= 1");
-  const OverlapTable table{h};
-  graph::GraphBuilder builder{h.num_edges()};
-  for (index_t f = 0; f < h.num_edges(); ++f) {
+  graph::GraphBuilder builder{table.num_edges()};
+  for (index_t f = 0; f < table.num_edges(); ++f) {
     for (const auto& [g, ov] : table.row(f)) {
       if (f < g && ov >= s) builder.add_edge(f, g);
     }
@@ -26,7 +29,11 @@ index_t SComponents::largest() const {
 }
 
 SComponents s_components(const Hypergraph& h, index_t s) {
-  const graph::Graph g = s_intersection_graph(h, s);
+  return s_components(OverlapTable{h}, s);
+}
+
+SComponents s_components(const OverlapTable& table, index_t s) {
+  const graph::Graph g = s_intersection_graph(table, s);
   const graph::Components comp = graph::connected_components(g);
   SComponents out;
   out.label = comp.label;
@@ -53,9 +60,12 @@ SPathSummary s_path_summary(const Hypergraph& h, index_t s) {
 }
 
 index_t max_meaningful_s(const Hypergraph& h) {
-  const OverlapTable table{h};
+  return max_meaningful_s(OverlapTable{h});
+}
+
+index_t max_meaningful_s(const OverlapTable& table) {
   index_t best = 0;
-  for (index_t f = 0; f < h.num_edges(); ++f) {
+  for (index_t f = 0; f < table.num_edges(); ++f) {
     for (const auto& [g, ov] : table.row(f)) {
       (void)g;
       best = std::max(best, ov);

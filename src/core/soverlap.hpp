@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/hypergraph.hpp"
+#include "core/overlap.hpp"
 #include "graph/graph.hpp"
 
 namespace hp::hyper {
@@ -22,6 +23,10 @@ namespace hp::hyper {
 /// Intersection graph over hyperedges with overlap threshold s >= 1
 /// (s = 1 is the paper's complex intersection graph).
 graph::Graph s_intersection_graph(const Hypergraph& h, index_t s);
+
+/// Same, from an already-built overlap table (the AnalysisContext path:
+/// one table serves the whole s-sweep instead of one build per s).
+graph::Graph s_intersection_graph(const OverlapTable& table, index_t s);
 
 /// Connected components of hyperedges under >= s overlap.
 struct SComponents {
@@ -33,6 +38,7 @@ struct SComponents {
 };
 
 SComponents s_components(const Hypergraph& h, index_t s);
+SComponents s_components(const OverlapTable& table, index_t s);
 
 /// s-distance between two hyperedges: length of the shortest walk
 /// f = f0, f1, ..., fk = g with |f_i ∩ f_{i+1}| >= s. kInvalidIndex when
@@ -54,5 +60,6 @@ SPathSummary s_path_summary(const Hypergraph& h, index_t s);
 /// overlaps in >= s vertices (0 if all hyperedges are pairwise
 /// disjoint). Above this value every s-intersection graph is empty.
 index_t max_meaningful_s(const Hypergraph& h);
+index_t max_meaningful_s(const OverlapTable& table);
 
 }  // namespace hp::hyper

@@ -8,15 +8,21 @@
 namespace hp::hyper {
 
 HypergraphSummary summarize(const Hypergraph& h) {
+  return summarize(h, connected_components(h),
+                   OverlapTable{h}.max_degree2());
+}
+
+HypergraphSummary summarize(const Hypergraph& h,
+                            const HyperComponents& comp,
+                            index_t max_degree2) {
   HypergraphSummary s;
   s.num_vertices = h.num_vertices();
   s.num_edges = h.num_edges();
   s.num_pins = h.num_pins();
   s.max_vertex_degree = h.max_vertex_degree();
   s.max_edge_size = h.max_edge_size();
-  s.max_degree2 = OverlapTable{h}.max_degree2();
+  s.max_degree2 = max_degree2;
 
-  const HyperComponents comp = connected_components(h);
   s.num_components = comp.count;
   if (comp.count > 0) {
     const index_t big = comp.largest();
@@ -56,11 +62,18 @@ Histogram edge_size_histogram(const Hypergraph& h) {
 }
 
 PowerLawFit vertex_degree_power_law(const Hypergraph& h) {
-  return power_law_fit(vertex_degree_histogram(h).frequencies());
+  return vertex_degree_power_law(vertex_degree_histogram(h));
+}
+
+PowerLawFit vertex_degree_power_law(const Histogram& degree_histogram) {
+  return power_law_fit(degree_histogram.frequencies());
 }
 
 EdgeSizeFits edge_size_fits(const Hypergraph& h) {
-  const Histogram hist = edge_size_histogram(h);
+  return edge_size_fits(edge_size_histogram(h));
+}
+
+EdgeSizeFits edge_size_fits(const Histogram& hist) {
   EdgeSizeFits fits;
   fits.power = power_law_fit(hist.frequencies());
   fits.exponential = exponential_fit(hist.frequencies());

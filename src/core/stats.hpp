@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/hypergraph.hpp"
+#include "core/traversal.hpp"
 #include "util/histogram.hpp"
 #include "util/linreg.hpp"
 
@@ -29,6 +30,13 @@ struct HypergraphSummary {
 
 HypergraphSummary summarize(const Hypergraph& h);
 
+/// Assemble the summary from precomputed parts (the AnalysisContext
+/// path: components and the overlap table are shared artifacts there,
+/// not rebuilt per summary).
+HypergraphSummary summarize(const Hypergraph& h,
+                            const HyperComponents& components,
+                            index_t max_degree2);
+
 /// Histogram of vertex degrees (index = degree).
 Histogram vertex_degree_histogram(const Hypergraph& h);
 
@@ -39,6 +47,9 @@ Histogram edge_size_histogram(const Hypergraph& h);
 /// log10 c = 3.161, gamma = 2.528, R^2 = 0.963).
 PowerLawFit vertex_degree_power_law(const Hypergraph& h);
 
+/// Same fit from an already-computed degree histogram.
+PowerLawFit vertex_degree_power_law(const Histogram& degree_histogram);
+
 /// Both candidate fits of the complex size distribution. The paper
 /// observes neither is good; callers compare the two R^2 values.
 struct EdgeSizeFits {
@@ -47,6 +58,9 @@ struct EdgeSizeFits {
 };
 
 EdgeSizeFits edge_size_fits(const Hypergraph& h);
+
+/// Same fits from an already-computed size histogram.
+EdgeSizeFits edge_size_fits(const Histogram& size_histogram);
 
 /// Human-readable multi-line rendering of a summary.
 std::string to_string(const HypergraphSummary& s);

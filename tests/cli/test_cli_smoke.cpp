@@ -1,0 +1,108 @@
+// CLI smoke tests: usage/exit-code behaviour of the dispatcher and the
+// --context-stats counter block.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/commands.hpp"
+
+namespace hp::cli {
+namespace {
+
+Args make_args(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v;
+  v.push_back("hp_cli");
+  v.insert(v.end(), argv);
+  return Args{static_cast<int>(v.size()), v.data()};
+}
+
+class CliSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_path_ = ::testing::TempDir() + "/cli_smoke_complexes.tsv";
+    std::ofstream out(table_path_);
+    out << "Arp23\tARP2\tARP3\tARC15\n"
+        << "SAGA\tGCN5\tADA2\tSPT7\tARP2\n"
+        << "ADA\tGCN5\tADA2\n";
+  }
+  void TearDown() override { std::remove(table_path_.c_str()); }
+
+  std::string table_path_;
+};
+
+TEST_F(CliSmokeTest, NoArgumentsPrintsUsageAndFails) {
+  std::ostringstream out;
+  const int rc = run(make_args({}), out);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.str().find("usage"), std::string::npos);
+  EXPECT_EQ(out.str(), usage());
+}
+
+TEST_F(CliSmokeTest, UnknownSubcommandPrintsUsageAndFails) {
+  std::ostringstream out;
+  const int rc = run(make_args({"frobnicate", table_path_.c_str()}), out);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.str().find("usage"), std::string::npos);
+}
+
+TEST_F(CliSmokeTest, UsageMentionsEveryCommandAndContextStats) {
+  const std::string text = usage();
+  for (const char* name :
+       {"stats", "report", "core", "cover", "match", "soverlap",
+        "smallworld", "convert", "generate", "pajek", "render"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("--context-stats"), std::string::npos);
+}
+
+TEST_F(CliSmokeTest, ContextStatsFlagEmitsCounterBlock) {
+  std::ostringstream out;
+  const int rc = run(
+      make_args({"stats", table_path_.c_str(), "--context-stats"}), out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("context artifact counters"), std::string::npos);
+  // The counter table lists the slot names with build counts.
+  EXPECT_NE(out.str().find("components"), std::string::npos);
+  EXPECT_NE(out.str().find("overlap table"), std::string::npos);
+}
+
+TEST_F(CliSmokeTest, WithoutFlagNoCounterBlock) {
+  std::ostringstream out;
+  const int rc = run(make_args({"stats", table_path_.c_str()}), out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(out.str().find("context artifact counters"), std::string::npos);
+}
+
+TEST_F(CliSmokeTest, ReportContextStatsBuildsEachArtifactAtMostOnce) {
+  std::ostringstream out;
+  const int rc = run(
+      make_args({"report", table_path_.c_str(), "--context-stats"}), out);
+  EXPECT_EQ(rc, 0);
+  const std::string text = out.str();
+  const std::size_t block = text.find("context artifact counters");
+  ASSERT_NE(block, std::string::npos);
+  // Every listed artifact row shows 0 or 1 builds -- nothing is ever
+  // rebuilt within one CLI invocation.
+  std::istringstream lines{text.substr(block)};
+  std::string line;
+  std::getline(lines, line);  // "context artifact counters:"
+  std::getline(lines, line);  // column header
+  int rows = 0;
+  while (std::getline(lines, line) && !line.empty()) {
+    if (line.find("  total") == 0) break;
+    // Per-artifact row: the name occupies the first 28 columns, the
+    // builds count follows.
+    ASSERT_GE(line.size(), 28u) << line;
+    std::istringstream cols{line.substr(28)};
+    std::uint64_t builds = 99;
+    cols >> builds;
+    EXPECT_LE(builds, 1u) << line;
+    ++rows;
+  }
+  EXPECT_GT(rows, 10);
+}
+
+}  // namespace
+}  // namespace hp::cli

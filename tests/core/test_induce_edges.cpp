@@ -1,0 +1,136 @@
+// Edge cases of induce(): identity masks, empty masks, and edges that
+// become empty when their vertices are masked out.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hypergraph.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace hp::hyper {
+namespace {
+
+std::vector<std::vector<index_t>> edge_lists(const Hypergraph& h) {
+  std::vector<std::vector<index_t>> out;
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    const auto members = h.vertices_of(e);
+    out.emplace_back(members.begin(), members.end());
+  }
+  return out;
+}
+
+TEST(InduceEdgesTest, AllTrueMasksAreIdentity) {
+  const Hypergraph h = testing::toy_hypergraph();
+  const SubHypergraph sub =
+      induce(h, std::vector<bool>(h.num_vertices(), true),
+             std::vector<bool>(h.num_edges(), true));
+
+  ASSERT_EQ(sub.hypergraph.num_vertices(), h.num_vertices());
+  ASSERT_EQ(sub.hypergraph.num_edges(), h.num_edges());
+  EXPECT_EQ(sub.hypergraph.num_pins(), h.num_pins());
+  EXPECT_EQ(edge_lists(sub.hypergraph), edge_lists(h));
+  for (index_t v = 0; v < h.num_vertices(); ++v) {
+    EXPECT_EQ(sub.vertex_to_parent[v], v);
+  }
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    EXPECT_EQ(sub.edge_to_parent[e], e);
+  }
+}
+
+TEST(InduceEdgesTest, EmptyVertexMaskYieldsEmptyHypergraph) {
+  const Hypergraph h = testing::toy_hypergraph();
+  const SubHypergraph sub =
+      induce(h, std::vector<bool>(h.num_vertices(), false),
+             std::vector<bool>(h.num_edges(), true));
+
+  EXPECT_EQ(sub.hypergraph.num_vertices(), 0u);
+  EXPECT_EQ(sub.hypergraph.num_edges(), 0u);
+  EXPECT_EQ(sub.hypergraph.num_pins(), 0u);
+  EXPECT_TRUE(sub.vertex_to_parent.empty());
+  EXPECT_TRUE(sub.edge_to_parent.empty());
+}
+
+TEST(InduceEdgesTest, EmptyEdgeMaskKeepsVerticesOnly) {
+  const Hypergraph h = testing::toy_hypergraph();
+  const SubHypergraph sub =
+      induce(h, std::vector<bool>(h.num_vertices(), true),
+             std::vector<bool>(h.num_edges(), false));
+
+  EXPECT_EQ(sub.hypergraph.num_vertices(), h.num_vertices());
+  EXPECT_EQ(sub.hypergraph.num_edges(), 0u);
+  EXPECT_TRUE(sub.edge_to_parent.empty());
+}
+
+TEST(InduceEdgesTest, EdgesEmptiedByVertexRemovalAreDropped) {
+  // toy: e0 = {0,1,2,3}, e1 = {2,3,4}, e2 = {4,5}, e3 = {5},
+  //      e4 = {0,1,2,3,6}. Removing vertices 4 and 5 empties e2 and e3.
+  const Hypergraph h = testing::toy_hypergraph();
+  std::vector<bool> keep_vertex(h.num_vertices(), true);
+  keep_vertex[4] = false;
+  keep_vertex[5] = false;
+  const SubHypergraph sub =
+      induce(h, keep_vertex, std::vector<bool>(h.num_edges(), true));
+
+  // Surviving edges, in parent order: e0, e1 (restricted to {2,3}), e4.
+  ASSERT_EQ(sub.edge_to_parent.size(), 3u);
+  EXPECT_EQ(sub.edge_to_parent[0], 0u);
+  EXPECT_EQ(sub.edge_to_parent[1], 1u);
+  EXPECT_EQ(sub.edge_to_parent[2], 4u);
+
+  // Kept vertices 0,1,2,3,6 are renumbered densely in parent order.
+  ASSERT_EQ(sub.vertex_to_parent.size(), 5u);
+  const std::vector<index_t> expect_vertices{0, 1, 2, 3, 6};
+  EXPECT_EQ(sub.vertex_to_parent, expect_vertices);
+
+  // e1 restricted to the mask is {2,3} -> new ids {2,3}.
+  const auto lists = edge_lists(sub.hypergraph);
+  EXPECT_EQ(lists[1], (std::vector<index_t>{2, 3}));
+  // e4 keeps {0,1,2,3,6} -> {0,1,2,3,4}.
+  EXPECT_EQ(lists[2], (std::vector<index_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(InduceEdgesTest, MaskSizeMismatchThrows) {
+  const Hypergraph h = testing::toy_hypergraph();
+  EXPECT_THROW(induce(h, std::vector<bool>(h.num_vertices() + 1, true),
+                      std::vector<bool>(h.num_edges(), true)),
+               InvalidInputError);
+  EXPECT_THROW(induce(h, std::vector<bool>(h.num_vertices(), true),
+                      std::vector<bool>(h.num_edges() + 1, true)),
+               InvalidInputError);
+}
+
+TEST(InduceEdgesTest, InducedRandomHypergraphsValidate) {
+  Rng rng{20040426};
+  for (int trial = 0; trial < 10; ++trial) {
+    const Hypergraph h = testing::random_hypergraph(rng, 40, 25, 6);
+    std::vector<bool> keep_vertex(h.num_vertices());
+    std::vector<bool> keep_edge(h.num_edges());
+    for (index_t v = 0; v < h.num_vertices(); ++v) {
+      keep_vertex[v] = rng.uniform(2) == 0;
+    }
+    for (index_t e = 0; e < h.num_edges(); ++e) {
+      keep_edge[e] = rng.uniform(2) == 0;
+    }
+    const SubHypergraph sub = induce(h, keep_vertex, keep_edge);
+    validate(sub.hypergraph);
+    // Every surviving edge maps to a kept parent edge and its members
+    // are exactly the kept members of that parent edge.
+    for (index_t e = 0; e < sub.hypergraph.num_edges(); ++e) {
+      const index_t parent = sub.edge_to_parent[e];
+      ASSERT_TRUE(keep_edge[parent]);
+      std::vector<index_t> expect;
+      for (index_t v : h.vertices_of(parent)) {
+        if (keep_vertex[v]) expect.push_back(v);
+      }
+      std::vector<index_t> got;
+      for (index_t v : sub.hypergraph.vertices_of(e)) {
+        got.push_back(sub.vertex_to_parent[v]);
+      }
+      EXPECT_EQ(got, expect);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hp::hyper
