@@ -10,8 +10,9 @@
 //     max core k = 10 with 33 proteins; drosophila max core k = 8 with
 //     577 proteins.
 //
-// Usage: bench_sec3_core_proteome [--seed N]
+// Usage: bench_sec3_core_proteome [--seed N] [--trace out.json]
 #include <cstdio>
+#include <string>
 
 #include "bio/cellzome_synth.hpp"
 #include "bio/core_recovery.hpp"
@@ -21,6 +22,7 @@
 #include "core/kcore.hpp"
 #include "core/projection.hpp"
 #include "graph/graph_kcore.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -29,6 +31,8 @@ int main(int argc, char** argv) {
   const hp::Args args{argc, argv};
   hp::bio::CellzomeParams params;
   params.seed = static_cast<std::uint64_t>(args.get_int("seed", 20040426));
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) hp::obs::set_tracing_enabled(true);
 
   hp::bio::ComplexDataset data = hp::bio::cellzome_surrogate(params);
   const hp::hyper::AnalysisContext ctx{std::move(data.hypergraph)};
@@ -185,5 +189,9 @@ int main(int argc, char** argv) {
       "\nqualitative relation reproduced: PPI *graph* cores are deeper "
       "than the protein-complex *hypergraph* core, and the drosophila "
       "core is shallower but far larger than the yeast core.");
+  if (!trace_path.empty()) {
+    hp::obs::write_chrome_trace_file(trace_path);
+    std::printf("\nwrote trace %s\n", trace_path.c_str());
+  }
   return 0;
 }

@@ -16,6 +16,7 @@
 // the sweep, not |F|^2.
 //
 // Usage: bench_table1_cores [--seed N] [--skip-large] [--peel-stats]
+//                           [--trace out.json]
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -28,6 +29,7 @@
 #include "core/stats.hpp"
 #include "mm/mm_synth.hpp"
 #include "mm/mm_to_hypergraph.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -78,6 +80,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("seed", 20040426));
   const bool skip_large = args.get_bool("skip-large", false);
   const bool peel_stats = args.get_bool("peel-stats", false);
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) hp::obs::set_tracing_enabled(true);
 
   std::puts(
       "=== Table 1: hypergraphs and their maximum cores ===\n"
@@ -155,5 +159,9 @@ int main(int argc, char** argv) {
       "\ntrend reproduced from the paper: run time grows with core size "
       "and Delta_2,F; large cores (stiffness/fluid rows) dominate the "
       "sweep, motivating the parallel algorithm (see bench_micro_kcore).");
+  if (!trace_path.empty()) {
+    hp::obs::write_chrome_trace_file(trace_path);
+    std::printf("\nwrote trace %s\n", trace_path.c_str());
+  }
   return 0;
 }

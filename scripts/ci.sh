@@ -17,6 +17,54 @@ ctest --test-dir "${prefix}" --output-on-failure
 echo "=== context memoization bench (quick) ==="
 "${prefix}/bench/bench_micro_context" --quick --json "${root}/BENCH_context.json"
 
+echo "=== tracing overhead bench (quick) ==="
+"${prefix}/bench/bench_micro_obs" --quick --json "${root}/BENCH_obs.json"
+
+echo "=== traced report on the Cellzome surrogate ==="
+obs_dir="${prefix}/obs-check"
+mkdir -p "${obs_dir}"
+"${prefix}/src/cli/hyperproteome" generate "${obs_dir}/cellzome.tsv"
+"${prefix}/src/cli/hyperproteome" report "${obs_dir}/cellzome.tsv" \
+  --trace "${obs_dir}/report_trace.json" \
+  --metrics "${obs_dir}/report_metrics.json"
+python3 - "${obs_dir}/report_trace.json" "${obs_dir}/report_metrics.json" <<'EOF'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "trace has no events"
+
+# Balanced B/E per thread, with at least one span per context artifact
+# and per peel level.
+depth = {}
+for e in events:
+    tid = e["tid"]
+    if e["ph"] == "B":
+        depth[tid] = depth.get(tid, 0) + 1
+    elif e["ph"] == "E":
+        depth[tid] = depth.get(tid, 0) - 1
+        assert depth[tid] >= 0, f"unbalanced E on tid {tid}"
+assert all(d == 0 for d in depth.values()), f"unclosed spans: {depth}"
+
+names = {e["name"] for e in events}
+builds = sorted(n for n in names if n.startswith("context.build."))
+assert len(builds) >= 1, "no context artifact build spans"
+peel_levels = sum(
+    1 for e in events
+    if e["name"] == "kcore.peel_level" and e["ph"] == "B")
+assert peel_levels >= 1, "no per-level peel spans"
+assert "cli.report" in names and "cli.load_dataset" in names
+
+metrics = json.load(open(sys.argv[2]))
+assert metrics["counters"].get("peel.rounds", 0) > 0
+assert any(k.startswith("context.") and k.endswith(".builds")
+           for k in metrics["counters"])
+assert "context.build_ns" in metrics["histograms"]
+
+print(f"trace ok: {len(events)} events, {len(builds)} artifact build "
+      f"spans, {peel_levels} peel-level spans; metrics ok")
+EOF
+
 echo "=== tier-1: sanitized build + ctest (HP_SANITIZE=address;undefined) ==="
 cmake -B "${prefix}-asan" -S "${root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DHP_SANITIZE=address;undefined"

@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <cstdlib>
 #include <exception>
 #include <ostream>
 
@@ -20,6 +21,8 @@
 #include "core/traversal.hpp"
 #include "mm/matrix_market.hpp"
 #include "mm/mm_to_hypergraph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stringutil.hpp"
 #include "util/timer.hpp"
 
@@ -72,6 +75,10 @@ struct Session {
 
   explicit Session(bio::ComplexDataset loaded)
       : data(std::move(loaded)), context(std::move(data.hypergraph)) {}
+
+  // Publishing at teardown means --metrics output includes the cache
+  // counters of whatever the command actually built.
+  ~Session() { hyper::publish_metrics(context.stats()); }
 };
 
 Session open_session(const Args& args) {
@@ -91,6 +98,7 @@ void maybe_context_stats(const Args& args,
 }  // namespace
 
 bio::ComplexDataset load_dataset(const std::string& path) {
+  HP_TRACE_SPAN("cli.load_dataset");
   bio::ComplexDataset data = [&] {
     switch (detect_format(path)) {
       case Format::kHyper:
@@ -110,6 +118,7 @@ bio::ComplexDataset load_dataset(const std::string& path) {
   // malformed file fails here, with its name, instead of corrupting an
   // analysis downstream.
   try {
+    HP_TRACE_SPAN("cli.validate");
     hyper::validate(data.hypergraph);
   } catch (const InvalidInputError& error) {
     std::string message = "invalid hypergraph loaded from '";
@@ -393,9 +402,54 @@ std::string usage() {
          "every analysis command also accepts --context-stats: print the\n"
          "  shared derived-artifact cache counters (builds, hits, bytes)\n"
          "\n"
+         "global observability flags (any command):\n"
+         "  --trace out.json    record a Chrome trace (load it in\n"
+         "                      chrome://tracing or Perfetto); env\n"
+         "                      HP_TRACE=out.json is equivalent\n"
+         "  --metrics out.json  dump the metrics registry (counters,\n"
+         "                      gauges, latency histograms); env\n"
+         "                      HP_METRICS=out.json is equivalent\n"
+         "\n"
          "formats by extension: .hyper (native), .hgr (hMETIS),\n"
          "  .mtx (MatrixMarket row-net), .tsv/.txt (complex table)\n";
 }
+
+namespace {
+
+/// Dispatch table. The span name is a literal (the tracer stores the
+/// pointer), so each command gets a root `cli.<name>` span enclosing its
+/// whole run including dataset load.
+struct Command {
+  const char* name;
+  const char* span;
+  int (*fn)(const Args&, std::ostream&);
+};
+
+constexpr Command kCommands[] = {
+    {"stats", "cli.stats", &cmd_stats},
+    {"report", "cli.report", &cmd_report},
+    {"core", "cli.core", &cmd_core},
+    {"cover", "cli.cover", &cmd_cover},
+    {"match", "cli.match", &cmd_match},
+    {"soverlap", "cli.soverlap", &cmd_soverlap},
+    {"smallworld", "cli.smallworld", &cmd_smallworld},
+    {"convert", "cli.convert", &cmd_convert},
+    {"generate", "cli.generate", &cmd_generate},
+    {"pajek", "cli.pajek", &cmd_pajek},
+    {"render", "cli.render", &cmd_render},
+};
+
+/// Flag with environment fallback: --trace beats HP_TRACE, etc.
+std::string flag_or_env(const Args& args, const std::string& flag,
+                        const char* env) {
+  std::string value = args.get(flag, "");
+  if (value.empty()) {
+    if (const char* from_env = std::getenv(env)) value = from_env;
+  }
+  return value;
+}
+
+}  // namespace
 
 int run(const Args& args, std::ostream& out) {
   if (args.positional().empty()) {
@@ -403,24 +457,58 @@ int run(const Args& args, std::ostream& out) {
     return 2;
   }
   const std::string command = args.positional()[0];
+
+  const std::string trace_path = flag_or_env(args, "trace", "HP_TRACE");
+  const std::string metrics_path = flag_or_env(args, "metrics", "HP_METRICS");
+  if (!trace_path.empty()) obs::set_tracing_enabled(true);
+
+  const Command* matched = nullptr;
+  for (const Command& cmd : kCommands) {
+    if (command == cmd.name) {
+      matched = &cmd;
+      break;
+    }
+  }
+  if (matched == nullptr) {
+    out << "unknown command '" << command << "'\n\n" << usage();
+    return 2;
+  }
+
+  int code = 0;
   try {
-    if (command == "stats") return cmd_stats(args, out);
-    if (command == "report") return cmd_report(args, out);
-    if (command == "core") return cmd_core(args, out);
-    if (command == "cover") return cmd_cover(args, out);
-    if (command == "match") return cmd_match(args, out);
-    if (command == "soverlap") return cmd_soverlap(args, out);
-    if (command == "smallworld") return cmd_smallworld(args, out);
-    if (command == "convert") return cmd_convert(args, out);
-    if (command == "generate") return cmd_generate(args, out);
-    if (command == "pajek") return cmd_pajek(args, out);
-    if (command == "render") return cmd_render(args, out);
+    Timer timer;
+    {
+      HP_TRACE_SPAN(matched->span);
+      code = matched->fn(args, out);
+    }
+    obs::latency("cli.command_ns").record_ns(timer.nanoseconds());
   } catch (const std::exception& error) {
     out << "error: " << error.what() << '\n';
-    return 1;
+    code = 1;
   }
-  out << "unknown command '" << command << "'\n\n" << usage();
-  return 2;
+
+  // Flush observability outputs even when the command failed: a trace of
+  // a failing run is precisely when you want one.
+  if (!trace_path.empty()) {
+    try {
+      obs::write_chrome_trace_file(trace_path);
+      out << "wrote trace " << trace_path << '\n';
+    } catch (const std::exception& error) {
+      out << "error: " << error.what() << '\n';
+      code = 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    try {
+      obs::write_metrics_json_file(obs::Registry::global().snapshot(),
+                                   metrics_path);
+      out << "wrote metrics " << metrics_path << '\n';
+    } catch (const std::exception& error) {
+      out << "error: " << error.what() << '\n';
+      code = 1;
+    }
+  }
+  return code;
 }
 
 }  // namespace hp::cli

@@ -33,51 +33,64 @@ std::size_t sub_bytes(const SubHypergraph& s) {
 }  // namespace
 
 const Hypergraph& AnalysisContext::dual() const {
-  return dual_.get([&] { return ::hp::hyper::dual(hypergraph_); });
+  return dual_.get("context.build.dual",
+                   [&] { return ::hp::hyper::dual(hypergraph_); });
 }
 
 const graph::Graph& AnalysisContext::clique_projection() const {
-  return clique_.get([&] { return clique_expansion(hypergraph_); });
+  return clique_.get("context.build.clique_projection",
+                     [&] { return clique_expansion(hypergraph_); });
 }
 
 const std::vector<index_t>& AnalysisContext::star_baits() const {
-  return star_baits_.get([&] { return default_baits(hypergraph_); });
+  return star_baits_.get("context.build.star_baits",
+                         [&] { return default_baits(hypergraph_); });
 }
 
 const graph::Graph& AnalysisContext::star_projection() const {
-  return star_.get([&] { return star_expansion(hypergraph_, star_baits()); });
+  return star_.get("context.build.star_projection", [&] {
+    return star_expansion(hypergraph_, star_baits());
+  });
 }
 
 const graph::Graph& AnalysisContext::intersection_projection() const {
-  return intersection_.get(
-      [&] { return intersection_graph(hypergraph_, nullptr); });
+  return intersection_.get("context.build.intersection_projection", [&] {
+    return intersection_graph(hypergraph_, nullptr);
+  });
 }
 
 const HyperComponents& AnalysisContext::components() const {
-  return components_.get([&] { return connected_components(hypergraph_); });
+  return components_.get("context.build.components", [&] {
+    return connected_components(hypergraph_);
+  });
 }
 
 const Histogram& AnalysisContext::vertex_degree_histogram() const {
   return vertex_degree_histogram_.get(
+      "context.build.vertex_degree_histogram",
       [&] { return ::hp::hyper::vertex_degree_histogram(hypergraph_); });
 }
 
 const Histogram& AnalysisContext::edge_size_histogram() const {
   return edge_size_histogram_.get(
+      "context.build.edge_size_histogram",
       [&] { return ::hp::hyper::edge_size_histogram(hypergraph_); });
 }
 
 const OverlapTable& AnalysisContext::overlaps() const {
-  return overlaps_.get([&] { return OverlapTable{hypergraph_}; });
+  return overlaps_.get("context.build.overlap_table",
+                       [&] { return OverlapTable{hypergraph_}; });
 }
 
 const SubHypergraph& AnalysisContext::reduced() const {
-  return reduced_.get([&] { return reduce(hypergraph_); });
+  return reduced_.get("context.build.reduced_hypergraph",
+                      [&] { return reduce(hypergraph_); });
 }
 
 const HyperCoreResult& AnalysisContext::cores() const {
-  return cores_.get(
-      [&] { return core_decomposition(hypergraph_, &peel_stats_); });
+  return cores_.get("context.build.core_decomposition", [&] {
+    return core_decomposition(hypergraph_, &peel_stats_);
+  });
 }
 
 const PeelStats& AnalysisContext::core_peel_stats() const {
@@ -86,13 +99,14 @@ const PeelStats& AnalysisContext::core_peel_stats() const {
 }
 
 const HypergraphSummary& AnalysisContext::summary() const {
-  return summary_.get([&] {
+  return summary_.get("context.build.summary", [&] {
     return summarize(hypergraph_, components(), overlaps().max_degree2());
   });
 }
 
 const HyperPathSummary& AnalysisContext::paths() const {
-  return paths_.get([&] { return path_summary(hypergraph_); });
+  return paths_.get("context.build.path_summary",
+                    [&] { return path_summary(hypergraph_); });
 }
 
 RepresentationCosts AnalysisContext::representation_costs() const {

@@ -37,6 +37,8 @@
 #include "core/stats.hpp"
 #include "core/traversal.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/histogram.hpp"
 #include "util/timer.hpp"
 
@@ -46,17 +48,23 @@ namespace detail {
 
 /// One memoized artifact: built at most once via std::call_once, then
 /// served by const reference. The first access counts as the build;
-/// every later access counts as a hit.
+/// every later access counts as a hit. The build runs under a trace
+/// span named `trace_name` (a literal, e.g. "context.build.dual") and
+/// records its latency into the "context.build_ns" histogram, so every
+/// artifact construction is visible on the obs timeline.
 template <typename T>
 class ArtifactSlot {
  public:
   template <typename Build>
-  const T& get(const Build& build) const {
+  const T& get(const char* trace_name, const Build& build) const {
     bool miss = false;
     std::call_once(once_, [&] {
+      obs::TraceSpan span{trace_name};
       Timer timer;
       value_.emplace(build());
-      build_seconds_ = timer.seconds();
+      const std::uint64_t elapsed_ns = timer.nanoseconds();
+      build_seconds_ = static_cast<double>(elapsed_ns) / 1e9;
+      obs::latency("context.build_ns").record_ns(elapsed_ns);
       miss = true;
     });
     if (miss) {

@@ -1,10 +1,5 @@
 #include "core/context/context_stats.hpp"
 
-#include <iomanip>
-#include <sstream>
-
-#include "util/timer.hpp"
-
 namespace hp::hyper {
 
 count_t ContextStats::total_builds() const {
@@ -31,24 +26,52 @@ std::size_t ContextStats::total_bytes() const {
   return total;
 }
 
-std::string to_string(const ContextStats& stats) {
-  std::ostringstream out;
-  out << "context artifact counters:\n"
-      << "  " << std::left << std::setw(26) << "artifact" << std::right
-      << std::setw(7) << "builds" << std::setw(7) << "hits" << std::setw(12)
-      << "build time" << std::setw(12) << "bytes" << '\n';
-  for (const ArtifactStats& a : stats.artifacts) {
-    out << "  " << std::left << std::setw(26) << a.name << std::right
-        << std::setw(7) << a.builds << std::setw(7) << a.hits << std::setw(12)
-        << (a.builds > 0 ? format_duration(a.build_seconds) : "-")
-        << std::setw(12) << a.bytes << '\n';
+namespace {
+
+std::string slug(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == ' ') c = '_';
   }
-  out << "  " << std::left << std::setw(26) << "total" << std::right
-      << std::setw(7) << stats.total_builds() << std::setw(7)
-      << stats.total_hits() << std::setw(12)
-      << format_duration(stats.total_build_seconds()) << std::setw(12)
-      << stats.total_bytes() << '\n';
-  return out.str();
+  return out;
+}
+
+}  // namespace
+
+obs::MetricsSnapshot to_metrics(const ContextStats& stats) {
+  obs::MetricsSnapshot snap;
+  for (const ArtifactStats& a : stats.artifacts) {
+    const std::string prefix = "context." + slug(a.name);
+    snap.counters.push_back({prefix + ".builds", a.builds});
+    snap.counters.push_back({prefix + ".hits", a.hits});
+    if (a.builds > 0) {
+      snap.gauges.push_back({prefix + ".build_seconds", a.build_seconds});
+      snap.gauges.push_back(
+          {prefix + ".bytes", static_cast<double>(a.bytes)});
+    }
+  }
+  snap.counters.push_back({"context.total.builds", stats.total_builds()});
+  snap.counters.push_back({"context.total.hits", stats.total_hits()});
+  snap.gauges.push_back(
+      {"context.total.build_seconds", stats.total_build_seconds()});
+  snap.gauges.push_back(
+      {"context.total.bytes", static_cast<double>(stats.total_bytes())});
+  return snap;
+}
+
+void publish_metrics(const ContextStats& stats) {
+  const obs::MetricsSnapshot snap = to_metrics(stats);
+  for (const obs::CounterSample& c : snap.counters) {
+    obs::counter(c.name).set(c.value);
+  }
+  for (const obs::GaugeSample& g : snap.gauges) {
+    obs::gauge(g.name).set(g.value);
+  }
+}
+
+std::string to_string(const ContextStats& stats) {
+  return "context artifact counters:\n" +
+         obs::render_table(to_metrics(stats));
 }
 
 }  // namespace hp::hyper

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/common.hpp"
 
 namespace hp::hyper {
@@ -38,7 +39,18 @@ struct ContextStats {
   std::size_t total_bytes() const;
 };
 
-/// Multi-line human-readable rendering (CLI --context-stats, benches).
+/// Flat "context.<slot>.*" metric samples (builds/hits counters,
+/// build_seconds/bytes gauges) plus "context.total.*" aggregates, for
+/// the shared obs exporters. Slot names are slugged (spaces -> '_').
+obs::MetricsSnapshot to_metrics(const ContextStats& stats);
+
+/// Publish the snapshot into the global obs registry with absolute
+/// (set) semantics; the CLI calls this before a --metrics export.
+void publish_metrics(const ContextStats& stats);
+
+/// Multi-line human-readable rendering (CLI --context-stats, benches);
+/// formats through obs::render_table, the shared metrics table
+/// exporter.
 std::string to_string(const ContextStats& stats);
 
 }  // namespace hp::hyper

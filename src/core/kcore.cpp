@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/peel/peel.hpp"
+#include "obs/trace.hpp"
 
 namespace hp::hyper {
 
@@ -123,22 +124,36 @@ class OverlapPeeler {
 }  // namespace
 
 HyperCoreResult core_decomposition(const Hypergraph& h, PeelStats* stats) {
+  HP_TRACE_SPAN("kcore.decomposition");
   HyperCoreResult result;
   result.vertex_core.assign(h.num_vertices(), 0);
   result.edge_core.assign(h.num_edges(), 0);
 
   PeelStats local;
   OverlapPeeler peeler{h, result, local};
-  peeler.initial_reduction();
+  {
+    HP_TRACE_SPAN("kcore.initial_reduction");
+    peeler.initial_reduction();
+  }
 
   // level 0 = reduced input.
   result.level_vertices.push_back(peeler.residual().live_vertices());
   result.level_edges.push_back(peeler.residual().live_edges());
 
   // The substrate stamps core numbers at deletion time, so the loop only
-  // has to record per-level population counts; no survivor sweeps.
+  // has to record per-level population counts; no survivor sweeps. Each
+  // level gets its own span (args.k = level) with the cumulative
+  // substrate counters interleaved on the trace timeline, so a 6-core
+  // run shows six peel spans and where the overlap work happened.
   for (index_t k = 1;; ++k) {
-    peeler.peel(k);
+    {
+      HP_TRACE_SPAN("kcore.peel_level", k);
+      peeler.peel(k);
+    }
+    obs::trace_counter("peel.overlap_decrements",
+                       static_cast<double>(local.overlap_decrements));
+    obs::trace_counter("peel.containment_probes",
+                       static_cast<double>(local.containment_probes));
     if (peeler.residual().live_vertices() == 0) {
       result.max_core = k - 1;
       break;
@@ -147,6 +162,7 @@ HyperCoreResult core_decomposition(const Hypergraph& h, PeelStats* stats) {
     result.level_vertices.push_back(peeler.residual().live_vertices());
     result.level_edges.push_back(peeler.residual().live_edges());
   }
+  publish_metrics(local);
   if (stats != nullptr) *stats += local;
   return result;
 }

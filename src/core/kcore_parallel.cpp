@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/peel/peel.hpp"
+#include "obs/trace.hpp"
 
 #ifdef HP_HAVE_OPENMP
 #include <omp.h>
@@ -31,6 +32,7 @@ HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
 #else
   (void)num_threads;
 #endif
+  HP_TRACE_SPAN("kcore.decomposition_parallel");
   HyperCoreResult result;
   result.vertex_core.assign(h.num_vertices(), 0);
   result.edge_core.assign(h.num_edges(), 0);
@@ -42,6 +44,7 @@ HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
 
   // Initial reduction: every edge is a containment candidate.
   {
+    HP_TRACE_SPAN("kcore.initial_reduction");
     residual.set_peel_level(0);
     std::vector<index_t> all_edges(h.num_edges());
     for (index_t e = 0; e < h.num_edges(); ++e) all_edges[e] = e;
@@ -69,6 +72,7 @@ HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
   std::vector<index_t> frontier;
   std::vector<index_t> touched;
   for (index_t k = 1;; ++k) {
+    HP_TRACE_SPAN("kcore.peel_level", k);
     residual.set_peel_level(k);
     // Cascade rounds within this level.
     for (;;) {
@@ -95,6 +99,7 @@ HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
     result.level_vertices.push_back(residual.live_vertices());
     result.level_edges.push_back(residual.live_edges());
   }
+  publish_metrics(local);
   if (stats != nullptr) *stats += local;
   return result;
 }

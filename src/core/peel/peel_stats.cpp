@@ -1,20 +1,37 @@
 #include "core/peel/peel_stats.hpp"
 
-#include <sstream>
-
 namespace hp::hyper {
 
+obs::MetricsSnapshot to_metrics(const PeelStats& stats) {
+  obs::MetricsSnapshot snap;
+  snap.counters = {
+      {"peel.overlap_decrements", stats.overlap_decrements},
+      {"peel.containment_probes", stats.containment_probes},
+      {"peel.vertex_deletions", stats.vertex_deletions},
+      {"peel.edge_deletions", stats.edge_deletions},
+      {"peel.cascaded_edge_deletions", stats.cascaded_edge_deletions},
+      {"peel.rounds", stats.peel_rounds},
+      {"peel.peak_queue_length", stats.peak_queue_length},
+  };
+  return snap;
+}
+
+void publish_metrics(const PeelStats& stats) {
+  obs::counter("peel.overlap_decrements").add(stats.overlap_decrements);
+  obs::counter("peel.containment_probes").add(stats.containment_probes);
+  obs::counter("peel.vertex_deletions").add(stats.vertex_deletions);
+  obs::counter("peel.edge_deletions").add(stats.edge_deletions);
+  obs::counter("peel.cascaded_edge_deletions")
+      .add(stats.cascaded_edge_deletions);
+  obs::counter("peel.rounds").add(stats.peel_rounds);
+  // Peaks do not sum across peels; last-write gauge keeps the largest
+  // recent value observable without inventing max-counter semantics.
+  obs::gauge("peel.peak_queue_length")
+      .set(static_cast<double>(stats.peak_queue_length));
+}
+
 std::string to_string(const PeelStats& stats) {
-  std::ostringstream out;
-  out << "overlap decrements        : " << stats.overlap_decrements << '\n'
-      << "containment probes        : " << stats.containment_probes << '\n'
-      << "vertex deletions          : " << stats.vertex_deletions << '\n'
-      << "edge deletions            : " << stats.edge_deletions << '\n'
-      << "  cascaded (level >= 1)   : " << stats.cascaded_edge_deletions
-      << '\n'
-      << "peel rounds               : " << stats.peel_rounds << '\n'
-      << "peak queue length         : " << stats.peak_queue_length << '\n';
-  return out.str();
+  return obs::render_table(to_metrics(stats));
 }
 
 }  // namespace hp::hyper

@@ -21,6 +21,7 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/common.hpp"
 
 namespace hp::hyper {
@@ -60,7 +61,18 @@ struct PeelStats {
   }
 };
 
-/// Multi-line human-readable rendering (CLI --peel-stats, benches).
+/// Flat "peel.*" metric samples -- the struct viewed as registry-style
+/// counters, consumed by the shared obs exporters.
+obs::MetricsSnapshot to_metrics(const PeelStats& stats);
+
+/// Accumulate the totals into the global obs registry ("peel.*"
+/// counters add up across peels; the peak queue length is a gauge).
+/// core_decomposition calls this once per run.
+void publish_metrics(const PeelStats& stats);
+
+/// Multi-line human-readable rendering (CLI --peel-stats, benches);
+/// formats through obs::render_table, the shared metrics table
+/// exporter.
 std::string to_string(const PeelStats& stats);
 
 }  // namespace hp::hyper

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/trace.hpp"
+
 namespace hp::hyper {
 
 graph::Graph clique_expansion(const Hypergraph& h) {
+  HP_TRACE_SPAN("projection.clique_expansion");
   graph::GraphBuilder builder{h.num_vertices()};
   for (index_t e = 0; e < h.num_edges(); ++e) {
     const auto members = h.vertices_of(e);
@@ -20,6 +23,7 @@ graph::Graph clique_expansion(const Hypergraph& h) {
 
 graph::Graph star_expansion(const Hypergraph& h,
                             const std::vector<index_t>& baits) {
+  HP_TRACE_SPAN("projection.star_expansion");
   HP_REQUIRE(baits.size() == h.num_edges(),
              "star_expansion: need one bait per hyperedge");
   graph::GraphBuilder builder{h.num_vertices()};
@@ -48,6 +52,7 @@ std::vector<index_t> default_baits(const Hypergraph& h) {
 
 graph::Graph intersection_graph(const Hypergraph& h,
                                 std::vector<index_t>* weights_out) {
+  HP_TRACE_SPAN("projection.intersection_graph");
   // Accumulate overlap counts per unordered complex pair via the vertex
   // incidence lists (same sweep as OverlapTable, but only the upper
   // triangle).
@@ -75,6 +80,7 @@ graph::Graph intersection_graph(const Hypergraph& h,
 }
 
 graph::Graph bipartite_graph(const Hypergraph& h) {
+  HP_TRACE_SPAN("projection.bipartite_graph");
   graph::GraphBuilder builder{h.num_vertices() + h.num_edges()};
   for (index_t e = 0; e < h.num_edges(); ++e) {
     for (index_t v : h.vertices_of(e)) {

@@ -1,10 +1,12 @@
 #include "core/reduce.hpp"
 
 #include "core/peel/containment.hpp"
+#include "obs/trace.hpp"
 
 namespace hp::hyper {
 
 ReduceResult find_non_maximal(const Hypergraph& h) {
+  HP_TRACE_SPAN("reduce.find_non_maximal");
   // Fresh residual = the input itself; one bulk containment sweep over
   // all edges decides maximality (deleting an edge cannot create new
   // containments, so no fixpoint is needed).

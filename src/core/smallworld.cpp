@@ -4,10 +4,13 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/trace.hpp"
+
 namespace hp::hyper {
 
 Hypergraph configuration_model(const Hypergraph& h, Rng& rng,
                                int max_retries) {
+  HP_TRACE_SPAN("smallworld.configuration_model");
   // One stub per pin on each side; shuffle the vertex stubs and deal them
   // to hyperedge slots.
   std::vector<index_t> vertex_stubs;
@@ -56,6 +59,7 @@ SmallWorldReport small_world_report(const Hypergraph& h, Rng& rng) {
 SmallWorldReport small_world_report(const Hypergraph& h,
                                     const HyperPathSummary& observed,
                                     Rng& rng) {
+  HP_TRACE_SPAN("smallworld.report");
   SmallWorldReport report;
   report.observed = observed;
   const Hypergraph null_h = configuration_model(h, rng);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 #ifdef HP_HAVE_OPENMP
 #include <omp.h>
 #endif
@@ -44,6 +46,7 @@ index_t HyperComponents::largest() const {
 }
 
 HyperComponents connected_components(const Hypergraph& h) {
+  HP_TRACE_SPAN("traversal.connected_components");
   HyperComponents comp;
   comp.vertex_label.assign(h.num_vertices(), kInvalidIndex);
   comp.edge_label.assign(h.num_edges(), kInvalidIndex);
@@ -76,6 +79,7 @@ HyperComponents connected_components(const Hypergraph& h) {
 }
 
 HyperPathSummary path_summary(const Hypergraph& h) {
+  HP_TRACE_SPAN("traversal.path_summary");
   HyperPathSummary summary;
   const index_t n = h.num_vertices();
   count_t total = 0;

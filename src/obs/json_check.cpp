@@ -1,0 +1,301 @@
+#include "obs/json_check.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "util/common.hpp"
+
+namespace hp::obs::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError{"json: " + why + " at offset " +
+                     std::to_string(pos_)};
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        Value v;
+        v.type = Value::Type::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{};
+      default:
+        return parse_number();
+    }
+  }
+
+  static Value make_bool(bool b) {
+    Value v;
+    v.type = Value::Type::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.type = Value::Type::kObject;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.type = Value::Type::kArray;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u':
+          // Pass \uXXXX through undecoded; trace names never need it.
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          out += "\\u";
+          out.append(text_, pos_, 4);
+          pos_ += 4;
+          break;
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    const auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+      return pos_ > before;
+    };
+    if (!digits()) fail("malformed number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail("malformed fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) fail("malformed exponent");
+    }
+    Value v;
+    v.type = Value::Type::kNumber;
+    v.number = std::strtod(text_.c_str() + start, nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Value parse(const std::string& text) {
+  return Parser{text}.parse_document();
+}
+
+}  // namespace hp::obs::json
+
+namespace hp::obs {
+
+bool TraceSummary::all_balanced() const {
+  return std::all_of(threads.begin(), threads.end(),
+                     [](const TraceThreadSummary& t) { return t.balanced; });
+}
+
+bool TraceSummary::all_monotonic() const {
+  return std::all_of(
+      threads.begin(), threads.end(),
+      [](const TraceThreadSummary& t) { return t.timestamps_monotonic; });
+}
+
+const TraceThreadSummary* TraceSummary::thread(std::uint32_t tid) const {
+  for (const TraceThreadSummary& t : threads) {
+    if (t.tid == tid) return &t;
+  }
+  return nullptr;
+}
+
+TraceSummary summarize_trace(const json::Value& root) {
+  const json::Value* events = root.find("traceEvents");
+  if (events == nullptr || events->type != json::Value::Type::kArray) {
+    throw ParseError{"trace: missing \"traceEvents\" array"};
+  }
+
+  struct ThreadState {
+    TraceThreadSummary summary;
+    double last_ts = -1.0;
+    std::int64_t depth = 0;
+  };
+  std::map<std::uint32_t, ThreadState> threads;
+
+  TraceSummary out;
+  for (const json::Value& event : events->array) {
+    const json::Value* name = event.find("name");
+    const json::Value* phase = event.find("ph");
+    const json::Value* ts = event.find("ts");
+    const json::Value* tid = event.find("tid");
+    if (name == nullptr || name->type != json::Value::Type::kString ||
+        phase == nullptr || phase->type != json::Value::Type::kString ||
+        phase->string.size() != 1 || ts == nullptr ||
+        ts->type != json::Value::Type::kNumber || tid == nullptr ||
+        tid->type != json::Value::Type::kNumber) {
+      throw ParseError{"trace: event missing name/ph/ts/tid"};
+    }
+    ++out.events;
+    ThreadState& state =
+        threads[static_cast<std::uint32_t>(tid->number)];
+    state.summary.tid = static_cast<std::uint32_t>(tid->number);
+    ++state.summary.events;
+    if (ts->number < state.last_ts) {
+      state.summary.timestamps_monotonic = false;
+    }
+    state.last_ts = ts->number;
+    switch (phase->string[0]) {
+      case 'B':
+        ++state.summary.begin_events;
+        ++state.depth;
+        break;
+      case 'E':
+        ++state.summary.end_events;
+        if (--state.depth < 0) state.summary.balanced = false;
+        break;
+      case 'C':
+        ++state.summary.counter_events;
+        break;
+      case 'X':
+        break;  // complete events carry their own duration
+      default:
+        throw ParseError{"trace: unsupported phase '" + phase->string +
+                         "'"};
+    }
+  }
+  for (auto& [tid, state] : threads) {
+    if (state.depth != 0) state.summary.balanced = false;
+    out.threads.push_back(state.summary);
+  }
+  return out;
+}
+
+}  // namespace hp::obs

@@ -1,0 +1,69 @@
+// Minimal JSON reader + Chrome-trace structural validator.
+//
+// The obs exporters write JSON by hand (no third-party dependency); this
+// module closes the loop by parsing it back, so tests and tooling can
+// assert "the emitted file is valid JSON with well-formed trace events"
+// without a real JSON library. It is a strict RFC-8259 subset reader
+// (no comments, no trailing commas); escapes are decoded for \" \\ \/
+// \n \t \r \b \f and passed through verbatim for \uXXXX.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hp::obs::json {
+
+/// Mutable JSON document tree. Small inputs only (traces, metrics
+/// dumps); everything is stored by value.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws hp::ParseError with an offset on error.
+Value parse(const std::string& text);
+
+}  // namespace hp::obs::json
+
+namespace hp::obs {
+
+/// Per-thread tallies of a parsed Chrome trace.
+struct TraceThreadSummary {
+  std::uint32_t tid = 0;
+  std::size_t events = 0;
+  std::size_t begin_events = 0;
+  std::size_t end_events = 0;
+  std::size_t counter_events = 0;
+  bool timestamps_monotonic = true;  // non-decreasing ts in file order
+  bool balanced = true;  // B/E counts match and depth never went negative
+};
+
+struct TraceSummary {
+  std::size_t events = 0;
+  std::vector<TraceThreadSummary> threads;  // sorted by tid
+
+  bool all_balanced() const;
+  bool all_monotonic() const;
+  const TraceThreadSummary* thread(std::uint32_t tid) const;
+};
+
+/// Validate a parsed trace document: must be an object with a
+/// "traceEvents" array whose entries carry string "name"/"ph" and
+/// numeric "ts"/"tid". Throws hp::ParseError on structural violations;
+/// ordering/balance problems are reported in the summary, not thrown.
+TraceSummary summarize_trace(const json::Value& root);
+
+}  // namespace hp::obs

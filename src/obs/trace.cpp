@@ -1,0 +1,224 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hp::obs {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::atomic<bool> g_enabled{false};
+
+/// Trace epoch: all timestamps are relative to this steady-clock point.
+/// Written only by reset_tracing() / first use, read by every event.
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+struct TraceEvent {
+  const char* name;   // literal owned by the call site
+  std::uint64_t ts_ns;
+  std::uint64_t arg;  // kNoTraceArg = absent
+  double value;       // counter events only
+  char phase;         // 'B', 'E', 'C'
+};
+
+/// Per-thread event buffer. Owned by the global registry (so it outlives
+/// its thread and survives thread exit); the thread keeps a raw pointer.
+/// The mutex is uncontended except against a concurrent flush/reset.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+  std::size_t depth = 0;  // current span-stack depth
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* r = new BufferRegistry;  // leaked: outlive statics
+  return *r;
+}
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyClock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t epoch_ns() {
+  std::int64_t epoch = g_epoch_ns.load(std::memory_order_acquire);
+  if (epoch != 0) return epoch;
+  // First use: race-tolerant one-time initialization.
+  std::int64_t now = steady_ns();
+  if (now == 0) now = 1;
+  std::int64_t expected = 0;
+  if (g_epoch_ns.compare_exchange_strong(expected, now,
+                                         std::memory_order_acq_rel)) {
+    return now;
+  }
+  return expected;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto owned = std::make_unique<ThreadBuffer>();
+    ThreadBuffer* raw = owned.get();
+    BufferRegistry& r = registry();
+    const std::lock_guard<std::mutex> lock{r.mutex};
+    raw->tid = static_cast<std::uint32_t>(r.buffers.size());
+    r.buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buffer;
+}
+
+void append(const TraceEvent& event) {
+  ThreadBuffer& buffer = local_buffer();
+  const std::lock_guard<std::mutex> lock{buffer.mutex};
+  buffer.events.push_back(event);
+  if (event.phase == 'B') {
+    ++buffer.depth;
+  } else if (event.phase == 'E' && buffer.depth > 0) {
+    --buffer.depth;
+  }
+}
+
+/// Minimal JSON string escaping; names are library-controlled literals,
+/// but a rogue quote must not corrupt the file.
+void write_escaped(std::ostream& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    switch (*p) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        out << *p;
+    }
+  }
+}
+
+void write_event(std::ostream& out, const TraceEvent& e, std::uint32_t tid) {
+  char ts[32];
+  std::snprintf(ts, sizeof ts, "%.3f", static_cast<double>(e.ts_ns) / 1e3);
+  out << "{\"name\": \"";
+  write_escaped(out, e.name);
+  out << "\", \"ph\": \"" << e.phase << "\", \"pid\": 1, \"tid\": " << tid
+      << ", \"ts\": " << ts;
+  if (e.phase == 'C') {
+    char value[64];
+    std::snprintf(value, sizeof value, "%.17g", e.value);
+    out << ", \"args\": {\"value\": " << value << "}";
+  } else if (e.arg != kNoTraceArg) {
+    out << ", \"args\": {\"k\": " << e.arg << "}";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+bool tracing_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_tracing_enabled(bool on) {
+  if (on) epoch_ns();  // pin the epoch before the first event
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(steady_ns() - epoch_ns());
+}
+
+namespace detail {
+
+bool enabled_relaxed() { return g_enabled.load(std::memory_order_relaxed); }
+
+void record_begin(const char* name, std::uint64_t arg) {
+  append({name, trace_now_ns(), arg, 0.0, 'B'});
+}
+
+void record_end(const char* name) {
+  append({name, trace_now_ns(), kNoTraceArg, 0.0, 'E'});
+}
+
+}  // namespace detail
+
+void trace_counter(const char* name, double value) {
+  if (!detail::enabled_relaxed()) return;
+  append({name, trace_now_ns(), kNoTraceArg, value, 'C'});
+}
+
+std::size_t trace_span_depth() {
+  ThreadBuffer& buffer = local_buffer();
+  const std::lock_guard<std::mutex> lock{buffer.mutex};
+  return buffer.depth;
+}
+
+std::size_t trace_event_count() {
+  BufferRegistry& r = registry();
+  const std::lock_guard<std::mutex> registry_lock{r.mutex};
+  std::size_t total = 0;
+  for (const auto& buffer : r.buffers) {
+    const std::lock_guard<std::mutex> lock{buffer->mutex};
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+void reset_tracing() {
+  BufferRegistry& r = registry();
+  const std::lock_guard<std::mutex> registry_lock{r.mutex};
+  for (const auto& buffer : r.buffers) {
+    const std::lock_guard<std::mutex> lock{buffer->mutex};
+    buffer->events.clear();
+    buffer->depth = 0;
+  }
+  std::int64_t now = steady_ns();
+  if (now == 0) now = 1;
+  g_epoch_ns.store(now, std::memory_order_release);
+}
+
+void write_chrome_trace(std::ostream& out) {
+  BufferRegistry& r = registry();
+  const std::lock_guard<std::mutex> registry_lock{r.mutex};
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& buffer : r.buffers) {
+    const std::lock_guard<std::mutex> lock{buffer->mutex};
+    for (const TraceEvent& event : buffer->events) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      write_event(out, event, buffer->tid);
+    }
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void write_chrome_trace_file(const std::string& path) {
+  std::ofstream out{path};
+  if (!out) {
+    throw InvalidInputError{"cannot open trace output file '" + path + "'"};
+  }
+  write_chrome_trace(out);
+}
+
+}  // namespace hp::obs

@@ -1,0 +1,108 @@
+// Tracing facility: RAII scoped spans and counter events on per-thread
+// buffers, exported as Chrome trace-event JSON (chrome://tracing,
+// Perfetto, `about:tracing`).
+//
+// Design constraints (DESIGN.md section 9):
+//   * A span site in a hot path must be almost free when tracing is off:
+//     the TraceSpan constructor performs exactly one relaxed atomic load
+//     and no allocation, then bails. bench_micro_obs measures this.
+//   * When tracing is on, events go to a thread-local buffer (one mutex
+//     acquisition per event, always uncontended except against a
+//     concurrent flush), so worker threads never serialize on a global
+//     sink. Buffers are registered once per thread and persist for the
+//     process lifetime; reset_tracing() clears their contents without
+//     invalidating the thread-local pointers.
+//   * Span and counter names must be string literals (or otherwise
+//     outlive the trace): events store the pointer, never a copy.
+//     Dynamic values ride in the integer `arg` (exported as args.k).
+//
+// Event model: spans emit paired B/E duration events at construction and
+// destruction. Appending at both endpoints keeps every thread's buffer
+// ordered by timestamp, which the exporter (and the satellite test's
+// "strictly non-decreasing ts per thread" assertion) relies on. Counter
+// events (`ph: "C"`) interleave on the same per-thread timeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace hp::obs {
+
+/// The global runtime switch. Off by default; flipping it on starts
+/// recording into per-thread buffers.
+bool tracing_enabled();
+void set_tracing_enabled(bool on);
+
+/// Nanoseconds on the steady clock since the trace epoch (process start
+/// or the last reset_tracing()).
+std::uint64_t trace_now_ns();
+
+/// Sentinel for "span has no integer argument".
+inline constexpr std::uint64_t kNoTraceArg = ~std::uint64_t{0};
+
+namespace detail {
+void record_begin(const char* name, std::uint64_t arg);
+void record_end(const char* name);
+bool enabled_relaxed();
+}  // namespace detail
+
+/// RAII scoped span. Emits a B event when constructed (if tracing is on)
+/// and the matching E event when destroyed. `name` must be a literal.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::uint64_t arg = kNoTraceArg)
+      : name_(nullptr) {
+    if (!detail::enabled_relaxed()) return;  // 1 relaxed load, no alloc
+    name_ = name;
+    detail::record_begin(name, arg);
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) detail::record_end(name_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;  // nullptr = tracing was off at construction
+};
+
+/// Emit a counter sample on the calling thread's timeline. No-op (one
+/// relaxed load) when tracing is off. `name` must be a literal.
+void trace_counter(const char* name, double value);
+
+/// Current nesting depth of the calling thread's span stack (0 outside
+/// any span). Only meaningful while tracing is on.
+std::size_t trace_span_depth();
+
+/// Total buffered events across all threads (B + E + C).
+std::size_t trace_event_count();
+
+/// Drop all buffered events and restart the trace epoch. Call with
+/// worker threads quiescent.
+void reset_tracing();
+
+/// Write every buffered event as Chrome trace-event JSON
+/// ({"traceEvents": [...]}, ts/dur in microseconds). Call with worker
+/// threads quiescent (buffers are locked one at a time, but a mid-write
+/// span would split its B/E pair across the file boundary).
+void write_chrome_trace(std::ostream& out);
+
+/// write_chrome_trace to `path`; throws InvalidInputError when the file
+/// cannot be opened.
+void write_chrome_trace_file(const std::string& path);
+
+// Concatenation helper so two HP_TRACE_SPANs may share a line-numbered
+// scope without colliding.
+#define HP_OBS_CONCAT_INNER(a, b) a##b
+#define HP_OBS_CONCAT(a, b) HP_OBS_CONCAT_INNER(a, b)
+
+/// Scoped span covering the rest of the enclosing block.
+/// Usage: HP_TRACE_SPAN("kcore.decomposition");
+///        HP_TRACE_SPAN("kcore.peel_level", k);
+#define HP_TRACE_SPAN(...) \
+  ::hp::obs::TraceSpan HP_OBS_CONCAT(hp_trace_span_, __LINE__) { __VA_ARGS__ }
+
+}  // namespace hp::obs

@@ -1,12 +1,19 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/stringutil.hpp"
 
 namespace hp {
 
 namespace {
+
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::once_flag g_env_once;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,15 +28,69 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Seconds on the steady clock since the first call (~process start,
+/// pinned by the static initializer below).
+double monotonic_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - epoch).count();
+}
+
+// Pin the epoch at static-initialization time so early log lines do not
+// all read 0.000000 relative to their own first call.
+const double g_epoch_pin = monotonic_seconds();
+
+/// Small sequential per-thread id; stable for the thread's lifetime.
+unsigned thread_id() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1);
+  return id;
+}
+
+void ensure_env_applied() {
+  std::call_once(g_env_once, [] { init_log_from_env(); });
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
-LogLevel log_level() { return g_level.load(); }
+LogLevel log_level() {
+  ensure_env_applied();
+  return g_level.load();
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  const std::string lowered = to_lower(std::string{name});
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+void init_log_from_env() {
+  const char* env = std::getenv("HP_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (const std::optional<LogLevel> level = parse_log_level(env)) {
+    g_level.store(*level);
+  }
+}
+
+std::string log_prefix(LogLevel level) {
+  (void)g_epoch_pin;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "[%11.6f] [T%u] [%s] ",
+                monotonic_seconds(), thread_id(), level_name(level));
+  return buf;
+}
 
 void log_message(LogLevel level, const std::string& message) {
+  ensure_env_applied();
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  const std::string prefix = log_prefix(level);
+  std::fprintf(stderr, "%s%s\n", prefix.c_str(), message.c_str());
 }
 
 }  // namespace hp

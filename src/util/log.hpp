@@ -1,17 +1,40 @@
 // Minimal leveled logger. Benchmarks print their tables to stdout; the
 // logger writes diagnostics to stderr so tables stay machine-parseable.
+//
+// Each line is prefixed with a monotonic timestamp (seconds since
+// process start, microsecond resolution) and a small per-thread id:
+//   [   0.001234] [T0] [INFO] message
+// The threshold can be set from the HP_LOG_LEVEL environment variable
+// (debug|info|warn|error, case-insensitive); it is read once before the
+// first message, or on demand via init_log_from_env().
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace hp {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global log threshold; messages below it are dropped. Default: kInfo.
+/// Global log threshold; messages below it are dropped. Default: kInfo
+/// (or HP_LOG_LEVEL if set).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parse "debug" / "info" / "warn" / "error" (any case); nullopt on
+/// anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// (Re-)read HP_LOG_LEVEL and apply it. Unset or unparsable values
+/// leave the current threshold untouched. Called automatically once at
+/// first use; exposed for tests and for re-reading after setenv.
+void init_log_from_env();
+
+/// The "[<timestamp>] [T<tid>] [<LEVEL>] " prefix a message at `level`
+/// would get, timestamped now on the calling thread.
+std::string log_prefix(LogLevel level);
 
 /// Emit one formatted line to stderr if `level` passes the threshold.
 void log_message(LogLevel level, const std::string& message);

@@ -14,8 +14,10 @@ std::string format_duration(double seconds) {
     std::snprintf(buf, sizeof buf, "%.2f s", seconds);
   } else if (seconds >= 1e-3) {
     std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
-  } else {
+  } else if (seconds >= 1e-6) {
     std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f ns", seconds * 1e9);
   }
   return buf;
 }

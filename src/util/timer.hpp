@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <string>
 
 namespace hp {
@@ -20,13 +21,23 @@ class Timer {
 
   double milliseconds() const { return seconds() * 1e3; }
 
+  /// Integer elapsed nanoseconds (the obs latency histograms' unit);
+  /// exact where seconds() would round through a double.
+  std::uint64_t nanoseconds() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 
 /// Format a duration the way the paper's Table 1 does: "0.47 s",
-/// "1.2 m", "3.1 h" -- picking the largest unit that keeps the value >= 1.
+/// "1.2 m", "3.1 h" -- picking the largest unit that keeps the value
+/// >= 1, down through ms/us/ns for sub-second values.
 std::string format_duration(double seconds);
 
 }  // namespace hp

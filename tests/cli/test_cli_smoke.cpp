@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "cli/commands.hpp"
+#include "obs/json_check.hpp"
+#include "obs/trace.hpp"
 
 namespace hp::cli {
 namespace {
@@ -55,6 +57,9 @@ TEST_F(CliSmokeTest, UsageMentionsEveryCommandAndContextStats) {
     EXPECT_NE(text.find(name), std::string::npos) << name;
   }
   EXPECT_NE(text.find("--context-stats"), std::string::npos);
+  EXPECT_NE(text.find("--trace"), std::string::npos);
+  EXPECT_NE(text.find("--metrics"), std::string::npos);
+  EXPECT_NE(text.find("HP_TRACE"), std::string::npos);
 }
 
 TEST_F(CliSmokeTest, ContextStatsFlagEmitsCounterBlock) {
@@ -63,9 +68,12 @@ TEST_F(CliSmokeTest, ContextStatsFlagEmitsCounterBlock) {
       make_args({"stats", table_path_.c_str(), "--context-stats"}), out);
   EXPECT_EQ(rc, 0);
   EXPECT_NE(out.str().find("context artifact counters"), std::string::npos);
-  // The counter table lists the slot names with build counts.
-  EXPECT_NE(out.str().find("components"), std::string::npos);
-  EXPECT_NE(out.str().find("overlap table"), std::string::npos);
+  // The block routes through the shared metrics table: one
+  // `metric | type | value` row per counter.
+  EXPECT_NE(out.str().find("context.components.builds"), std::string::npos);
+  EXPECT_NE(out.str().find("context.overlap_table.builds"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("counter"), std::string::npos);
 }
 
 TEST_F(CliSmokeTest, WithoutFlagNoCounterBlock) {
@@ -83,25 +91,94 @@ TEST_F(CliSmokeTest, ReportContextStatsBuildsEachArtifactAtMostOnce) {
   const std::string text = out.str();
   const std::size_t block = text.find("context artifact counters");
   ASSERT_NE(block, std::string::npos);
-  // Every listed artifact row shows 0 or 1 builds -- nothing is ever
-  // rebuilt within one CLI invocation.
+  // Every per-artifact `context.<slug>.builds | counter | N` row shows 0
+  // or 1 builds -- nothing is ever rebuilt within one CLI invocation.
   std::istringstream lines{text.substr(block)};
   std::string line;
-  std::getline(lines, line);  // "context artifact counters:"
-  std::getline(lines, line);  // column header
   int rows = 0;
-  while (std::getline(lines, line) && !line.empty()) {
-    if (line.find("  total") == 0) break;
-    // Per-artifact row: the name occupies the first 28 columns, the
-    // builds count follows.
-    ASSERT_GE(line.size(), 28u) << line;
-    std::istringstream cols{line.substr(28)};
+  while (std::getline(lines, line)) {
+    const std::size_t builds_col = line.find(".builds ");
+    if (line.rfind("context.", 0) != 0 || builds_col == std::string::npos) {
+      continue;
+    }
+    if (line.rfind("context.total.", 0) == 0) continue;
+    const std::size_t last_sep = line.rfind('|');
+    ASSERT_NE(last_sep, std::string::npos) << line;
+    std::istringstream value{line.substr(last_sep + 1)};
     std::uint64_t builds = 99;
-    cols >> builds;
+    value >> builds;
     EXPECT_LE(builds, 1u) << line;
     ++rows;
   }
   EXPECT_GT(rows, 10);
+}
+
+TEST_F(CliSmokeTest, TraceFlagWritesParseableChromeTrace) {
+  const std::string trace_path = ::testing::TempDir() + "/cli_smoke_trace.json";
+  std::ostringstream out;
+  const int rc = run(
+      make_args({"report", table_path_.c_str(), "--trace",
+                 trace_path.c_str()}),
+      out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("wrote trace"), std::string::npos);
+
+  std::ifstream in{trace_path};
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const obs::json::Value root = obs::json::parse(text.str());
+  const obs::TraceSummary summary = obs::summarize_trace(root);
+  EXPECT_TRUE(summary.all_balanced());
+  EXPECT_TRUE(summary.all_monotonic());
+  // The report drives the context, which nests artifact-build spans
+  // under the command span; the peel loop adds one span per level.
+  for (const char* name :
+       {"cli.report", "cli.load_dataset", "context.build.core_decomposition",
+        "kcore.peel_level"}) {
+    EXPECT_NE(text.str().find(name), std::string::npos) << name;
+  }
+  std::remove(trace_path.c_str());
+  obs::set_tracing_enabled(false);
+  obs::reset_tracing();
+}
+
+TEST_F(CliSmokeTest, MetricsFlagWritesRegistryJson) {
+  const std::string metrics_path =
+      ::testing::TempDir() + "/cli_smoke_metrics.json";
+  std::ostringstream out;
+  const int rc = run(
+      make_args({"core", table_path_.c_str(), "--metrics",
+                 metrics_path.c_str()}),
+      out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("wrote metrics"), std::string::npos);
+
+  std::ifstream in{metrics_path};
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const obs::json::Value root = obs::json::parse(text.str());
+  const obs::json::Value* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  // The core command peels, so the substrate counters and the context
+  // cache counters must both be in the dump.
+  EXPECT_NE(counters->find("peel.rounds"), nullptr);
+  EXPECT_NE(counters->find("context.core_decomposition.builds"), nullptr);
+  const obs::json::Value* histograms = root.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  EXPECT_NE(histograms->find("context.build_ns"), nullptr);
+  std::remove(metrics_path.c_str());
+}
+
+TEST_F(CliSmokeTest, PeelStatsRouteThroughMetricsTable) {
+  std::ostringstream out;
+  const int rc = run(
+      make_args({"core", table_path_.c_str(), "--peel-stats"}), out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("peel substrate counters"), std::string::npos);
+  EXPECT_NE(out.str().find("peel.overlap_decrements"), std::string::npos);
+  EXPECT_NE(out.str().find("peel.containment_probes"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+#include "obs/json_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace hp::obs {
+namespace {
+
+TEST(JsonCheck, ParsesScalars) {
+  EXPECT_EQ(json::parse("null").type, json::Value::Type::kNull);
+  EXPECT_TRUE(json::parse("true").boolean);
+  EXPECT_FALSE(json::parse("false").boolean);
+  EXPECT_EQ(json::parse("42").number, 42.0);
+  EXPECT_EQ(json::parse("-1.5e2").number, -150.0);
+  EXPECT_EQ(json::parse("\"hi\"").string, "hi");
+}
+
+TEST(JsonCheck, ParsesNestedStructures) {
+  const json::Value root =
+      json::parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_EQ(root.type, json::Value::Type::kObject);
+  const json::Value* a = root.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[1].number, 2.0);
+  EXPECT_EQ(a->array[2].find("b")->string, "c");
+  EXPECT_EQ(root.find("d")->find("e")->type, json::Value::Type::kNull);
+  EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(JsonCheck, DecodesEscapes) {
+  EXPECT_EQ(json::parse(R"("a\"b\\c\nd\te")").string, "a\"b\\c\nd\te");
+}
+
+TEST(JsonCheck, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse(""), ParseError);
+  EXPECT_THROW(json::parse("{"), ParseError);
+  EXPECT_THROW(json::parse("[1, 2,]"), ParseError);
+  EXPECT_THROW(json::parse("{\"a\": 1} trailing"), ParseError);
+  EXPECT_THROW(json::parse("'single'"), ParseError);
+  EXPECT_THROW(json::parse("{\"unterminated): 1}"), ParseError);
+}
+
+TEST(JsonCheck, SummarizesWellFormedTrace) {
+  const json::Value root = json::parse(R"({"traceEvents": [
+    {"name": "a", "ph": "B", "pid": 1, "tid": 0, "ts": 1.0},
+    {"name": "b", "ph": "B", "pid": 1, "tid": 0, "ts": 2.0},
+    {"name": "b", "ph": "E", "pid": 1, "tid": 0, "ts": 3.0},
+    {"name": "c", "ph": "C", "pid": 1, "tid": 0, "ts": 3.5,
+     "args": {"value": 7}},
+    {"name": "a", "ph": "E", "pid": 1, "tid": 0, "ts": 4.0},
+    {"name": "w", "ph": "B", "pid": 1, "tid": 1, "ts": 0.5},
+    {"name": "w", "ph": "E", "pid": 1, "tid": 1, "ts": 0.75}
+  ]})");
+  const TraceSummary summary = summarize_trace(root);
+  EXPECT_EQ(summary.events, 7u);
+  ASSERT_EQ(summary.threads.size(), 2u);
+  EXPECT_TRUE(summary.all_balanced());
+  EXPECT_TRUE(summary.all_monotonic());
+  const TraceThreadSummary* main_thread = summary.thread(0);
+  ASSERT_NE(main_thread, nullptr);
+  EXPECT_EQ(main_thread->begin_events, 2u);
+  EXPECT_EQ(main_thread->end_events, 2u);
+  EXPECT_EQ(main_thread->counter_events, 1u);
+  EXPECT_EQ(summary.thread(7), nullptr);
+}
+
+TEST(JsonCheck, FlagsOutOfOrderTimestamps) {
+  const json::Value root = json::parse(R"({"traceEvents": [
+    {"name": "a", "ph": "B", "pid": 1, "tid": 0, "ts": 5.0},
+    {"name": "a", "ph": "E", "pid": 1, "tid": 0, "ts": 1.0}
+  ]})");
+  const TraceSummary summary = summarize_trace(root);
+  EXPECT_FALSE(summary.all_monotonic());
+  EXPECT_TRUE(summary.all_balanced());
+}
+
+TEST(JsonCheck, FlagsUnbalancedSpans) {
+  const json::Value root = json::parse(R"({"traceEvents": [
+    {"name": "a", "ph": "E", "pid": 1, "tid": 0, "ts": 1.0},
+    {"name": "a", "ph": "B", "pid": 1, "tid": 0, "ts": 2.0}
+  ]})");
+  const TraceSummary summary = summarize_trace(root);
+  EXPECT_FALSE(summary.all_balanced());
+}
+
+TEST(JsonCheck, RejectsStructurallyInvalidTrace) {
+  EXPECT_THROW(summarize_trace(json::parse("[]")), ParseError);
+  EXPECT_THROW(summarize_trace(json::parse("{\"traceEvents\": 3}")),
+               ParseError);
+  EXPECT_THROW(
+      summarize_trace(json::parse(
+          R"({"traceEvents": [{"ph": "B", "tid": 0, "ts": 1.0}]})")),
+      ParseError);
+  EXPECT_THROW(
+      summarize_trace(json::parse(
+          R"({"traceEvents": [{"name": "a", "ph": "B", "tid": 0}]})")),
+      ParseError);
+}
+
+}  // namespace
+}  // namespace hp::obs

@@ -1,0 +1,158 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json_check.hpp"
+
+namespace hp::obs {
+namespace {
+
+/// RAII guard: every test starts from a clean, disabled tracer and
+/// leaves it that way for the next one.
+struct TraceSandbox {
+  TraceSandbox() {
+    set_tracing_enabled(false);
+    reset_tracing();
+  }
+  ~TraceSandbox() {
+    set_tracing_enabled(false);
+    reset_tracing();
+  }
+};
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  TraceSandbox sandbox;
+  {
+    HP_TRACE_SPAN("off.outer");
+    HP_TRACE_SPAN("off.inner", 7);
+    trace_counter("off.counter", 1.0);
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST(Trace, SpansAndCountersBuffer) {
+  TraceSandbox sandbox;
+  set_tracing_enabled(true);
+  {
+    HP_TRACE_SPAN("t.outer");
+    EXPECT_EQ(trace_span_depth(), 1u);
+    {
+      HP_TRACE_SPAN("t.inner", 42);
+      EXPECT_EQ(trace_span_depth(), 2u);
+    }
+    trace_counter("t.counter", 3.5);
+  }
+  EXPECT_EQ(trace_span_depth(), 0u);
+  // 2 spans x (B + E) + 1 counter.
+  EXPECT_EQ(trace_event_count(), 5u);
+}
+
+TEST(Trace, ToggleMidSpanStillClosesCleanly) {
+  TraceSandbox sandbox;
+  set_tracing_enabled(true);
+  {
+    HP_TRACE_SPAN("t.straddle");
+    set_tracing_enabled(false);
+    // Destructor must still emit the E event (the span captured that it
+    // had begun), keeping the buffer balanced.
+  }
+  set_tracing_enabled(true);
+  std::ostringstream json;
+  write_chrome_trace(json);
+  const TraceSummary summary = summarize_trace(json::parse(json.str()));
+  EXPECT_EQ(summary.events, 2u);
+  EXPECT_TRUE(summary.all_balanced());
+}
+
+TEST(Trace, ResetDropsEventsAndRestartsClock) {
+  TraceSandbox sandbox;
+  set_tracing_enabled(true);
+  {
+    HP_TRACE_SPAN("t.before_reset");
+  }
+  EXPECT_GT(trace_event_count(), 0u);
+  reset_tracing();
+  EXPECT_EQ(trace_event_count(), 0u);
+  // The thread-local buffer must survive the reset and keep recording.
+  {
+    HP_TRACE_SPAN("t.after_reset");
+  }
+  EXPECT_EQ(trace_event_count(), 2u);
+}
+
+// The satellite test from the issue: spans across 4 threads, write the
+// file, re-parse it, and assert (a) valid JSON, (b) per-thread
+// timestamps non-decreasing, (c) balanced B/E pairs.
+TEST(Trace, FourThreadExportRoundTrips) {
+  TraceSandbox sandbox;
+  set_tracing_enabled(true);
+
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        HP_TRACE_SPAN("worker.outer", static_cast<std::uint64_t>(t));
+        HP_TRACE_SPAN("worker.inner", static_cast<std::uint64_t>(i));
+        trace_counter("worker.progress", static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const std::string path = "trace_four_threads.json";
+  write_chrome_trace_file(path);
+
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const json::Value root = json::parse(text.str());  // (a) valid JSON
+
+  const TraceSummary summary = summarize_trace(root);
+  constexpr std::size_t kPerThread = kSpansPerThread * 5;  // 2B+2E+1C
+  EXPECT_GE(summary.events, kPerThread * kThreads);
+  // The main thread may or may not have events; the 4 workers must.
+  std::size_t worker_threads = 0;
+  for (const TraceThreadSummary& thread : summary.threads) {
+    EXPECT_TRUE(thread.timestamps_monotonic) << "tid " << thread.tid;  // (b)
+    EXPECT_TRUE(thread.balanced) << "tid " << thread.tid;              // (c)
+    if (thread.begin_events == 2 * kSpansPerThread) ++worker_threads;
+  }
+  EXPECT_EQ(worker_threads, static_cast<std::size_t>(kThreads));
+  EXPECT_TRUE(summary.all_monotonic());
+  EXPECT_TRUE(summary.all_balanced());
+
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ExportEscapesAndStructure) {
+  TraceSandbox sandbox;
+  set_tracing_enabled(true);
+  {
+    HP_TRACE_SPAN("quote\"back\\slash", 3);
+  }
+  std::ostringstream json;
+  write_chrome_trace(json);
+  const json::Value root = json::parse(json.str());
+  const json::Value* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 2u);
+  const json::Value& begin = events->array.front();
+  EXPECT_EQ(begin.find("name")->string, "quote\"back\\slash");
+  EXPECT_EQ(begin.find("ph")->string, "B");
+  const json::Value* args = begin.find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_NE(args->find("k"), nullptr);
+  EXPECT_EQ(args->find("k")->number, 3.0);
+}
+
+}  // namespace
+}  // namespace hp::obs

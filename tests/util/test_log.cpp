@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 namespace hp {
 namespace {
 
@@ -22,6 +24,54 @@ TEST(Log, StreamsComposeWithoutCrashing) {
   log_warn() << "also suppressed";
   set_log_level(original);
   SUCCEED();
+}
+
+TEST(Log, ParseLevelAcceptsAnyCase) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("eRRoR"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST(Log, EnvVariableSetsThreshold) {
+  const LogLevel original = log_level();
+  setenv("HP_LOG_LEVEL", "error", 1);
+  init_log_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Unparsable values leave the current threshold untouched.
+  setenv("HP_LOG_LEVEL", "shouting", 1);
+  init_log_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // So does unsetting the variable.
+  unsetenv("HP_LOG_LEVEL");
+  init_log_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(original);
+}
+
+TEST(Log, PrefixCarriesTimestampThreadIdAndLevel) {
+  const std::string prefix = log_prefix(LogLevel::kWarn);
+  // Shape: "[   0.001234] [T0] [WARN] "
+  ASSERT_FALSE(prefix.empty());
+  EXPECT_EQ(prefix.front(), '[');
+  EXPECT_NE(prefix.find("] [T"), std::string::npos);
+  EXPECT_NE(prefix.find("[WARN] "), std::string::npos);
+  EXPECT_NE(prefix.find('.'), std::string::npos);  // fractional seconds
+  // Monotonic: a later prefix never shows an earlier timestamp.
+  const std::string a = log_prefix(LogLevel::kInfo);
+  const std::string b = log_prefix(LogLevel::kInfo);
+  const double ta = std::strtod(a.c_str() + 1, nullptr);
+  const double tb = std::strtod(b.c_str() + 1, nullptr);
+  EXPECT_GE(tb, ta);
+  EXPECT_GE(ta, 0.0);
+}
+
+TEST(Log, PrefixDistinguishesLevels) {
+  EXPECT_NE(log_prefix(LogLevel::kDebug).find("[DEBUG]"), std::string::npos);
+  EXPECT_NE(log_prefix(LogLevel::kInfo).find("[INFO]"), std::string::npos);
+  EXPECT_NE(log_prefix(LogLevel::kError).find("[ERROR]"), std::string::npos);
 }
 
 }  // namespace

@@ -16,9 +16,20 @@ TEST(Timer, ElapsedIsNonNegativeAndMonotone) {
 TEST(Timer, ResetRestartsClock) {
   Timer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   t.reset();
   EXPECT_LT(t.seconds(), 0.5);
+}
+
+TEST(Timer, NanosecondsTracksSeconds) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const std::uint64_t ns = t.nanoseconds();
+  const double s = t.seconds();
+  EXPECT_GT(ns, 0u);
+  // seconds() was read after nanoseconds(), so it bounds it from above.
+  EXPECT_LE(static_cast<double>(ns) / 1e9, s);
 }
 
 TEST(FormatDuration, PicksUnits) {
@@ -27,6 +38,7 @@ TEST(FormatDuration, PicksUnits) {
   EXPECT_EQ(format_duration(90.0), "1.50 m");
   EXPECT_EQ(format_duration(7200.0), "2.00 h");
   EXPECT_EQ(format_duration(5e-5), "50.0 us");
+  EXPECT_EQ(format_duration(5e-8), "50 ns");
 }
 
 TEST(FormatDuration, BoundaryValues) {
@@ -34,6 +46,8 @@ TEST(FormatDuration, BoundaryValues) {
   EXPECT_EQ(format_duration(60.0), "1.00 m");
   EXPECT_EQ(format_duration(3600.0), "1.00 h");
   EXPECT_EQ(format_duration(1e-3), "1.00 ms");
+  EXPECT_EQ(format_duration(1e-6), "1.0 us");
+  EXPECT_EQ(format_duration(0.0), "0 ns");
 }
 
 }  // namespace
