@@ -8,6 +8,25 @@
 
 namespace hp::hyper {
 
+namespace {
+
+/// Bounds-checked header count (bound shared by all loaders; see
+/// kMaxDeclaredEntities in the header): rejects negatives and counts that would
+/// wrap (or bomb) the 32-bit index space *before* any cast, so a
+/// corrupted header fails with ParseError instead of a silent
+/// reinterpretation or a multi-gigabyte allocation.
+index_t parse_entity_count(std::string_view field, std::size_t line_no,
+                           const char* what) {
+  const long long value = parse_int(field);
+  if (value < 0 || value > kMaxDeclaredEntities) {
+    throw ParseError{"line " + std::to_string(line_no) + ": " + what +
+                     " count '" + std::string{field} + "' out of range"};
+  }
+  return static_cast<index_t>(value);
+}
+
+}  // namespace
+
 std::string to_text(const Hypergraph& h) {
   std::ostringstream out;
   out << "%hypergraph " << h.num_vertices() << ' ' << h.num_edges() << '\n';
@@ -44,8 +63,8 @@ Hypergraph from_text(const std::string& text) {
         throw ParseError{"line " + std::to_string(line_no) +
                          ": bad header, expected '%hypergraph <V> <F>'"};
       }
-      num_vertices = static_cast<index_t>(parse_int(fields[1]));
-      declared_edges = static_cast<index_t>(parse_int(fields[2]));
+      num_vertices = parse_entity_count(fields[1], line_no, "vertex");
+      declared_edges = parse_entity_count(fields[2], line_no, "edge");
       builder = HypergraphBuilder{num_vertices};
       header_seen = true;
       continue;
@@ -57,7 +76,9 @@ Hypergraph from_text(const std::string& text) {
     members.clear();
     for (std::string_view field : split_whitespace(body)) {
       const long long v = parse_int(field);
-      if (v < 0 || static_cast<index_t>(v) >= num_vertices) {
+      // Compare before narrowing: a 64-bit id like 2^32 must not wrap
+      // into the valid range.
+      if (v < 0 || v >= static_cast<long long>(num_vertices)) {
         throw ParseError{"line " + std::to_string(line_no) +
                          ": vertex id out of range"};
       }
@@ -131,8 +152,8 @@ Hypergraph from_hmetis(const std::string& text) {
         throw ParseError{"hmetis line " + std::to_string(line_no) +
                          ": expected '<edges> <vertices>' header"};
       }
-      declared_edges = static_cast<index_t>(parse_int(fields[0]));
-      num_vertices = static_cast<index_t>(parse_int(fields[1]));
+      declared_edges = parse_entity_count(fields[0], line_no, "hyperedge");
+      num_vertices = parse_entity_count(fields[1], line_no, "vertex");
       builder = HypergraphBuilder{num_vertices};
       header_seen = true;
       continue;
@@ -140,7 +161,8 @@ Hypergraph from_hmetis(const std::string& text) {
     members.clear();
     for (std::string_view field : fields) {
       const long long v = parse_int(field);
-      if (v < 1 || static_cast<index_t>(v) > num_vertices) {
+      // Compare before narrowing (see from_text).
+      if (v < 1 || v > static_cast<long long>(num_vertices)) {
         throw ParseError{"hmetis line " + std::to_string(line_no) +
                          ": vertex id out of range (ids are 1-based)"};
       }
