@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/hypergraph_io.hpp"  // kMaxDeclaredEntities
+
 namespace hp::hyper {
 
 namespace {
@@ -70,7 +72,14 @@ Hypergraph from_binary(const std::string& bytes) {
 
   // Validate the total length before allocating anything: a corrupted
   // header must not trigger multi-gigabyte allocations. The coarse
-  // bound first avoids overflow in the exact computation.
+  // bound first avoids overflow in the exact computation. num_vertices
+  // never enters the size equation (isolated vertices occupy no bytes),
+  // so it needs its own bound -- without it a flipped header word makes
+  // the builder commit tens of gigabytes of per-vertex offsets.
+  if (num_vertices > kMaxDeclaredEntities) {
+    throw ParseError{"binary hypergraph: vertex count " +
+                     std::to_string(num_vertices) + " out of range"};
+  }
   if (num_edges > bytes.size() || num_pins > bytes.size()) {
     throw ParseError{"binary hypergraph: counts exceed input size"};
   }
