@@ -1,5 +1,6 @@
 #include "mm/matrix_market.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -7,6 +8,24 @@
 #include "util/stringutil.hpp"
 
 namespace hp::mm {
+
+namespace {
+
+/// Largest dimension the size line may declare; bounds header-driven
+/// allocations (same policy as hyper::kMaxDeclaredEntities).
+constexpr long long kMaxDeclaredDimension = 1LL << 24;
+
+index_t parse_dimension(std::string_view field, std::size_t line_no,
+                        const char* what) {
+  const long long value = parse_int(field);
+  if (value < 0 || value > kMaxDeclaredDimension) {
+    throw ParseError{"line " + std::to_string(line_no) + ": " + what +
+                     " '" + std::string{field} + "' out of range"};
+  }
+  return static_cast<index_t>(value);
+}
+
+}  // namespace
 
 count_t CooMatrix::nnz_expanded() const {
   if (symmetry == Symmetry::kGeneral) return entries.size();
@@ -64,15 +83,26 @@ CooMatrix parse_matrix_market(const std::string& text) {
         throw ParseError{"line " + std::to_string(line_no) +
                          ": expected 'rows cols nnz'"};
       }
-      m.num_rows = static_cast<index_t>(parse_int(size_fields[0]));
-      m.num_cols = static_cast<index_t>(parse_int(size_fields[1]));
-      declared_nnz = static_cast<count_t>(parse_int(size_fields[2]));
+      m.num_rows = parse_dimension(size_fields[0], line_no, "row count");
+      m.num_cols = parse_dimension(size_fields[1], line_no, "column count");
+      const long long nnz = parse_int(size_fields[2]);
+      if (nnz < 0) {
+        throw ParseError{"line " + std::to_string(line_no) +
+                         ": negative nnz count"};
+      }
+      declared_nnz = static_cast<count_t>(nnz);
       size_seen = true;
       break;
     }
     if (!size_seen) throw ParseError{"matrix market: missing size line"};
 
-    m.entries.reserve(declared_nnz);
+    // Never trust the declared count for the up-front allocation: each
+    // entry needs at least 4 bytes of text, so a declaration exceeding
+    // that bound is a corrupted header (the exact count is still
+    // enforced after reading). Without the cap, "1 1 99999999999999"
+    // is a 20-byte allocation bomb.
+    m.entries.reserve(static_cast<std::size_t>(
+        std::min<count_t>(declared_nnz, text.size() / 4 + 1)));
     while (std::getline(in, line)) {
       ++line_no;
       const std::string_view body = trim(line);
@@ -86,8 +116,10 @@ CooMatrix parse_matrix_market(const std::string& text) {
       Entry entry;
       const long long r = parse_int(fields2[0]);
       const long long c = parse_int(fields2[1]);
-      if (r < 1 || c < 1 || static_cast<index_t>(r) > m.num_rows ||
-          static_cast<index_t>(c) > m.num_cols) {
+      // Compare before narrowing: an index like 2^32+1 must not wrap
+      // into the valid range.
+      if (r < 1 || c < 1 || r > static_cast<long long>(m.num_rows) ||
+          c > static_cast<long long>(m.num_cols)) {
         throw ParseError{"line " + std::to_string(line_no) +
                          ": index out of range"};
       }
