@@ -14,6 +14,9 @@ cmake -B "${prefix}" -S "${root}"
 cmake --build "${prefix}" -j
 ctest --test-dir "${prefix}" --output-on-failure
 
+echo "=== fuzz pipeline throughput bench (quick) ==="
+"${prefix}/bench/bench_micro_fuzz" --quick --json "${root}/BENCH_fuzz.json"
+
 echo "=== context memoization bench (quick) ==="
 "${prefix}/bench/bench_micro_context" --quick --json "${root}/BENCH_context.json"
 
@@ -69,6 +72,16 @@ echo "=== tier-1: sanitized build + ctest (HP_SANITIZE=address;undefined) ==="
 cmake -B "${prefix}-asan" -S "${root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DHP_SANITIZE=address;undefined"
 cmake --build "${prefix}-asan" -j
-ctest --test-dir "${prefix}-asan" --output-on-failure
+# The deep fuzz sweep (label: slow) runs in the release pass above;
+# under sanitizers the 1000-seed smoke below covers the same oracles.
+ctest --test-dir "${prefix}-asan" --output-on-failure -LE slow
+
+echo "=== differential fuzz smoke under sanitizers (1000 seeds) ==="
+# Deterministic fixed budget: generated instances through the full
+# oracle battery plus loader-corruption trials, then the checked-in
+# reproducer corpus. Zero mismatches required.
+"${prefix}-asan/src/cli/hp_fuzz" --seed-range 0:1000 \
+  --corpus "${prefix}-asan/fuzz-corpus"
+"${prefix}-asan/src/cli/hp_fuzz" --replay "${root}/tests/corpus"
 
 echo "ci: all green"

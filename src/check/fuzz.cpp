@@ -1,0 +1,169 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/shrink.hpp"
+#include "core/hypergraph_io.hpp"
+
+namespace hp::check {
+
+namespace fs = std::filesystem;
+using hyper::Hypergraph;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Oracle names joined for log lines and reproducer headers.
+std::string join_oracles(const std::vector<CheckFailure>& checks) {
+  std::string out;
+  for (const auto& c : checks) {
+    if (!out.empty()) out += ",";
+    out += c.oracle;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string write_reproducer(const std::string& corpus_dir,
+                             std::uint64_t seed, const Hypergraph& shrunk,
+                             const std::vector<CheckFailure>& checks) {
+  fs::create_directories(corpus_dir);
+  std::ostringstream name;
+  name << "seed-" << seed << ".hyper";
+  const fs::path path = fs::path(corpus_dir) / name.str();
+
+  std::ostringstream body;
+  body << "# hp_fuzz reproducer\n";
+  body << "# seed: " << seed << " shape: "
+       << shape_name(shape_of_seed(seed)) << "\n";
+  for (const auto& c : checks) {
+    body << "# oracle: " << c.oracle << " -- " << c.detail << "\n";
+  }
+  body << hyper::to_text(shrunk);
+
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("hp_fuzz: cannot write reproducer: " +
+                             path.string());
+  }
+  out << body.str();
+  return path.string();
+}
+
+FuzzSummary run_fuzz(const FuzzConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+  FuzzSummary summary;
+  for (std::uint64_t seed = config.seed_begin; seed < config.seed_end;
+       ++seed) {
+    const Hypergraph h = generate(seed, config.generator);
+    ++summary.cases;
+
+    std::vector<CheckFailure> checks = run_all_oracles(h, config.oracles);
+    ++summary.oracle_checks;
+    const bool structural_failure = !checks.empty();
+
+    if (config.mutation_trials > 0) {
+      // Distinct stream from the generator's so adding oracles never
+      // perturbs which corruptions a seed exercises.
+      Rng mutation_rng{seed ^ 0xda3e39cb94b95bdbULL};
+      auto mutated =
+          check_mutated_loads(h, mutation_rng, config.mutation_trials);
+      // 4 serialization formats x trials per format.
+      summary.mutation_trials +=
+          static_cast<count_t>(config.mutation_trials) * 4;
+      checks.insert(checks.end(), mutated.begin(), mutated.end());
+    }
+
+    if (checks.empty()) {
+      if (config.verbose) {
+        std::fprintf(stderr, "hp_fuzz: seed %llu (%s) ok -- %s\n",
+                     static_cast<unsigned long long>(seed),
+                     shape_name(shape_of_seed(seed)), describe(h).c_str());
+      }
+      continue;
+    }
+
+    FuzzFailure failure;
+    failure.seed = seed;
+    failure.source = "generated";
+    failure.checks = checks;
+
+    // Mutated-load failures depend on the corrupted bytes, not on the
+    // instance alone; only structural failures shrink meaningfully.
+    Hypergraph witness = h;
+    if (structural_failure && config.shrink_failures) {
+      const CheckOptions& oracles = config.oracles;
+      witness = shrink(h, [&oracles](const Hypergraph& candidate) {
+        return !run_all_oracles(candidate, oracles).empty();
+      });
+      failure.checks = run_all_oracles(witness, config.oracles);
+      if (failure.checks.empty()) failure.checks = checks;  // paranoia
+    }
+    failure.shrunk_vertices = witness.num_vertices();
+    failure.shrunk_edges = witness.num_edges();
+
+    if (structural_failure && !config.corpus_dir.empty()) {
+      failure.reproducer_path = write_reproducer(
+          config.corpus_dir, seed, witness, failure.checks);
+    }
+    std::fprintf(stderr,
+                 "hp_fuzz: FAIL seed %llu (%s) oracles=[%s] shrunk to %s\n",
+                 static_cast<unsigned long long>(seed),
+                 shape_name(shape_of_seed(seed)),
+                 join_oracles(failure.checks).c_str(),
+                 describe(witness).c_str());
+    summary.failures.push_back(std::move(failure));
+  }
+  summary.seconds = seconds_since(start);
+  return summary;
+}
+
+FuzzSummary replay_corpus(const std::string& dir,
+                          const CheckOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  FuzzSummary summary;
+  std::vector<fs::path> files;
+  if (fs::exists(dir)) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".hyper") {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const auto& path : files) {
+    ++summary.cases;
+    FuzzFailure failure;
+    failure.source = path.filename().string();
+    try {
+      const Hypergraph h = hyper::load_text(path.string());
+      failure.checks = run_all_oracles(h, options);
+      ++summary.oracle_checks;
+    } catch (const std::exception& e) {
+      failure.checks.push_back({"corpus_load", e.what()});
+    }
+    if (!failure.checks.empty()) {
+      std::fprintf(stderr, "hp_fuzz: corpus FAIL %s oracles=[%s]\n",
+                   failure.source.c_str(),
+                   join_oracles(failure.checks).c_str());
+      summary.failures.push_back(std::move(failure));
+    }
+  }
+  summary.seconds = seconds_since(start);
+  return summary;
+}
+
+}  // namespace hp::check

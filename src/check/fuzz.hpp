@@ -1,0 +1,75 @@
+// The fuzzing driver behind the hp_fuzz CLI and the CI smoke stage.
+//
+// One case = one seed: generate an adversarial instance, run the full
+// oracle battery (differential core checks, algebraic invariants,
+// serialization round-trips), then hammer the loaders with structured
+// corruptions of the instance's own serializations. A failing case is
+// greedily shrunk and written to the corpus directory as a commented
+// .hyper reproducer, which replays as an ordinary test via
+// replay_corpus() (wired into ctest).
+//
+// Everything is deterministic: seed range in, same failures out, on
+// every machine -- a fuzz failure in CI is reproducible locally by
+// seed alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/generator.hpp"
+#include "check/oracles.hpp"
+
+namespace hp::check {
+
+struct FuzzConfig {
+  std::uint64_t seed_begin = 0;
+  std::uint64_t seed_end = 1000;  ///< exclusive
+  /// Loader-corruption trials per format per case (0 disables).
+  int mutation_trials = 6;
+  /// Directory for shrunk reproducers; empty = don't write.
+  std::string corpus_dir;
+  /// Minimize failing instances before reporting/writing.
+  bool shrink_failures = true;
+  /// Print one line per case to stderr.
+  bool verbose = false;
+  GenOptions generator;
+  CheckOptions oracles;
+};
+
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  std::string source;           ///< "generated" or the corpus file name
+  std::vector<CheckFailure> checks;
+  std::string reproducer_path;  ///< empty if none was written
+  /// Shrunk instance size (generated failures only).
+  index_t shrunk_vertices = 0;
+  index_t shrunk_edges = 0;
+};
+
+struct FuzzSummary {
+  count_t cases = 0;             ///< instances generated / files replayed
+  count_t oracle_checks = 0;     ///< oracle batteries executed
+  count_t mutation_trials = 0;   ///< loader-corruption parses attempted
+  std::vector<FuzzFailure> failures;
+  double seconds = 0.0;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Sweep [seed_begin, seed_end); returns every failure found.
+FuzzSummary run_fuzz(const FuzzConfig& config);
+
+/// Re-run the oracle battery on every .hyper reproducer in `dir`
+/// (sorted by name; missing directory = zero cases, not an error).
+FuzzSummary replay_corpus(const std::string& dir,
+                          const CheckOptions& options = {});
+
+/// Write a shrunk reproducer with provenance comments; returns the
+/// path. The file parses with hyper::load_text (comments are skipped).
+std::string write_reproducer(const std::string& corpus_dir,
+                             std::uint64_t seed,
+                             const hyper::Hypergraph& shrunk,
+                             const std::vector<CheckFailure>& checks);
+
+}  // namespace hp::check

@@ -1,0 +1,147 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hp::check {
+
+using hyper::Hypergraph;
+using hyper::HypergraphBuilder;
+
+namespace {
+
+/// Mutable edge-list view of an instance; cheaper to slice than CSR.
+struct Rep {
+  index_t num_vertices = 0;
+  std::vector<std::vector<index_t>> edges;
+};
+
+Rep to_rep(const Hypergraph& h) {
+  Rep rep;
+  rep.num_vertices = h.num_vertices();
+  rep.edges.reserve(h.num_edges());
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    const auto members = h.vertices_of(e);
+    rep.edges.emplace_back(members.begin(), members.end());
+  }
+  return rep;
+}
+
+Hypergraph to_hypergraph(const Rep& rep) {
+  HypergraphBuilder builder{rep.num_vertices};
+  for (const auto& members : rep.edges) {
+    if (!members.empty()) builder.add_edge(members);
+  }
+  return builder.build();
+}
+
+/// Candidate acceptance: keep `candidate` if the failure survives.
+struct Search {
+  const FailurePredicate& still_fails;
+  const ShrinkOptions& options;
+  ShrinkStats stats;
+
+  bool budget_left() const {
+    return stats.predicate_calls < options.max_predicate_calls;
+  }
+
+  bool accept(Rep& current, Rep candidate) {
+    if (!budget_left()) return false;
+    ++stats.predicate_calls;
+    if (!still_fails(to_hypergraph(candidate))) return false;
+    current = std::move(candidate);
+    return true;
+  }
+};
+
+/// Remove [begin, begin+len) of `edges`; ddmin-style chunk pass.
+bool edge_removal_pass(Search& search, Rep& rep) {
+  bool progress = false;
+  for (std::size_t chunk = std::max<std::size_t>(rep.edges.size() / 2, 1);
+       chunk >= 1; chunk /= 2) {
+    std::size_t i = 0;
+    while (i < rep.edges.size() && search.budget_left()) {
+      Rep candidate = rep;
+      const std::size_t len = std::min(chunk, candidate.edges.size() - i);
+      candidate.edges.erase(
+          candidate.edges.begin() + static_cast<std::ptrdiff_t>(i),
+          candidate.edges.begin() + static_cast<std::ptrdiff_t>(i + len));
+      if (search.accept(rep, std::move(candidate))) {
+        progress = true;  // same i now names the next chunk
+      } else {
+        i += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return progress;
+}
+
+/// Shrink each edge's member list, never below one member.
+bool member_removal_pass(Search& search, Rep& rep) {
+  bool progress = false;
+  for (std::size_t e = 0; e < rep.edges.size(); ++e) {
+    for (std::size_t chunk =
+             std::max<std::size_t>(rep.edges[e].size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      std::size_t i = 0;
+      while (i < rep.edges[e].size() && rep.edges[e].size() > 1 &&
+             search.budget_left()) {
+        Rep candidate = rep;
+        auto& members = candidate.edges[e];
+        const std::size_t len =
+            std::min({chunk, members.size() - i, members.size() - 1});
+        if (len == 0) break;
+        members.erase(
+            members.begin() + static_cast<std::ptrdiff_t>(i),
+            members.begin() + static_cast<std::ptrdiff_t>(i + len));
+        if (search.accept(rep, std::move(candidate))) {
+          progress = true;
+        } else {
+          i += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return progress;
+}
+
+/// Renumber referenced vertices densely and drop the rest.
+bool compaction_pass(Search& search, Rep& rep) {
+  std::vector<index_t> remap(rep.num_vertices, kInvalidIndex);
+  index_t next = 0;
+  for (const auto& members : rep.edges) {
+    for (index_t v : members) {
+      if (remap[v] == kInvalidIndex) remap[v] = next++;
+    }
+  }
+  if (next == rep.num_vertices) return false;  // nothing to drop
+  Rep candidate;
+  candidate.num_vertices = next;
+  candidate.edges = rep.edges;
+  for (auto& members : candidate.edges) {
+    for (index_t& v : members) v = remap[v];
+  }
+  return search.accept(rep, std::move(candidate));
+}
+
+}  // namespace
+
+Hypergraph shrink(const Hypergraph& h, const FailurePredicate& still_fails,
+                  const ShrinkOptions& options, ShrinkStats* stats) {
+  Search search{still_fails, options, {}};
+  Rep rep = to_rep(h);
+  bool progress = true;
+  while (progress && search.budget_left()) {
+    ++search.stats.passes;
+    progress = false;
+    progress |= edge_removal_pass(search, rep);
+    progress |= member_removal_pass(search, rep);
+    progress |= compaction_pass(search, rep);
+  }
+  if (stats != nullptr) *stats = search.stats;
+  return to_hypergraph(rep);
+}
+
+}  // namespace hp::check

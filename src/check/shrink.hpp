@@ -1,0 +1,48 @@
+// Greedy reproducer minimization for the fuzzing harness.
+//
+// Given an instance on which some oracle fails and a predicate that
+// re-runs the failing check, the shrinker searches for a structurally
+// smaller instance that still fails, in three alternating passes until
+// a fixpoint (or the call budget) is reached:
+//
+//   1. edge removal  -- delta-debugging style: drop halves, quarters,
+//      ... down to single hyperedges;
+//   2. member removal -- shrink each surviving hyperedge the same way
+//      (never below one member);
+//   3. vertex compaction -- drop vertices no longer referenced and
+//      renumber densely (also discards isolated vertices unless the
+//      failure depends on them).
+//
+// The result is what gets written to tests/corpus/ -- a handful of
+// edges instead of a 50-edge haystack, replayable as a ctest case.
+#pragma once
+
+#include <functional>
+
+#include "core/hypergraph.hpp"
+
+namespace hp::check {
+
+/// Returns true while the candidate instance still exhibits the
+/// failure. Must be deterministic for the shrink to make sense.
+using FailurePredicate = std::function<bool(const hyper::Hypergraph&)>;
+
+struct ShrinkStats {
+  int passes = 0;               ///< full passes until fixpoint
+  count_t predicate_calls = 0;  ///< candidate evaluations spent
+};
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations; the shrink returns the best
+  /// instance found so far when exhausted.
+  count_t max_predicate_calls = 20000;
+};
+
+/// Minimize `h` under `still_fails`. Precondition: still_fails(h) is
+/// true; the returned instance also satisfies it.
+hyper::Hypergraph shrink(const hyper::Hypergraph& h,
+                         const FailurePredicate& still_fails,
+                         const ShrinkOptions& options = {},
+                         ShrinkStats* stats = nullptr);
+
+}  // namespace hp::check

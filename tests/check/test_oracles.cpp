@@ -1,0 +1,126 @@
+// The oracle battery itself needs tests: a battery that silently
+// returns "clean" on everything is worse than none. These verify that
+// clean instances pass every oracle, that the structural comparator the
+// oracles are built on actually discriminates, and that the loader
+// corruption check upholds the parse-or-throw contract.
+#include "check/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/generator.hpp"
+#include "core/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace hp::check {
+namespace {
+
+using hyper::Hypergraph;
+using hyper::HypergraphBuilder;
+
+Hypergraph paper_toy() {
+  HypergraphBuilder b{7};
+  b.add_edge({0, 1, 2, 3});
+  b.add_edge({2, 3, 4});
+  b.add_edge({4, 5});
+  b.add_edge({5});
+  b.add_edge({0, 1, 2, 3, 6});
+  return b.build();
+}
+
+TEST(Oracles, CleanOnPaperToy) {
+  const auto failures = run_all_oracles(paper_toy());
+  for (const auto& f : failures) {
+    ADD_FAILURE() << f.oracle << ": " << f.detail;
+  }
+}
+
+TEST(Oracles, CleanOnEmptyHypergraph) {
+  EXPECT_TRUE(run_all_oracles(Hypergraph{}).empty());
+}
+
+TEST(Oracles, CleanOnEdgelessHypergraph) {
+  EXPECT_TRUE(run_all_oracles(HypergraphBuilder{5}.build()).empty());
+}
+
+TEST(Oracles, CleanAcrossGeneratedSeeds) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const auto failures = run_all_oracles(generate(seed));
+    for (const auto& f : failures) {
+      ADD_FAILURE() << "seed " << seed << " " << f.oracle << ": " << f.detail;
+    }
+  }
+}
+
+TEST(Oracles, EveryShapeRunsClean) {
+  for (int s = 0; s < kNumShapes; ++s) {
+    Rng rng{static_cast<std::uint64_t>(s) + 1};
+    const Hypergraph h = generate_shape(static_cast<Shape>(s), rng);
+    const auto failures = run_all_oracles(h);
+    for (const auto& f : failures) {
+      ADD_FAILURE() << shape_name(static_cast<Shape>(s)) << " " << f.oracle
+                    << ": " << f.detail;
+    }
+  }
+}
+
+TEST(Oracles, SameStructureIgnoresRepresentation) {
+  // A built and a default-constructed empty instance differ in raw CSR
+  // vectors (voff_ sizing) but are the same hypergraph.
+  EXPECT_TRUE(same_structure(Hypergraph{}, HypergraphBuilder{0}.build()));
+
+  // Member order is normalized by the builder.
+  HypergraphBuilder a{4};
+  a.add_edge({3, 0, 2});
+  HypergraphBuilder b{4};
+  b.add_edge({0, 2, 3});
+  EXPECT_TRUE(same_structure(a.build(), b.build()));
+}
+
+TEST(Oracles, SameStructureDiscriminates) {
+  HypergraphBuilder a{4};
+  a.add_edge({0, 1});
+  HypergraphBuilder b{4};
+  b.add_edge({0, 2});
+  EXPECT_FALSE(same_structure(a.build(), b.build()));
+
+  // Same edges, different vertex universe (isolated vertex matters).
+  HypergraphBuilder c{5};
+  c.add_edge({0, 1});
+  EXPECT_FALSE(same_structure(a.build(), c.build()));
+
+  // Same edge set, different multiplicity.
+  HypergraphBuilder d{4};
+  d.add_edge({0, 1});
+  d.add_edge({0, 1});
+  EXPECT_FALSE(same_structure(a.build(), d.build()));
+}
+
+TEST(Oracles, MutatedLoadsHoldOnToyAndGenerated) {
+  Rng rng{2026};
+  EXPECT_TRUE(check_mutated_loads(paper_toy(), rng, 8).empty());
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Rng seed_rng{seed};
+    const auto failures = check_mutated_loads(generate(seed), seed_rng, 4);
+    for (const auto& f : failures) {
+      ADD_FAILURE() << "seed " << seed << " " << f.oracle << ": " << f.detail;
+    }
+  }
+}
+
+TEST(Oracles, DescribeMentionsSizes) {
+  const std::string d = describe(paper_toy());
+  EXPECT_NE(d.find("7"), std::string::npos);  // |V|
+  EXPECT_NE(d.find("5"), std::string::npos);  // |F|
+}
+
+TEST(Oracles, OptionsDisableExpensiveChecks) {
+  CheckOptions options;
+  options.with_naive = false;
+  options.with_paths = false;
+  options.with_loaders = false;
+  options.with_context = false;
+  EXPECT_TRUE(run_all_oracles(paper_toy(), options).empty());
+}
+
+}  // namespace
+}  // namespace hp::check

@@ -1,0 +1,113 @@
+// The shrinker must preserve the failure (the predicate stays true),
+// actually minimize, and terminate within its budget. Failure
+// predicates here are synthetic properties with known minimal
+// witnesses, so the expected shrink target is exact.
+#include "check/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hypergraph.hpp"
+#include "core/kcore.hpp"
+#include "util/rng.hpp"
+
+#include "../core/test_helpers.hpp"
+
+namespace hp::check {
+namespace {
+
+using hyper::Hypergraph;
+using hyper::HypergraphBuilder;
+
+bool contains_vertex_pair_edge(const Hypergraph& h) {
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    if (h.edge_size(e) == 2) return true;
+  }
+  return false;
+}
+
+TEST(Shrink, MinimizesToSingleEdge) {
+  Rng rng{17};
+  const Hypergraph h = hyper::testing::random_hypergraph(rng, 30, 40, 6);
+  ASSERT_TRUE(contains_vertex_pair_edge(h));
+
+  ShrinkStats stats;
+  const Hypergraph shrunk =
+      shrink(h, contains_vertex_pair_edge, ShrinkOptions{}, &stats);
+
+  EXPECT_TRUE(contains_vertex_pair_edge(shrunk));
+  EXPECT_EQ(shrunk.num_edges(), 1);
+  EXPECT_EQ(shrunk.num_vertices(), 2);  // compaction dropped the rest
+  EXPECT_GT(stats.predicate_calls, 0);
+}
+
+TEST(Shrink, MinimizesMembersWithinAnEdge) {
+  HypergraphBuilder b{10};
+  b.add_edge({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Hypergraph h = b.build();
+
+  // "Some edge contains vertex 4" -- minimal witness is one singleton.
+  const auto predicate = [](const Hypergraph& g) {
+    for (index_t e = 0; e < g.num_edges(); ++e) {
+      for (index_t v : g.vertices_of(e)) {
+        if (v == 4) return true;
+      }
+    }
+    return false;
+  };
+  const Hypergraph shrunk = shrink(h, predicate);
+  ASSERT_EQ(shrunk.num_edges(), 1);
+  EXPECT_EQ(shrunk.edge_size(0), 1);
+  // This predicate depends on the vertex's identity, so the compaction
+  // pass (which renumbers) must be rejected: the universe stays at 10.
+  EXPECT_EQ(shrunk.num_vertices(), 10);
+  EXPECT_EQ(shrunk.vertices_of(0)[0], 4);
+}
+
+TEST(Shrink, PreservesFailuresThatNeedStructure) {
+  // "Max core >= 2" needs an actual 2-core; the shrinker must not
+  // destroy it while discarding the satellite edges around it.
+  HypergraphBuilder b{12};
+  b.add_edge({0, 1, 2});
+  b.add_edge({0, 1, 3});
+  b.add_edge({0, 2, 3});
+  b.add_edge({1, 2, 3});
+  for (index_t v = 4; v < 12; ++v) b.add_edge({v});
+  const Hypergraph h = b.build();
+
+  const auto predicate = [](const Hypergraph& g) {
+    return hyper::core_decomposition(g).max_core >= 2;
+  };
+  ASSERT_TRUE(predicate(h));
+  const Hypergraph shrunk = shrink(h, predicate);
+  EXPECT_TRUE(predicate(shrunk));
+  EXPECT_LE(shrunk.num_edges(), 4);
+  EXPECT_LE(shrunk.num_vertices(), 4);
+}
+
+TEST(Shrink, RespectsPredicateBudget) {
+  Rng rng{23};
+  const Hypergraph h = hyper::testing::random_hypergraph(rng, 40, 50, 6);
+  ShrinkOptions options;
+  options.max_predicate_calls = 10;
+  ShrinkStats stats;
+  const Hypergraph shrunk = shrink(
+      h, [](const Hypergraph&) { return true; }, options, &stats);
+  EXPECT_LE(stats.predicate_calls, options.max_predicate_calls);
+  // Even a truncated shrink must return a valid failing instance.
+  EXPECT_NO_THROW(hyper::validate(shrunk));
+}
+
+TEST(Shrink, FixpointOnAlreadyMinimalInstance) {
+  HypergraphBuilder b{1};
+  b.add_edge({0});
+  const Hypergraph h = b.build();
+  ShrinkStats stats;
+  const Hypergraph shrunk = shrink(
+      h, [](const Hypergraph& g) { return g.num_edges() == 1; },
+      ShrinkOptions{}, &stats);
+  EXPECT_EQ(shrunk.num_edges(), 1);
+  EXPECT_EQ(shrunk.num_vertices(), 1);
+}
+
+}  // namespace
+}  // namespace hp::check

@@ -1,0 +1,123 @@
+// Property-based invariant sweep over the check/ generator's
+// adversarial shapes (50 seeds, every structural regime). Unlike the
+// example-based suites, nothing here pins concrete values: each test
+// states an algebraic law of the substrate and asserts it on every
+// generated instance.
+//
+//   * dual involution:      dual(dual(H)) = H minus isolated vertices
+//   * reduce idempotence:   reduce(reduce(H)) = reduce(H)
+//   * core nesting:         kcore(k+1) is a sub-hypergraph of kcore(k)
+//   * core monotonicity:    vertex_core <= degree; max_core realized
+//   * core conditions:      every extracted k-core is reduced with
+//                           min residual degree >= k
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "check/generator.hpp"
+#include "check/oracles.hpp"
+#include "core/dual.hpp"
+#include "core/hypergraph.hpp"
+#include "core/kcore.hpp"
+#include "core/reduce.hpp"
+
+namespace hp::hyper {
+namespace {
+
+constexpr std::uint64_t kSeeds = 50;
+
+Hypergraph instance(std::uint64_t seed) { return check::generate(seed); }
+
+TEST(Invariants, DualInvolutionUpToIsolatedVertices) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Hypergraph h = instance(seed);
+    const Hypergraph dd = dual(dual(h));
+
+    // Expected: h with isolated vertices dropped (duality cannot
+    // represent degree-0 vertices; edges are preserved verbatim).
+    std::vector<bool> keep_vertex(h.num_vertices());
+    for (index_t v = 0; v < h.num_vertices(); ++v) {
+      keep_vertex[v] = h.vertex_degree(v) > 0;
+    }
+    const Hypergraph expected =
+        induce(h, keep_vertex,
+               std::vector<bool>(h.num_edges(), true))
+            .hypergraph;
+    EXPECT_TRUE(check::same_structure(dd, expected)) << "seed " << seed;
+  }
+}
+
+TEST(Invariants, ReduceIsIdempotent) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Hypergraph h = instance(seed);
+    const Hypergraph once = reduce(h).hypergraph;
+    EXPECT_TRUE(is_reduced(once)) << "seed " << seed;
+    const Hypergraph twice = reduce(once).hypergraph;
+    EXPECT_TRUE(check::same_structure(once, twice)) << "seed " << seed;
+  }
+}
+
+TEST(Invariants, CoresAreNested) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Hypergraph h = instance(seed);
+    const HyperCoreResult d = core_decomposition(h);
+    for (index_t k = 1; k <= d.max_core; ++k) {
+      const auto outer = d.core_vertices(k);
+      const auto inner = d.core_vertices(k + 1);
+      EXPECT_TRUE(std::includes(outer.begin(), outer.end(), inner.begin(),
+                                inner.end()))
+          << "seed " << seed << " k " << k;
+      // Level sizes must agree with the vertex-core array.
+      EXPECT_EQ(static_cast<index_t>(outer.size()), d.level_vertices[k])
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(Invariants, VertexCoreBoundedByDegreeAndRealized) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Hypergraph h = instance(seed);
+    const HyperCoreResult d = core_decomposition(h);
+    index_t observed_max = 0;
+    for (index_t v = 0; v < h.num_vertices(); ++v) {
+      EXPECT_LE(d.vertex_core[v], h.vertex_degree(v)) << "seed " << seed;
+      observed_max = std::max(observed_max, d.vertex_core[v]);
+    }
+    // max_core is attained by some vertex (0 when no vertex survives).
+    EXPECT_EQ(observed_max, d.max_core) << "seed " << seed;
+  }
+}
+
+TEST(Invariants, ExtractedCoresSatisfyCoreConditions) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Hypergraph h = instance(seed);
+    const HyperCoreResult d = core_decomposition(h);
+    for (index_t k = 1; k <= d.max_core; ++k) {
+      const SubHypergraph core = extract_core(h, d, k);
+      EXPECT_TRUE(satisfies_core_conditions(core.hypergraph, k))
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(Invariants, ReductionPreservesCoreDecomposition) {
+  // The k-core is defined on the reduced hypergraph, so reducing first
+  // must not change any surviving vertex's core number.
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Hypergraph h = instance(seed);
+    const HyperCoreResult before = core_decomposition(h);
+    const SubHypergraph reduced = reduce(h);
+    const HyperCoreResult after = core_decomposition(reduced.hypergraph);
+    EXPECT_EQ(before.max_core, after.max_core) << "seed " << seed;
+    for (index_t v = 0; v < reduced.hypergraph.num_vertices(); ++v) {
+      EXPECT_EQ(after.vertex_core[v],
+                before.vertex_core[reduced.vertex_to_parent[v]])
+          << "seed " << seed << " vertex " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hp::hyper

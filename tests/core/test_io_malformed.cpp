@@ -1,0 +1,196 @@
+// Malformed-input suite for the three hypergraph loaders (text, hMETIS,
+// binary): truncation, out-of-range and integer-wrapping vertex ids,
+// overflowing header counts, duplicate entries, trailing garbage. Every
+// case must raise a structured hp::ParseError / hp::InvalidInputError --
+// never crash, allocate unboundedly, or silently misparse. Run under
+// HP_SANITIZE in CI.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/binary_io.hpp"
+#include "core/hypergraph.hpp"
+#include "core/hypergraph_io.hpp"
+
+namespace hp::hyper {
+namespace {
+
+// --- hp-hyper text format ------------------------------------------------
+
+TEST(TextMalformed, MissingHeader) {
+  EXPECT_THROW(from_text("0 1 2\n"), ParseError);
+  EXPECT_THROW(from_text(""), ParseError);
+  EXPECT_THROW(from_text("# only a comment\n"), ParseError);
+}
+
+TEST(TextMalformed, BadHeaderShape) {
+  EXPECT_THROW(from_text("%hypergraph 4\n"), ParseError);
+  EXPECT_THROW(from_text("%hypergraph 4 2 9\n"), ParseError);
+  EXPECT_THROW(from_text("%graph 4 2\n"), ParseError);
+  EXPECT_THROW(from_text("%hypergraph four 2\n"), ParseError);
+}
+
+TEST(TextMalformed, NegativeHeaderCounts) {
+  // Before the overflow guard these wrapped to ~4.29e9 and triggered a
+  // multi-gigabyte CSR allocation at build().
+  EXPECT_THROW(from_text("%hypergraph -1 0\n"), ParseError);
+  EXPECT_THROW(from_text("%hypergraph 4 -2\n"), ParseError);
+}
+
+TEST(TextMalformed, OverflowingHeaderCounts) {
+  EXPECT_THROW(from_text("%hypergraph 4294967296 0\n"), ParseError);
+  EXPECT_THROW(from_text("%hypergraph 999999999999999 0\n"), ParseError);
+  EXPECT_THROW(from_text("%hypergraph 3 4294967297\n"), ParseError);
+}
+
+TEST(TextMalformed, VertexIdOutOfRange) {
+  EXPECT_THROW(from_text("%hypergraph 4 1\n0 4\n"), ParseError);
+  EXPECT_THROW(from_text("%hypergraph 4 1\n-1 2\n"), ParseError);
+}
+
+TEST(TextMalformed, VertexIdWraparound) {
+  // 2^32 wraps to 0 under a bare u32 cast; the parser must reject it by
+  // comparing in 64 bits first.
+  EXPECT_THROW(from_text("%hypergraph 4 1\n0 4294967296\n"), ParseError);
+  EXPECT_THROW(from_text("%hypergraph 4 1\n0 4294967297\n"), ParseError);
+}
+
+TEST(TextMalformed, EdgeCountMismatch) {
+  EXPECT_THROW(from_text("%hypergraph 4 2\n0 1\n"), ParseError);
+  EXPECT_THROW(from_text("%hypergraph 4 1\n0 1\n2 3\n"), ParseError);
+}
+
+TEST(TextMalformed, EdgeBeforeHeader) {
+  EXPECT_THROW(from_text("0 1\n%hypergraph 4 1\n"), ParseError);
+}
+
+TEST(TextMalformed, NonNumericMember) {
+  EXPECT_THROW(from_text("%hypergraph 4 1\n0 x\n"), ParseError);
+  EXPECT_THROW(from_text("%hypergraph 4 1\n0 1.5\n"), ParseError);
+}
+
+TEST(TextMalformed, DuplicateMembersAreMergedNotFatal) {
+  // Duplicate entries within one edge are defined to merge (builder
+  // semantics); the parser must not crash or double-count pins.
+  const Hypergraph h = from_text("%hypergraph 4 1\n1 1 1 2\n");
+  EXPECT_EQ(h.num_edges(), 1u);
+  EXPECT_EQ(h.edge_size(0), 2u);
+  validate(h);
+}
+
+// --- hMETIS format -------------------------------------------------------
+
+TEST(HmetisMalformed, MissingOrBadHeader) {
+  EXPECT_THROW(from_hmetis(""), ParseError);
+  EXPECT_THROW(from_hmetis("% nothing but comments\n"), ParseError);
+  EXPECT_THROW(from_hmetis("2\n1 2\n3 4\n"), ParseError);
+}
+
+TEST(HmetisMalformed, WeightedFormatRejected) {
+  EXPECT_THROW(from_hmetis("2 4 1\n1 2\n3 4\n"), ParseError);
+}
+
+TEST(HmetisMalformed, NegativeAndOverflowingHeader) {
+  EXPECT_THROW(from_hmetis("-2 4\n"), ParseError);
+  EXPECT_THROW(from_hmetis("2 -4\n"), ParseError);
+  EXPECT_THROW(from_hmetis("4294967296 4\n"), ParseError);
+  EXPECT_THROW(from_hmetis("1 999999999999\n1\n"), ParseError);
+}
+
+TEST(HmetisMalformed, VertexIdOutOfRangeAndWraparound) {
+  EXPECT_THROW(from_hmetis("1 4\n5\n"), ParseError);
+  EXPECT_THROW(from_hmetis("1 4\n0\n"), ParseError);  // ids are 1-based
+  EXPECT_THROW(from_hmetis("1 4\n4294967297\n"), ParseError);
+}
+
+TEST(HmetisMalformed, EdgeCountMismatch) {
+  EXPECT_THROW(from_hmetis("2 4\n1 2\n"), ParseError);
+  EXPECT_THROW(from_hmetis("1 4\n1 2\n3 4\n"), ParseError);
+}
+
+// --- binary format -------------------------------------------------------
+
+std::string valid_binary() {
+  HypergraphBuilder b{5};
+  b.add_edge({0, 1, 2});
+  b.add_edge({3, 4});
+  return to_binary(b.build());
+}
+
+TEST(BinaryMalformed, TruncatedAtEveryPrefix) {
+  const std::string bytes = valid_binary();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(from_binary(bytes.substr(0, len)), ParseError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(BinaryMalformed, BadMagicAndVersion) {
+  std::string bytes = valid_binary();
+  bytes[0] = 'X';
+  EXPECT_THROW(from_binary(bytes), ParseError);
+  bytes = valid_binary();
+  bytes[4] = 9;  // version
+  EXPECT_THROW(from_binary(bytes), ParseError);
+}
+
+TEST(BinaryMalformed, OverflowingCounts) {
+  // Blow up each header count field; the size checks must reject the
+  // file before allocating anything proportional to the bogus counts.
+  for (std::size_t field_offset : {8u, 12u, 16u}) {
+    std::string bytes = valid_binary();
+    for (std::size_t i = 0; i < 4; ++i) {
+      bytes[field_offset + i] = static_cast<char>(0xff);
+    }
+    EXPECT_THROW(from_binary(bytes), ParseError)
+        << "field at offset " << field_offset;
+  }
+}
+
+TEST(BinaryMalformed, VertexCountBombRejected) {
+  // Found by hp_fuzz (seed 410): the vertex count never enters the
+  // size-consistency equation, so a corrupted header word declaring
+  // ~3e9 vertices passed every check and made the builder commit tens
+  // of gigabytes of per-vertex offsets. Such counts must be rejected
+  // before any allocation.
+  std::string bytes = valid_binary();
+  bytes[8] = 0x08;  // num_vertices (u32 LE at offset 8) := 0xb7000008
+  bytes[9] = 0x00;
+  bytes[10] = 0x00;
+  bytes[11] = static_cast<char>(0xb7);
+  EXPECT_THROW(from_binary(bytes), ParseError);
+}
+
+TEST(BinaryMalformed, MemberOutOfRange) {
+  std::string bytes = valid_binary();
+  // Last 4 bytes are the final member vertex id (u32 LE).
+  bytes[bytes.size() - 1] = static_cast<char>(0xff);
+  EXPECT_THROW(from_binary(bytes), ParseError);
+}
+
+TEST(BinaryMalformed, TrailingBytes) {
+  std::string bytes = valid_binary();
+  bytes += '\0';
+  EXPECT_THROW(from_binary(bytes), ParseError);
+}
+
+TEST(BinaryMalformed, NonMonotoneOffsets) {
+  // Swap the two interior edge offsets (offsets live right after the
+  // 24-byte header): [0, 3, 5] becomes [3, 0, 5].
+  std::string bytes = valid_binary();
+  std::string first = bytes.substr(24, 8);
+  std::string second = bytes.substr(32, 8);
+  bytes.replace(24, 8, second);
+  bytes.replace(32, 8, first);
+  EXPECT_THROW(from_binary(bytes), ParseError);
+}
+
+TEST(Malformed, ValidInputsStillParse) {
+  // Control for the whole suite.
+  EXPECT_NO_THROW(from_text("%hypergraph 4 2\n0 1 2\n2 3\n"));
+  EXPECT_NO_THROW(from_hmetis("2 4\n1 2 3\n3 4\n"));
+  EXPECT_NO_THROW(from_binary(valid_binary()));
+}
+
+}  // namespace
+}  // namespace hp::hyper

@@ -1,0 +1,128 @@
+// Malformed-input suite for the MatrixMarket parser: bad banners,
+// truncated files, out-of-range / integer-wrapping indices, overflowing
+// and negative counts, symmetry violations. Every case must raise a
+// structured hp::ParseError -- never crash or allocate unboundedly.
+// Run under HP_SANITIZE in CI.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mm/matrix_market.hpp"
+
+namespace hp::mm {
+namespace {
+
+const char kValid[] =
+    "%%MatrixMarket matrix coordinate real general\n"
+    "3 3 2\n"
+    "1 2 1.5\n"
+    "3 1 -2.0\n";
+
+TEST(MmMalformed, EmptyAndTruncated) {
+  EXPECT_THROW(parse_matrix_market(""), ParseError);
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n"),
+               ParseError);  // missing size line
+  EXPECT_THROW(
+      parse_matrix_market("%%MatrixMarket matrix coordinate real general\n"
+                          "3 3 2\n"
+                          "1 2 1.5\n"),
+      ParseError);  // one entry short
+}
+
+TEST(MmMalformed, BadBanner) {
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix array real "
+                                   "general\n1 1 1\n1 1 1\n"),
+               ParseError);
+  EXPECT_THROW(parse_matrix_market("%%NotMatrixMarket matrix coordinate "
+                                   "real general\n1 1 0\n"),
+               ParseError);
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate "
+                                   "complex general\n1 1 0\n"),
+               ParseError);
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "skew-symmetric\n1 1 0\n"),
+               ParseError);
+}
+
+TEST(MmMalformed, BadSizeLine) {
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n3 3\n"),
+               ParseError);
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\nthree 3 0\n"),
+               ParseError);
+}
+
+TEST(MmMalformed, NegativeAndOverflowingCounts) {
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n-3 3 0\n"),
+               ParseError);
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n3 -3 0\n"),
+               ParseError);
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n4294967296 3 0\n"),
+               ParseError);
+  // A negative or absurd nnz must fail cleanly; before the reserve cap a
+  // tiny file declaring 10^14 entries was an allocation bomb.
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n3 3 -1\n"),
+               ParseError);
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n3 3 99999999999999\n"),
+               ParseError);  // count mismatch, after a bounded reserve
+}
+
+TEST(MmMalformed, IndexOutOfRangeAndWraparound) {
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n3 3 1\n4 1 1.0\n"),
+               ParseError);
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n3 3 1\n0 1 1.0\n"),
+               ParseError);  // ids are 1-based
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n3 3 1\n-2 1 1.0\n"),
+               ParseError);
+  // 2^32+1 wraps to 1 under a bare u32 cast; must be rejected.
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n3 3 1\n4294967297 1 1.0\n"),
+               ParseError);
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n3 3 1\n1 4294967297 1.0\n"),
+               ParseError);
+}
+
+TEST(MmMalformed, WrongEntryArity) {
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n3 3 1\n1 2\n"),
+               ParseError);  // real needs a value
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate "
+                                   "pattern general\n3 3 1\n1 2 1.0\n"),
+               ParseError);  // pattern must not carry one
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n3 3 1\n1 2 x\n"),
+               ParseError);
+}
+
+TEST(MmMalformed, UpperTriangularSymmetricEntry) {
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "symmetric\n3 3 1\n1 2 1.0\n"),
+               ParseError);
+}
+
+TEST(MmMalformed, EntryCountMismatchTooMany) {
+  EXPECT_THROW(parse_matrix_market("%%MatrixMarket matrix coordinate real "
+                                   "general\n3 3 1\n1 1 1.0\n2 2 2.0\n"),
+               ParseError);
+}
+
+TEST(MmMalformed, ValidInputStillParses) {
+  const CooMatrix m = parse_matrix_market(kValid);
+  EXPECT_EQ(m.num_rows, 3u);
+  EXPECT_EQ(m.num_cols, 3u);
+  EXPECT_EQ(m.entries.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hp::mm
