@@ -9,10 +9,38 @@ set -eu
 prefix="${1:-build}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
-echo "=== tier-1: release build + ctest ==="
+echo "=== tier-1: release build + ctest (default HP_THREADS) ==="
 cmake -B "${prefix}" -S "${root}"
 cmake --build "${prefix}" -j
 ctest --test-dir "${prefix}" --output-on-failure
+
+echo "=== tier-1: ctest again with the pool forced serial (HP_THREADS=1) ==="
+# The determinism contract (DESIGN.md section 11): every parallel
+# algorithm must produce identical results with no worker threads.
+HP_THREADS=1 ctest --test-dir "${prefix}" --output-on-failure
+
+echo "=== parallel runtime ablation bench (quick) ==="
+"${prefix}/bench/bench_micro_par" --quick --json "${root}/BENCH_par.json"
+python3 - "${root}/BENCH_par.json" <<'EOF'
+import json, sys
+
+bench = json.load(open(sys.argv[1]))
+hw = bench["hardware_threads"]
+speedup = bench["bfs_speedup"]
+for inst in bench["instances"]:
+    for w in inst["workloads"]:
+        assert w["deterministic"], \
+            f"{inst['name']}/{w['name']}: serial and pool outputs differ"
+# The speedup gate only means something with real parallelism under it;
+# on the 1-2 core CI fallback we record the number but do not gate.
+if hw >= 8:
+    assert speedup >= 3.0, \
+        f"all-sources BFS speedup {speedup:.2f}x < 3x on {hw} threads"
+    print(f"par bench ok: {speedup:.2f}x BFS speedup on {hw} threads (gate: >= 3x)")
+else:
+    print(f"par bench ok: {speedup:.2f}x BFS speedup on {hw} threads "
+          f"(< 8 threads, 3x gate skipped)")
+EOF
 
 echo "=== fuzz pipeline throughput bench (quick) ==="
 "${prefix}/bench/bench_micro_fuzz" --quick --json "${root}/BENCH_fuzz.json"
@@ -83,5 +111,16 @@ echo "=== differential fuzz smoke under sanitizers (1000 seeds) ==="
 "${prefix}-asan/src/cli/hp_fuzz" --seed-range 0:1000 \
   --corpus "${prefix}-asan/fuzz-corpus"
 "${prefix}-asan/src/cli/hp_fuzz" --replay "${root}/tests/corpus"
+
+echo "=== work-stealing pool under ThreadSanitizer (HP_SANITIZE=thread) ==="
+cmake -B "${prefix}-tsan" -S "${root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DHP_SANITIZE=thread"
+cmake --build "${prefix}-tsan" -j
+# HP_THREADS=4 forces a real multi-worker pool even on 1-2 core CI
+# machines, so TSan sees genuine cross-thread interleavings in the
+# deques, the parallel kcore/BFS/fuzz paths, and the prefetch fan-out.
+HP_THREADS=4 "${prefix}-tsan/tests/unit_tests" --gtest_filter='*Par*:*par*:TaskGroup*:ThreadPool*:LaneLimit*:Oversubscription*:Determinism*:ParallelKCore*:KCoreEquivalence*:Invariants*'
+HP_THREADS=4 "${prefix}-tsan/src/cli/hp_fuzz" --seed-range 0:1000 \
+  --corpus "${prefix}-tsan/fuzz-corpus"
 
 echo "ci: all green"

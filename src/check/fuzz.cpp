@@ -5,11 +5,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
 #include "check/shrink.hpp"
 #include "core/hypergraph_io.hpp"
+#include "par/thread_pool.hpp"
 
 namespace hp::check {
 
@@ -65,66 +67,102 @@ std::string write_reproducer(const std::string& corpus_dir,
 FuzzSummary run_fuzz(const FuzzConfig& config) {
   const auto start = std::chrono::steady_clock::now();
   FuzzSummary summary;
-  for (std::uint64_t seed = config.seed_begin; seed < config.seed_end;
-       ++seed) {
-    const Hypergraph h = generate(seed, config.generator);
-    ++summary.cases;
+  const std::uint64_t span = config.seed_end > config.seed_begin
+                                 ? config.seed_end - config.seed_begin
+                                 : 0;
+  const index_t n = static_cast<index_t>(span);
 
-    std::vector<CheckFailure> checks = run_all_oracles(h, config.oracles);
-    ++summary.oracle_checks;
-    const bool structural_failure = !checks.empty();
-
-    if (config.mutation_trials > 0) {
-      // Distinct stream from the generator's so adding oracles never
-      // perturbs which corruptions a seed exercises.
-      Rng mutation_rng{seed ^ 0xda3e39cb94b95bdbULL};
-      auto mutated =
-          check_mutated_loads(h, mutation_rng, config.mutation_trials);
-      // 4 serialization formats x trials per format.
-      summary.mutation_trials +=
-          static_cast<count_t>(config.mutation_trials) * 4;
-      checks.insert(checks.end(), mutated.begin(), mutated.end());
-    }
-
-    if (checks.empty()) {
-      if (config.verbose) {
-        std::fprintf(stderr, "hp_fuzz: seed %llu (%s) ok -- %s\n",
-                     static_cast<unsigned long long>(seed),
-                     shape_name(shape_of_seed(seed)), describe(h).c_str());
-      }
-      continue;
-    }
-
+  // Seeds fan out across the shared pool. Every seed derives its own
+  // RNG streams from the seed value alone, and each case writes only
+  // its slot in `results`, so the outcome is identical under any lane
+  // count or schedule -- the merge below re-establishes seed order for
+  // the summary and the FAIL log lines. Only verbose per-case progress
+  // lines interleave (serialized by `log_mutex`, order unspecified).
+  struct CaseResult {
+    bool failed = false;
+    count_t mutation_trials = 0;
     FuzzFailure failure;
-    failure.seed = seed;
-    failure.source = "generated";
-    failure.checks = checks;
+    std::string witness_desc;
+  };
+  std::vector<CaseResult> results(n);
+  std::mutex log_mutex;
 
-    // Mutated-load failures depend on the corrupted bytes, not on the
-    // instance alone; only structural failures shrink meaningfully.
-    Hypergraph witness = h;
-    if (structural_failure && config.shrink_failures) {
-      const CheckOptions& oracles = config.oracles;
-      witness = shrink(h, [&oracles](const Hypergraph& candidate) {
-        return !run_all_oracles(candidate, oracles).empty();
-      });
-      failure.checks = run_all_oracles(witness, config.oracles);
-      if (failure.checks.empty()) failure.checks = checks;  // paranoia
-    }
-    failure.shrunk_vertices = witness.num_vertices();
-    failure.shrunk_edges = witness.num_edges();
+  par::parallel_for(0, n, /*grain=*/1, [&](index_t begin, index_t end,
+                                           int /*lane*/) {
+    for (index_t i = begin; i < end; ++i) {
+      const std::uint64_t seed = config.seed_begin + i;
+      CaseResult& slot = results[i];
+      const Hypergraph h = generate(seed, config.generator);
 
-    if (structural_failure && !config.corpus_dir.empty()) {
-      failure.reproducer_path = write_reproducer(
-          config.corpus_dir, seed, witness, failure.checks);
+      std::vector<CheckFailure> checks = run_all_oracles(h, config.oracles);
+      const bool structural_failure = !checks.empty();
+
+      if (config.mutation_trials > 0) {
+        // Distinct stream from the generator's so adding oracles never
+        // perturbs which corruptions a seed exercises.
+        Rng mutation_rng{seed ^ 0xda3e39cb94b95bdbULL};
+        auto mutated =
+            check_mutated_loads(h, mutation_rng, config.mutation_trials);
+        // 4 serialization formats x trials per format.
+        slot.mutation_trials =
+            static_cast<count_t>(config.mutation_trials) * 4;
+        checks.insert(checks.end(), mutated.begin(), mutated.end());
+      }
+
+      if (checks.empty()) {
+        if (config.verbose) {
+          const std::lock_guard<std::mutex> lock(log_mutex);
+          std::fprintf(stderr, "hp_fuzz: seed %llu (%s) ok -- %s\n",
+                       static_cast<unsigned long long>(seed),
+                       shape_name(shape_of_seed(seed)), describe(h).c_str());
+        }
+        continue;
+      }
+
+      slot.failed = true;
+      slot.failure.seed = seed;
+      slot.failure.source = "generated";
+      slot.failure.checks = checks;
+
+      // Mutated-load failures depend on the corrupted bytes, not on the
+      // instance alone; only structural failures shrink meaningfully.
+      Hypergraph witness = h;
+      if (structural_failure && config.shrink_failures) {
+        const CheckOptions& oracles = config.oracles;
+        witness = shrink(h, [&oracles](const Hypergraph& candidate) {
+          return !run_all_oracles(candidate, oracles).empty();
+        });
+        slot.failure.checks = run_all_oracles(witness, config.oracles);
+        if (slot.failure.checks.empty()) {
+          slot.failure.checks = checks;  // paranoia
+        }
+      }
+      slot.failure.shrunk_vertices = witness.num_vertices();
+      slot.failure.shrunk_edges = witness.num_edges();
+      slot.witness_desc = describe(witness);
+
+      if (structural_failure && !config.corpus_dir.empty()) {
+        // Reproducer names embed the seed, so concurrent writers never
+        // collide on a path.
+        slot.failure.reproducer_path = write_reproducer(
+            config.corpus_dir, seed, witness, slot.failure.checks);
+      }
     }
+  });
+
+  for (index_t i = 0; i < n; ++i) {
+    CaseResult& slot = results[i];
+    ++summary.cases;
+    ++summary.oracle_checks;
+    summary.mutation_trials += slot.mutation_trials;
+    if (!slot.failed) continue;
     std::fprintf(stderr,
                  "hp_fuzz: FAIL seed %llu (%s) oracles=[%s] shrunk to %s\n",
-                 static_cast<unsigned long long>(seed),
-                 shape_name(shape_of_seed(seed)),
-                 join_oracles(failure.checks).c_str(),
-                 describe(witness).c_str());
-    summary.failures.push_back(std::move(failure));
+                 static_cast<unsigned long long>(slot.failure.seed),
+                 shape_name(shape_of_seed(slot.failure.seed)),
+                 join_oracles(slot.failure.checks).c_str(),
+                 slot.witness_desc.c_str());
+    summary.failures.push_back(std::move(slot.failure));
   }
   summary.seconds = seconds_since(start);
   return summary;

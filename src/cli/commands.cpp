@@ -350,6 +350,9 @@ int cmd_pajek(const Args& args, std::ostream& out) {
 
 int cmd_report(const Args& args, std::ostream& out) {
   const Session session = open_session(args);
+  // The report touches nearly every artifact; build the independent
+  // ones concurrently on the shared pool before the serial rendering.
+  session.context.prefetch();
   const bio::PaperReport report = bio::analyze(session.context);
   const bio::PaperReference reference = args.get_bool("no-paper", false)
                                             ? bio::PaperReference{}

@@ -2,6 +2,7 @@
 
 #include "core/dual.hpp"
 #include "core/reduce.hpp"
+#include "par/thread_pool.hpp"
 
 namespace hp::hyper {
 
@@ -107,6 +108,27 @@ const HypergraphSummary& AnalysisContext::summary() const {
 const HyperPathSummary& AnalysisContext::paths() const {
   return paths_.get("context.build.path_summary",
                     [&] { return path_summary(hypergraph_); });
+}
+
+void AnalysisContext::prefetch() const {
+  HP_TRACE_SPAN("context.prefetch");
+  // Independent roots fan out; a task blocking in a sibling's call_once
+  // only ever waits on a build that is actively running, and the slot
+  // dependency graph is acyclic, so the group cannot deadlock.
+  par::TaskGroup group;
+  group.run([this] { dual(); });
+  group.run([this] { clique_projection(); });
+  group.run([this] { star_projection(); });  // pulls star_baits() first
+  group.run([this] { intersection_projection(); });
+  group.run([this] { components(); });
+  group.run([this] { vertex_degree_histogram(); });
+  group.run([this] { edge_size_histogram(); });
+  group.run([this] { overlaps(); });
+  group.run([this] { reduced(); });
+  group.run([this] { cores(); });
+  group.run([this] { paths(); });  // internally parallel; shares the pool
+  group.wait();
+  summary();  // components() and overlaps() are warm now
 }
 
 RepresentationCosts AnalysisContext::representation_costs() const {

@@ -159,6 +159,15 @@ class AnalysisContext {
   /// cached projections (same numbers as hyper::representation_costs).
   RepresentationCosts representation_costs() const;
 
+  /// Build every artifact eagerly, fanning the independent slots out
+  /// across the shared pool (src/par/) via a TaskGroup. Slots that
+  /// depend on others (summary on components + overlaps) are built
+  /// after the fan-out, when their inputs are already warm. Safe to
+  /// call concurrently with readers: the per-slot once_flags still
+  /// guarantee exactly-once construction. At HP_THREADS=1 this runs
+  /// every build inline, in declaration order.
+  void prefetch() const;
+
   /// Snapshot of every slot's build/hit counters.
   ContextStats stats() const;
 

@@ -1,13 +1,11 @@
 #include "core/kcore_parallel.hpp"
 
+#include <optional>
 #include <vector>
 
 #include "core/peel/peel.hpp"
 #include "obs/trace.hpp"
-
-#ifdef HP_HAVE_OPENMP
-#include <omp.h>
-#endif
+#include "par/thread_pool.hpp"
 
 namespace hp::hyper {
 
@@ -27,11 +25,11 @@ void delete_edges(ResidualHypergraph& residual,
 HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
                                             int num_threads,
                                             PeelStats* stats) {
-#ifdef HP_HAVE_OPENMP
-  if (num_threads > 0) omp_set_num_threads(num_threads);
-#else
-  (void)num_threads;
-#endif
+  // Scoped lane cap instead of the old omp_set_num_threads, which
+  // mutated process-wide state and oversubscribed under nesting; the
+  // shared pool never spawns threads per call (DESIGN.md section 11).
+  std::optional<par::LaneLimit> lane_limit;
+  if (num_threads > 0) lane_limit.emplace(num_threads);
   HP_TRACE_SPAN("kcore.decomposition_parallel");
   HyperCoreResult result;
   result.vertex_core.assign(h.num_vertices(), 0);

@@ -1,4 +1,5 @@
-// Bulk-synchronous (OpenMP) hypergraph k-core decomposition.
+// Bulk-synchronous hypergraph k-core decomposition on the shared
+// work-stealing pool (src/par/).
 //
 // The paper closes its section 3 with: "for large hypergraphs, a
 // parallel algorithm will need to be designed". This module supplies
@@ -18,9 +19,10 @@
 
 namespace hp::hyper {
 
-/// Parallel core decomposition. `num_threads` <= 0 means use the OpenMP
-/// default. Falls back to the same bulk-synchronous algorithm run
-/// sequentially when OpenMP is unavailable.
+/// Parallel core decomposition. `num_threads` <= 0 uses the shared
+/// pool's full lane count (HP_THREADS or hardware_concurrency);
+/// positive values cap the lanes for this call only, with 1 running the
+/// same bulk-synchronous algorithm serially inline.
 HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
                                             int num_threads = 0);
 

@@ -29,7 +29,7 @@ index_t find_container(const ResidualHypergraph& residual,
 /// Bulk flavor (parallel peel, whole-hypergraph reduction): decide which
 /// of `candidates` are non-maximal under the current residual sets via
 /// an overlap-counting sweep per candidate with thread-local counters
-/// (OpenMP across candidates when available). Strict containment always
+/// (parallel over candidates on the shared pool, src/par/). Strict containment always
 /// dooms a candidate; among identical residual sets the lowest id
 /// survives, making the result deterministic under any schedule.
 /// Candidates may repeat; the returned doomed list is sorted and unique.

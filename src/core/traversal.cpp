@@ -3,10 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hpp"
-
-#ifdef HP_HAVE_OPENMP
-#include <omp.h>
-#endif
+#include "par/thread_pool.hpp"
 
 namespace hp::hyper {
 
@@ -78,25 +75,89 @@ HyperComponents connected_components(const Hypergraph& h) {
   return comp;
 }
 
+namespace {
+
+/// Per-lane BFS workspace reused across sources. Visitation is
+/// epoch-stamped (one epoch per source), so successive BFS runs skip
+/// the O(|V| + |F|) reset the one-shot bfs_distances pays.
+struct BfsScratch {
+  std::vector<index_t> vertex_epoch;
+  std::vector<index_t> edge_epoch;
+  std::vector<index_t> frontier;
+  std::vector<index_t> next;
+  index_t epoch = 0;
+
+  void ensure(const Hypergraph& h) {
+    if (vertex_epoch.size() == h.num_vertices()) return;
+    vertex_epoch.assign(h.num_vertices(), 0);
+    edge_epoch.assign(h.num_edges(), 0);
+  }
+};
+
+/// One hyperpath BFS from `source`, folding distances straight into the
+/// partial sums (the distance array itself is scratch).
+void accumulate_bfs(const Hypergraph& h, index_t source, BfsScratch& s,
+                    count_t& total, count_t& pairs, index_t& diameter) {
+  s.ensure(h);
+  const index_t epoch = ++s.epoch;
+  s.frontier.clear();
+  s.frontier.push_back(source);
+  s.vertex_epoch[source] = epoch;
+  index_t level = 0;
+  while (!s.frontier.empty()) {
+    ++level;
+    s.next.clear();
+    for (index_t u : s.frontier) {
+      for (index_t e : h.edges_of(u)) {
+        if (s.edge_epoch[e] == epoch) continue;
+        s.edge_epoch[e] = epoch;
+        for (index_t v : h.vertices_of(e)) {
+          if (s.vertex_epoch[v] == epoch) continue;
+          s.vertex_epoch[v] = epoch;
+          s.next.push_back(v);
+          total += level;
+          ++pairs;
+          diameter = std::max(diameter, level);
+        }
+      }
+    }
+    s.frontier.swap(s.next);
+  }
+}
+
+}  // namespace
+
 HyperPathSummary path_summary(const Hypergraph& h) {
   HP_TRACE_SPAN("traversal.path_summary");
   HyperPathSummary summary;
   const index_t n = h.num_vertices();
+
+  // All-sources sweep on the shared pool: each lane owns one BfsScratch
+  // plus exact integer partials, merged lane-by-lane afterwards --
+  // schedule-independent, so HP_THREADS=1 and =16 agree bit-for-bit.
+  struct LanePartial {
+    BfsScratch scratch;
+    count_t total = 0;
+    count_t pairs = 0;
+    index_t diameter = 0;
+  };
+  std::vector<LanePartial> lanes(
+      static_cast<std::size_t>(par::ThreadPool::global().thread_count()));
+  par::parallel_for(0, n, /*grain=*/4, [&](index_t begin, index_t end,
+                                           int lane) {
+    LanePartial& p = lanes[static_cast<std::size_t>(lane)];
+    for (index_t s = begin; s < end; ++s) {
+      accumulate_bfs(h, s, p.scratch, p.total, p.pairs, p.diameter);
+    }
+  });
+
   count_t total = 0;
   count_t pairs = 0;
   index_t diameter = 0;
-#ifdef HP_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic, 8) \
-    reduction(+ : total, pairs) reduction(max : diameter)
-#endif
-  for (index_t s = 0; s < n; ++s) {
-    const std::vector<index_t> dist = bfs_distances(h, s);
-    for (index_t v = 0; v < n; ++v) {
-      if (v == s || dist[v] == kInvalidIndex) continue;
-      total += dist[v];
-      ++pairs;
-      diameter = std::max(diameter, dist[v]);
-    }
+  for (const LanePartial& p : lanes) {
+    total += p.total;
+    pairs += p.pairs;
+    diameter = std::max(diameter, p.diameter);
   }
   summary.diameter = diameter;
   summary.connected_pairs = pairs;

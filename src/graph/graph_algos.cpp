@@ -2,9 +2,7 @@
 
 #include <algorithm>
 
-#ifdef HP_HAVE_OPENMP
-#include <omp.h>
-#endif
+#include "par/thread_pool.hpp"
 
 namespace hp::graph {
 
@@ -65,21 +63,57 @@ Components connected_components(const Graph& g) {
 PathSummary path_summary(const Graph& g) {
   PathSummary summary;
   const index_t n = g.num_vertices();
-  count_t total = 0;
-  index_t diameter = 0;
-  count_t pairs = 0;
-#ifdef HP_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic, 16) \
-    reduction(+ : total, pairs) reduction(max : diameter)
-#endif
-  for (index_t s = 0; s < n; ++s) {
-    const std::vector<index_t> dist = bfs_distances(g, s);
-    for (index_t v = 0; v < n; ++v) {
-      if (v == s || dist[v] == kInvalidIndex) continue;
-      total += dist[v];
-      ++pairs;
-      diameter = std::max(diameter, dist[v]);
+
+  // Per-lane epoch-stamped BFS scratch, reused across the sources a
+  // lane processes; exact integer partials keep the result independent
+  // of the chunk schedule (same convention as hyper::path_summary:
+  // unreachable pairs are excluded, averages are within components).
+  struct LanePartial {
+    std::vector<index_t> epoch_of;
+    std::vector<index_t> frontier;
+    std::vector<index_t> next;
+    index_t epoch = 0;
+    count_t total = 0;
+    count_t pairs = 0;
+    index_t diameter = 0;
+  };
+  std::vector<LanePartial> lanes(
+      static_cast<std::size_t>(par::ThreadPool::global().thread_count()));
+  par::parallel_for(0, n, /*grain=*/8, [&](index_t begin, index_t end,
+                                           int lane) {
+    LanePartial& p = lanes[static_cast<std::size_t>(lane)];
+    if (p.epoch_of.size() != n) p.epoch_of.assign(n, 0);
+    for (index_t s = begin; s < end; ++s) {
+      const index_t epoch = ++p.epoch;
+      p.frontier.clear();
+      p.frontier.push_back(s);
+      p.epoch_of[s] = epoch;
+      index_t level = 0;
+      while (!p.frontier.empty()) {
+        ++level;
+        p.next.clear();
+        for (index_t u : p.frontier) {
+          for (index_t v : g.neighbors(u)) {
+            if (p.epoch_of[v] == epoch) continue;
+            p.epoch_of[v] = epoch;
+            p.next.push_back(v);
+            p.total += level;
+            ++p.pairs;
+            p.diameter = std::max(p.diameter, level);
+          }
+        }
+        p.frontier.swap(p.next);
+      }
     }
+  });
+
+  count_t total = 0;
+  count_t pairs = 0;
+  index_t diameter = 0;
+  for (const LanePartial& p : lanes) {
+    total += p.total;
+    pairs += p.pairs;
+    diameter = std::max(diameter, p.diameter);
   }
   summary.diameter = diameter;
   summary.pairs = pairs;

@@ -1,0 +1,299 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
+namespace hp::par {
+
+namespace {
+
+/// Identity of the pool worker running the current thread (null pool
+/// for external threads, including the main thread).
+struct WorkerIdentity {
+  ThreadPool* pool = nullptr;
+  int slot = 0;
+};
+thread_local WorkerIdentity tl_worker;
+
+/// Thread-local lane cap managed by LaneLimit; 0 = unlimited.
+thread_local int tl_lane_limit = 0;
+
+obs::Counter& tasks_counter() {
+  static obs::Counter& c = obs::counter("par.tasks");
+  return c;
+}
+
+obs::Counter& steals_counter() {
+  static obs::Counter& c = obs::counter("par.steals");
+  return c;
+}
+
+obs::Counter& idle_counter() {
+  static obs::Counter& c = obs::counter("par.idle_ns");
+  return c;
+}
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int parse_thread_count(const char* text, int fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return fallback;  // non-numeric / trailing junk
+  if (value <= 0) return fallback;                   // 0 and negatives = "default"
+  return static_cast<int>(std::min<long>(value, kMaxThreads));
+}
+
+int configured_threads() {
+  return parse_thread_count(std::getenv("HP_THREADS"), hardware_threads());
+}
+
+ThreadPool::ThreadPool(int threads)
+    : lanes_(std::clamp(threads, 1, kMaxThreads)) {
+  queues_.reserve(static_cast<std::size_t>(lanes_));
+  for (int i = 0; i < lanes_; ++i) {
+    queues_.push_back(std::make_unique<Lane>());
+  }
+  workers_.reserve(static_cast<std::size_t>(lanes_ - 1));
+  for (int slot = 1; slot < lanes_; ++slot) {
+    workers_.emplace_back([this, slot] { worker_main(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool{configured_threads()};
+  return pool;
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.tasks = tasks_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.idle_ns = idle_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::submit(Task task) {
+  const int slot = tl_worker.pool == this ? tl_worker.slot : 0;
+  {
+    std::lock_guard<std::mutex> lock(queues_[static_cast<std::size_t>(slot)]->mutex);
+    queues_[static_cast<std::size_t>(slot)]->deque.push_back(std::move(task));
+  }
+  {
+    // Bump under the sleep mutex so a worker checking queued_ before
+    // parking cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::try_take(int self_slot, Task& out) {
+  {
+    Lane& own = *queues_[static_cast<std::size_t>(self_slot)];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.deque.empty()) {
+      out = std::move(own.deque.back());  // LIFO: best cache locality
+      own.deque.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (int offset = 1; offset < lanes_; ++offset) {
+    const int victim = (self_slot + offset) % lanes_;
+    Lane& lane = *queues_[static_cast<std::size_t>(victim)];
+    std::lock_guard<std::mutex> lock(lane.mutex);
+    if (lane.deque.empty()) continue;
+    out = std::move(lane.deque.front());  // FIFO steal: oldest task
+    lane.deque.pop_front();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    steals_counter().add(1);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::execute(Task& task) {
+  tasks_.fetch_add(1, std::memory_order_relaxed);
+  tasks_counter().add(1);
+  try {
+    task.fn();
+  } catch (...) {
+    task.group->capture(std::current_exception());
+  }
+  task.group->finish_one();
+  task.group.reset();  // release the state before the next take
+}
+
+bool ThreadPool::try_run_one() {
+  const int slot = tl_worker.pool == this ? tl_worker.slot : 0;
+  Task task;
+  if (!try_take(slot, task)) return false;
+  execute(task);
+  return true;
+}
+
+void ThreadPool::worker_main(int slot) {
+  tl_worker = {this, slot};
+  for (;;) {
+    Task task;
+    if (try_take(slot, task)) {
+      execute(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stop_) return;
+    if (queued_.load(std::memory_order_relaxed) == 0) {
+      Timer idle;
+      sleep_cv_.wait(lock, [this] {
+        return stop_ || queued_.load(std::memory_order_relaxed) > 0;
+      });
+      const std::uint64_t ns = idle.nanoseconds();
+      idle_ns_.fetch_add(ns, std::memory_order_relaxed);
+      idle_counter().add(ns);
+    }
+    if (stop_) return;
+  }
+}
+
+LaneLimit::LaneLimit(int max_lanes) : previous_(tl_lane_limit) {
+  const int requested = std::max(max_lanes, 1);
+  tl_lane_limit =
+      previous_ == 0 ? requested : std::min(previous_, requested);
+}
+
+LaneLimit::~LaneLimit() { tl_lane_limit = previous_; }
+
+int LaneLimit::current() { return tl_lane_limit; }
+
+TaskGroup::TaskGroup(ThreadPool& pool)
+    : pool_(pool), state_(std::make_shared<detail::GroupState>()) {}
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Destructor must not throw; call wait() to observe task errors.
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  if (pool_.thread_count() == 1 || tl_lane_limit == 1) {
+    fn();  // serial mode: inline, exceptions propagate to the caller
+    return;
+  }
+  state_->pending.fetch_add(1, std::memory_order_acq_rel);
+  pool_.submit({std::move(fn), state_});
+}
+
+void TaskGroup::wait() {
+  detail::GroupState& state = *state_;
+  while (state.pending.load(std::memory_order_acquire) != 0) {
+    if (pool_.try_run_one()) continue;
+    const int snapshot = state.pending.load(std::memory_order_acquire);
+    if (snapshot == 0) break;
+    // Tasks of this group are in flight on workers; park until one
+    // finishes (finish_one notifies on every decrement).
+    state.pending.wait(snapshot, std::memory_order_acquire);
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state.error_mutex);
+    std::swap(error, state.error);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+namespace detail {
+
+namespace {
+
+struct ForJob {
+  std::atomic<index_t> next{0};
+  index_t end = 0;
+  index_t grain = 1;
+  ForBody body = nullptr;
+  void* context = nullptr;
+  std::atomic<bool> abort{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+void drive(ForJob& job, int lane) {
+  while (!job.abort.load(std::memory_order_relaxed)) {
+    const index_t begin =
+        job.next.fetch_add(job.grain, std::memory_order_relaxed);
+    if (begin >= job.end) return;
+    const index_t end = std::min<index_t>(begin + job.grain, job.end);
+    try {
+      job.body(job.context, begin, end, lane);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.error) job.error = std::current_exception();
+      }
+      job.abort.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void run_for(ThreadPool& pool, index_t begin, index_t end, index_t grain,
+             int max_lanes, ForBody body, void* context) {
+  if (end <= begin) return;
+  grain = std::max<index_t>(grain, 1);
+  const index_t items = end - begin;
+  HP_TRACE_SPAN("par.for", items);
+
+  int cap = pool.thread_count();
+  if (tl_lane_limit > 0) cap = std::min(cap, tl_lane_limit);
+  if (max_lanes > 0) cap = std::min(cap, max_lanes);
+  const index_t chunks = (items + grain - 1) / grain;
+  const int lanes = static_cast<int>(
+      std::min<index_t>(static_cast<index_t>(cap), chunks));
+
+  if (lanes <= 1) {
+    body(context, begin, end, 0);
+    return;
+  }
+
+  ForJob job;
+  job.next.store(begin, std::memory_order_relaxed);
+  job.end = end;
+  job.grain = grain;
+  job.body = body;
+  job.context = context;
+
+  TaskGroup group{pool};
+  for (int lane = 1; lane < lanes; ++lane) {
+    group.run([&job, lane] { drive(job, lane); });
+  }
+  drive(job, 0);
+  group.wait();
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace detail
+
+}  // namespace hp::par

@@ -1,0 +1,258 @@
+// Process-wide work-stealing parallel runtime (DESIGN.md section 11).
+//
+// One lazily-initialized ThreadPool serves every parallel region in the
+// process: the bulk-synchronous k-core peel, the all-sources BFS path
+// sweep, AnalysisContext slot prefetching, and the fuzz driver's seed
+// fan-out. Centralizing the threads fixes the oversubscription the
+// previous per-call OpenMP regions suffered (a nested parallel region
+// multiplied thread counts, and omp_set_num_threads mutated process
+// state): nested parallel_for/TaskGroup calls reuse the same fixed set
+// of workers, so the process-wide thread count is bounded by the pool
+// size no matter how deeply parallel regions nest.
+//
+// Topology: `thread_count()` lanes, of which lane 0 is the submitting
+// caller and lanes 1..N-1 are pooled std::threads. Each worker owns a
+// deque (LIFO for the owner, FIFO for thieves); external submissions
+// land in a shared injection deque that workers also steal from. A
+// blocked wait() helps: the waiting thread drains tasks instead of
+// sleeping, so nested regions cannot deadlock.
+//
+// Configuration: the global pool reads HP_THREADS once at first use.
+// Unset, empty, non-numeric, or "0" fall back to
+// hardware_concurrency(); "1" degrades every region to serial inline
+// execution (no worker threads at all, bit-identical results); larger
+// values are honored up to kMaxThreads even beyond the hardware count
+// (useful for stress-testing races on small machines).
+//
+// Determinism contract: parallel_for partitions [begin, end) into
+// grain-sized chunks claimed dynamically by at most `thread_count()`
+// lanes. Chunk-to-lane assignment is non-deterministic; algorithms stay
+// schedule-independent by writing to disjoint indices and/or combining
+// per-lane partials with commutative-associative operations on exact
+// (integer) accumulators -- every in-tree caller does one of the two,
+// which is why HP_THREADS=1 and HP_THREADS=16 produce identical output.
+//
+// Observability: every region opens a "par.for" span; the pool
+// publishes par.tasks / par.steals / par.idle_ns counters.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hp::par {
+
+/// Hard upper bound on pool lanes (backstop against absurd HP_THREADS).
+inline constexpr int kMaxThreads = 256;
+
+/// std::thread::hardware_concurrency(), clamped to >= 1.
+int hardware_threads();
+
+/// Parse an HP_THREADS-style override. nullptr, empty, non-numeric,
+/// trailing-garbage, negative, zero, or overflowing text yields
+/// `fallback`; valid positive values are clamped to kMaxThreads.
+int parse_thread_count(const char* text, int fallback);
+
+/// Lane count the global pool is built with: HP_THREADS when set and
+/// valid, hardware_threads() otherwise.
+int configured_threads();
+
+/// Monotonic pool counters (also published as obs metrics par.*).
+struct PoolStats {
+  std::uint64_t tasks = 0;   ///< tasks executed (group tasks + runners)
+  std::uint64_t steals = 0;  ///< tasks taken from another lane's deque
+  std::uint64_t idle_ns = 0; ///< total time workers spent parked
+};
+
+class TaskGroup;
+
+namespace detail {
+
+/// Completion state shared between a TaskGroup and its in-flight tasks.
+/// Held by shared_ptr from both sides so a worker finishing the last
+/// task can never touch a destroyed counter, even if the group object
+/// is already unwinding.
+struct GroupState {
+  std::atomic<int> pending{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void capture(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!error) error = std::move(e);
+  }
+  void finish_one() {
+    pending.fetch_sub(1, std::memory_order_acq_rel);
+    pending.notify_all();
+  }
+};
+
+}  // namespace detail
+
+class ThreadPool {
+ public:
+  /// `threads` = lane count including the submitting caller, clamped to
+  /// [1, kMaxThreads]; 1 spawns no workers and runs everything inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, built on first use with
+  /// configured_threads(). Intentionally never resized afterwards.
+  static ThreadPool& global();
+
+  /// Total lanes (caller + workers); >= 1.
+  int thread_count() const { return lanes_; }
+
+  /// Spawned std::threads (thread_count() - 1).
+  int worker_count() const { return lanes_ - 1; }
+
+  PoolStats stats() const;
+
+  /// Pop-or-steal one queued task and run it on the calling thread.
+  /// Returns false when every deque is empty. Public so blocked waiters
+  /// outside TaskGroup (tests, future latches) can help too.
+  bool try_run_one();
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    std::shared_ptr<detail::GroupState> group;
+  };
+
+  /// One lane's deque. Slot 0 is the shared injection queue for
+  /// external (non-worker) submitters; slots 1..N-1 belong to workers.
+  struct Lane {
+    std::mutex mutex;
+    std::deque<Task> deque;
+  };
+
+  void submit(Task task);
+  bool try_take(int self_slot, Task& out);
+  void execute(Task& task);
+  void worker_main(int slot);
+
+  int lanes_;
+  std::vector<std::unique_ptr<Lane>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<int> queued_{0};
+  bool stop_ = false;
+
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> idle_ns_{0};
+};
+
+/// Scoped cap on the lane count of parallel regions *entered from the
+/// current thread* (tasks already running on other workers are not
+/// affected). LaneLimit{1} is the serial escape hatch: regions run
+/// inline on the caller, deterministically, with no tasks submitted.
+/// Nested limits compose by taking the minimum.
+class LaneLimit {
+ public:
+  explicit LaneLimit(int max_lanes);
+  ~LaneLimit();
+
+  LaneLimit(const LaneLimit&) = delete;
+  LaneLimit& operator=(const LaneLimit&) = delete;
+
+  /// The cap active on this thread; 0 = unlimited.
+  static int current();
+
+ private:
+  int previous_;
+};
+
+/// Scoped fork-join task group. run() enqueues one task (or executes it
+/// inline when the pool is serial / lane-limited to 1); wait() blocks
+/// until every task finished, helping with queued work meanwhile, and
+/// rethrows the first exception any task raised. The destructor waits
+/// but swallows exceptions; call wait() explicitly to observe them.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool = ThreadPool::global());
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+  void wait();
+
+ private:
+  ThreadPool& pool_;
+  std::shared_ptr<detail::GroupState> state_;
+};
+
+namespace detail {
+
+/// Type-erased chunk body: (context, chunk_begin, chunk_end, lane).
+using ForBody = void (*)(void*, index_t, index_t, int);
+
+/// Dynamic-scheduling parallel loop core: at most min(max_lanes or
+/// pool lanes, chunk count) lanes claim grain-sized chunks from a
+/// shared cursor. The caller drives lane 0; the first exception aborts
+/// remaining chunks and is rethrown here.
+void run_for(ThreadPool& pool, index_t begin, index_t end, index_t grain,
+             int max_lanes, ForBody body, void* context);
+
+}  // namespace detail
+
+/// parallel_for(begin, end, grain, body): body(chunk_begin, chunk_end,
+/// lane) over disjoint chunks of [begin, end). `lane` is a dense id in
+/// [0, pool.thread_count()) stable for the duration of one chunk --
+/// index per-lane scratch with it. Grain is the chunk size in
+/// iterations; pick it so one chunk amortizes a claim (an atomic
+/// fetch_add) against the loop body's cost.
+template <typename Body>
+void parallel_for(index_t begin, index_t end, index_t grain, Body&& body,
+                  ThreadPool& pool = ThreadPool::global()) {
+  using BodyT = std::remove_reference_t<Body>;
+  detail::run_for(
+      pool, begin, end, grain, /*max_lanes=*/0,
+      [](void* context, index_t b, index_t e, int lane) {
+        (*static_cast<BodyT*>(context))(b, e, lane);
+      },
+      const_cast<std::remove_const_t<BodyT>*>(&body));
+}
+
+/// parallel_reduce(begin, end, grain, identity, body, combine):
+/// body(chunk_begin, chunk_end) -> T per chunk, folded into per-lane
+/// partials and then combined lane-by-lane. `combine` must be
+/// commutative and associative for schedule-independent results (exact
+/// accumulators; all in-tree uses are integral).
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(index_t begin, index_t end, index_t grain, T identity,
+                  Body&& body, Combine&& combine,
+                  ThreadPool& pool = ThreadPool::global()) {
+  std::vector<T> partials(static_cast<std::size_t>(pool.thread_count()),
+                          identity);
+  parallel_for(
+      begin, end, grain,
+      [&](index_t b, index_t e, int lane) {
+        partials[static_cast<std::size_t>(lane)] =
+            combine(partials[static_cast<std::size_t>(lane)], body(b, e));
+      },
+      pool);
+  T result = identity;
+  for (const T& partial : partials) result = combine(result, partial);
+  return result;
+}
+
+}  // namespace hp::par

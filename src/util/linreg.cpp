@@ -14,6 +14,15 @@ LinearFit linear_fit(const std::vector<double>& x,
   if (n < 2) {
     throw std::invalid_argument{"linear_fit: need at least two points"};
   }
+  // Reject -inf/NaN up front: a caller that takes log10 of an empty
+  // bucket would otherwise poison the sums and come back with a NaN
+  // slope instead of an error.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x[i]) || !std::isfinite(y[i])) {
+      throw std::invalid_argument{
+          "linear_fit: non-finite point (log of a zero-count bucket?)"};
+    }
+  }
   double sx = 0.0, sy = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     sx += x[i];
@@ -46,6 +55,9 @@ LinearFit linear_fit(const std::vector<double>& x,
 
 namespace {
 /// Collect the log-log / semi-log points with positive frequency.
+/// Zero-count bins and the d=0 bin are skipped here -- log10 of either
+/// would be -inf/undefined -- so the fits below only ever see finite
+/// points (linear_fit still rejects non-finite input defensively).
 void collect_points(const std::vector<std::size_t>& frequencies,
                     bool log_x, std::vector<double>& xs,
                     std::vector<double>& ys) {

@@ -4,6 +4,11 @@
 // states an algebraic law of the substrate and asserts it on every
 // generated instance.
 //
+// The seeds fan out across the shared work-stealing pool (src/par/):
+// every case derives all of its randomness from the seed value alone,
+// so the verdicts are independent of lane count and schedule. gtest's
+// EXPECT macros are thread-safe on pthreads.
+//
 //   * dual involution:      dual(dual(H)) = H minus isolated vertices
 //   * reduce idempotence:   reduce(reduce(H)) = reduce(H)
 //   * core nesting:         kcore(k+1) is a sub-hypergraph of kcore(k)
@@ -22,6 +27,7 @@
 #include "core/hypergraph.hpp"
 #include "core/kcore.hpp"
 #include "core/reduce.hpp"
+#include "par/thread_pool.hpp"
 
 namespace hp::hyper {
 namespace {
@@ -30,8 +36,21 @@ constexpr std::uint64_t kSeeds = 50;
 
 Hypergraph instance(std::uint64_t seed) { return check::generate(seed); }
 
+/// Fan `body(seed)` over the sweep seeds on the shared pool, one seed
+/// per task (grain 1 -- cases vary wildly in cost, so fine-grained
+/// stealing is what balances the lanes).
+template <typename Body>
+void for_each_seed(const Body& body) {
+  par::parallel_for(index_t{0}, static_cast<index_t>(kSeeds), /*grain=*/1,
+                    [&](index_t begin, index_t end, int /*lane*/) {
+                      for (index_t i = begin; i < end; ++i) {
+                        body(static_cast<std::uint64_t>(i));
+                      }
+                    });
+}
+
 TEST(Invariants, DualInvolutionUpToIsolatedVertices) {
-  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+  for_each_seed([](std::uint64_t seed) {
     const Hypergraph h = instance(seed);
     const Hypergraph dd = dual(dual(h));
 
@@ -46,21 +65,21 @@ TEST(Invariants, DualInvolutionUpToIsolatedVertices) {
                std::vector<bool>(h.num_edges(), true))
             .hypergraph;
     EXPECT_TRUE(check::same_structure(dd, expected)) << "seed " << seed;
-  }
+  });
 }
 
 TEST(Invariants, ReduceIsIdempotent) {
-  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+  for_each_seed([](std::uint64_t seed) {
     const Hypergraph h = instance(seed);
     const Hypergraph once = reduce(h).hypergraph;
     EXPECT_TRUE(is_reduced(once)) << "seed " << seed;
     const Hypergraph twice = reduce(once).hypergraph;
     EXPECT_TRUE(check::same_structure(once, twice)) << "seed " << seed;
-  }
+  });
 }
 
 TEST(Invariants, CoresAreNested) {
-  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+  for_each_seed([](std::uint64_t seed) {
     const Hypergraph h = instance(seed);
     const HyperCoreResult d = core_decomposition(h);
     for (index_t k = 1; k <= d.max_core; ++k) {
@@ -73,11 +92,11 @@ TEST(Invariants, CoresAreNested) {
       EXPECT_EQ(static_cast<index_t>(outer.size()), d.level_vertices[k])
           << "seed " << seed << " k " << k;
     }
-  }
+  });
 }
 
 TEST(Invariants, VertexCoreBoundedByDegreeAndRealized) {
-  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+  for_each_seed([](std::uint64_t seed) {
     const Hypergraph h = instance(seed);
     const HyperCoreResult d = core_decomposition(h);
     index_t observed_max = 0;
@@ -87,11 +106,11 @@ TEST(Invariants, VertexCoreBoundedByDegreeAndRealized) {
     }
     // max_core is attained by some vertex (0 when no vertex survives).
     EXPECT_EQ(observed_max, d.max_core) << "seed " << seed;
-  }
+  });
 }
 
 TEST(Invariants, ExtractedCoresSatisfyCoreConditions) {
-  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+  for_each_seed([](std::uint64_t seed) {
     const Hypergraph h = instance(seed);
     const HyperCoreResult d = core_decomposition(h);
     for (index_t k = 1; k <= d.max_core; ++k) {
@@ -99,13 +118,13 @@ TEST(Invariants, ExtractedCoresSatisfyCoreConditions) {
       EXPECT_TRUE(satisfies_core_conditions(core.hypergraph, k))
           << "seed " << seed << " k " << k;
     }
-  }
+  });
 }
 
 TEST(Invariants, ReductionPreservesCoreDecomposition) {
   // The k-core is defined on the reduced hypergraph, so reducing first
   // must not change any surviving vertex's core number.
-  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+  for_each_seed([](std::uint64_t seed) {
     const Hypergraph h = instance(seed);
     const HyperCoreResult before = core_decomposition(h);
     const SubHypergraph reduced = reduce(h);
@@ -116,7 +135,7 @@ TEST(Invariants, ReductionPreservesCoreDecomposition) {
                 before.vertex_core[reduced.vertex_to_parent[v]])
           << "seed " << seed << " vertex " << v;
     }
-  }
+  });
 }
 
 }  // namespace

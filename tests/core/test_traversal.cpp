@@ -111,6 +111,26 @@ TEST(HyperPathSummary, ChainValues) {
   EXPECT_DOUBLE_EQ(s.average_length, 2.0);
 }
 
+TEST(HyperPathSummary, TwoComponentsAverageWithinComponentsOnly) {
+  // The paper reports its 2.568 average path length over the giant
+  // component, i.e. averaging over connected ordered pairs only.
+  // Unreachable cross-component pairs must enter neither the numerator
+  // nor the denominator.
+  //   component A: chain 0-1-2 via {0,1},{1,2}
+  //   component B: pair 3-4 via {3,4}
+  HypergraphBuilder b{5};
+  b.add_edge({0, 1});
+  b.add_edge({1, 2});
+  b.add_edge({3, 4});
+  const HyperPathSummary s = path_summary(b.build());
+  // A: ordered-pair distances 1,1,1,1,2,2 (total 8 over 6 pairs).
+  // B: 1,1 (total 2 over 2 pairs). The 12 cross pairs are excluded,
+  // so the average is 10/8, not 10/20 or an infinity-poisoned value.
+  EXPECT_EQ(s.connected_pairs, 8u);
+  EXPECT_EQ(s.diameter, 2u);
+  EXPECT_DOUBLE_EQ(s.average_length, 1.25);
+}
+
 TEST(HyperPathSummary, EmptyAndSingleton) {
   const HyperPathSummary empty = path_summary(HypergraphBuilder{0}.build());
   EXPECT_EQ(empty.diameter, 0u);

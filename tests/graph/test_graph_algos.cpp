@@ -80,6 +80,21 @@ TEST(PathSummary, DisconnectedPairsExcluded) {
   EXPECT_DOUBLE_EQ(s.average_length, 1.0);
 }
 
+TEST(PathSummary, TwoComponentsAverageWithinComponentsOnly) {
+  // Mirror of the hypergraph fixture: a 3-chain plus a 2-chain. The
+  // average must be 10/8 over connected ordered pairs; the 12 cross
+  // pairs stay out of the denominator (paper convention: path metrics
+  // are reported per component).
+  GraphBuilder b{5};
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const PathSummary s = path_summary(b.build());
+  EXPECT_EQ(s.pairs, 8u);
+  EXPECT_EQ(s.diameter, 2u);
+  EXPECT_DOUBLE_EQ(s.average_length, 1.25);
+}
+
 TEST(PathSummary, RandomGraphIsSmallWorldScale) {
   Rng rng{7};
   const Graph g = generate_erdos_renyi(200, 1000, rng);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/rng.hpp"
 
@@ -47,6 +48,16 @@ TEST(LinearFit, RejectsBadInput) {
   EXPECT_THROW(linear_fit({3.0, 3.0}, {1.0, 2.0}), std::invalid_argument);
 }
 
+TEST(LinearFit, RejectsNonFinitePoints) {
+  // log10 of an empty bucket is -inf; the fit must refuse it loudly
+  // instead of returning a NaN slope.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(linear_fit({0.0, 1.0}, {-inf, 2.0}), std::invalid_argument);
+  EXPECT_THROW(linear_fit({-inf, 1.0}, {0.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(linear_fit({0.0, 1.0}, {nan, 2.0}), std::invalid_argument);
+}
+
 TEST(PowerLawFit, RecoversSyntheticExponent) {
   // frequencies[d] = round(1000 * d^-2.5)
   std::vector<std::size_t> freq(30, 0);
@@ -70,6 +81,32 @@ TEST(PowerLawFit, SkipsZeroFrequencies) {
 TEST(PowerLawFit, RejectsTooFewPoints) {
   EXPECT_THROW(power_law_fit({0, 5}), std::invalid_argument);
   EXPECT_THROW(power_law_fit({}), std::invalid_argument);
+}
+
+TEST(PowerLawFit, ZeroCountBinsNeverPoisonTheFit) {
+  // A histogram whose frequencies() span includes empty buckets (and
+  // the un-loggable degree-0 bin) must produce a finite fit: the empty
+  // bins are skipped, never log10'd into -inf.
+  const std::vector<std::size_t> freq{7, 0, 100, 0, 0, 10, 0, 1, 0};
+  const PowerLawFit fit = power_law_fit(freq);
+  EXPECT_EQ(fit.n, 3u);  // degrees 2, 5, 7 only
+  EXPECT_TRUE(std::isfinite(fit.gamma));
+  EXPECT_TRUE(std::isfinite(fit.log10_c));
+  EXPECT_TRUE(std::isfinite(fit.r_squared));
+}
+
+TEST(ExponentialFit, ZeroCountBinsNeverPoisonTheFit) {
+  const std::vector<std::size_t> freq{3, 0, 50, 0, 5, 0, 0, 2};
+  const ExponentialFit fit = exponential_fit(freq);
+  EXPECT_EQ(fit.n, 3u);
+  EXPECT_TRUE(std::isfinite(fit.lambda));
+  EXPECT_TRUE(std::isfinite(fit.log10_c));
+}
+
+TEST(PowerLawFit, DegreeZeroOnlyPopulationThrowsInsteadOfInf) {
+  // Every observation at degree 0 (plus one lone positive bin): fewer
+  // than two usable points must be a clean error, not a silent -inf.
+  EXPECT_THROW(power_law_fit({42, 0, 0, 3}), std::invalid_argument);
 }
 
 TEST(ExponentialFit, RecoversSyntheticRate) {
