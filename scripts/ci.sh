@@ -42,6 +42,22 @@ else:
           f"(< 8 threads, 3x gate skipped)")
 EOF
 
+echo "=== mutable pipeline ablation bench (quick) ==="
+"${prefix}/bench/bench_micro_mutate" --quick --json "${root}/BENCH_mutate.json"
+python3 - "${root}/BENCH_mutate.json" <<'EOF'
+import json, sys
+
+bench = json.load(open(sys.argv[1]))
+speedup = bench["gate_speedup"]
+scaled = next(i for i in bench["instances"] if i["name"] == "cellzome scaled")
+assert scaled["rebuild_seconds"] > 0, "rebuild baseline did not run"
+assert speedup >= 20.0, \
+    f"incremental single-edge update speedup {speedup:.1f}x < 20x " \
+    f"vs full context rebuild on the scaled surrogate"
+print(f"mutate bench ok: {speedup:.1f}x single-update speedup vs rebuild "
+      f"(gate: >= 20x)")
+EOF
+
 echo "=== fuzz pipeline throughput bench (quick) ==="
 "${prefix}/bench/bench_micro_fuzz" --quick --json "${root}/BENCH_fuzz.json"
 
@@ -106,8 +122,10 @@ ctest --test-dir "${prefix}-asan" --output-on-failure -LE slow
 
 echo "=== differential fuzz smoke under sanitizers (1000 seeds) ==="
 # Deterministic fixed budget: generated instances through the full
-# oracle battery plus loader-corruption trials, then the checked-in
-# reproducer corpus. Zero mismatches required.
+# oracle battery -- including the incremental-vs-rebuild mutation
+# differential (a random mutation trace per instance, so 1000 mutation
+# sequences per run) -- plus loader-corruption trials, then the
+# checked-in reproducer corpus. Zero mismatches required.
 "${prefix}-asan/src/cli/hp_fuzz" --seed-range 0:1000 \
   --corpus "${prefix}-asan/fuzz-corpus"
 "${prefix}-asan/src/cli/hp_fuzz" --replay "${root}/tests/corpus"
@@ -119,7 +137,9 @@ cmake --build "${prefix}-tsan" -j
 # HP_THREADS=4 forces a real multi-worker pool even on 1-2 core CI
 # machines, so TSan sees genuine cross-thread interleavings in the
 # deques, the parallel kcore/BFS/fuzz paths, and the prefetch fan-out.
-HP_THREADS=4 "${prefix}-tsan/tests/unit_tests" --gtest_filter='*Par*:*par*:TaskGroup*:ThreadPool*:LaneLimit*:Oversubscription*:Determinism*:ParallelKCore*:KCoreEquivalence*:Invariants*'
+HP_THREADS=4 "${prefix}-tsan/tests/unit_tests" --gtest_filter='*Par*:*par*:TaskGroup*:ThreadPool*:LaneLimit*:Oversubscription*:Determinism*:ParallelKCore*:KCoreEquivalence*:Invariants*:Mutate*'
+# The fuzz smoke again runs the 1000-sequence mutation differential,
+# here with a real multi-worker pool under the rebuild tier's builds.
 HP_THREADS=4 "${prefix}-tsan/src/cli/hp_fuzz" --seed-range 0:1000 \
   --corpus "${prefix}-tsan/fuzz-corpus"
 

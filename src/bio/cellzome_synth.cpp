@@ -9,6 +9,34 @@
 
 namespace hp::bio {
 
+CellzomeParams scaled_cellzome_params(index_t target_proteins) {
+  HP_REQUIRE(target_proteins >= 64,
+             "scaled_cellzome_params: need at least 64 proteins");
+  CellzomeParams p;  // the calibrated 1,361-protein defaults
+  const double scale =
+      static_cast<double>(target_proteins) / static_cast<double>(p.num_proteins);
+  const auto scaled = [scale](index_t value, index_t minimum) {
+    const auto grown = static_cast<index_t>(
+        std::llround(static_cast<double>(value) * scale));
+    return std::max(minimum, grown);
+  };
+  // The planted core needs `core_memberships` distinct core complexes
+  // per core protein, and singletons + core complexes must fit in the
+  // complex count, so the floors below keep tiny targets constructible.
+  p.num_complexes = scaled(p.num_complexes, 16);
+  p.degree_one_proteins =
+      std::min<index_t>(scaled(p.degree_one_proteins, 1),
+                        target_proteins - p.max_degree);
+  p.num_singletons = scaled(p.num_singletons, 1);
+  p.core_proteins = scaled(p.core_proteins, p.core_memberships);
+  p.core_complexes = scaled(p.core_complexes, p.core_memberships);
+  p.hub_regions = scaled(p.hub_regions, 2);
+  p.num_proteins = target_proteins;
+  HP_REQUIRE(p.core_complexes + p.num_singletons <= p.num_complexes,
+             "scaled_cellzome_params: inconsistent complex budget");
+  return p;
+}
+
 std::vector<index_t> cellzome_degree_sequence(const CellzomeParams& p) {
   HP_REQUIRE(p.degree_one_proteins < p.num_proteins,
              "cellzome_degree_sequence: degree-1 count exceeds protein count");
@@ -93,8 +121,10 @@ std::vector<index_t> draw_complex_sizes(const CellzomeParams& p,
   // Random +/-1 walk toward the target; bounded below by the planted
   // minimums and above by max_complex_size.
   std::size_t guard = 0;
-  const std::size_t guard_limit =
-      1000000;  // generous; each iteration usually succeeds
+  // Generous; each iteration usually succeeds. Scaled surrogates can
+  // start further from the target, so grow the bound with the pin count.
+  const std::size_t guard_limit = std::max<std::size_t>(
+      1000000, 32 * static_cast<std::size_t>(target_pins));
   while (sum != target_pins && guard++ < guard_limit) {
     const index_t e =
         p.num_singletons +

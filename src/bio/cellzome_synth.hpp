@@ -71,6 +71,16 @@ struct CellzomeParams {
 /// "YP0001".. in id order; complexes are "CPLX001"...
 ComplexDataset cellzome_surrogate(const CellzomeParams& params = {});
 
+/// Parameters for a surrogate scaled to `target_proteins` vertices.
+/// Population counts (complexes, degree-1 proteins, singletons, planted
+/// core module, hub anchors) scale linearly from the calibrated
+/// 1,361-protein defaults; per-item shape parameters (max degree, max
+/// complex size, gamma, locality window) stay fixed so the scaled graph
+/// keeps the same local statistics while growing in extent. Intended
+/// for throughput benchmarks at 10^5+ proteins; the 1,361-protein
+/// default stays the calibrated dataset the golden tests pin down.
+CellzomeParams scaled_cellzome_params(index_t target_proteins);
+
 /// The degree sequence the generator targets (descending); exposed for
 /// tests. Sums to the pin count of the generated hypergraph's target.
 std::vector<index_t> cellzome_degree_sequence(const CellzomeParams& params);

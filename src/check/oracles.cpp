@@ -22,6 +22,7 @@
 #include "core/stats.hpp"
 #include "core/traversal.hpp"
 #include "check/generator.hpp"
+#include "check/mutation.hpp"
 #include "graph/graph_kcore.hpp"
 #include "mm/matrix_market.hpp"
 #include "mm/mm_to_hypergraph.hpp"
@@ -520,6 +521,7 @@ std::vector<CheckFailure> run_all_oracles(const Hypergraph& h,
       failures);
   check_covers(h, failures);
   if (options.with_context) check_context(h, failures);
+  if (options.with_mutations) check_mutations(h, options.mutation_ops, failures);
   if (options.with_loaders) check_roundtrips(h, failures);
   return failures;
 }

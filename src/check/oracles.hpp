@@ -23,6 +23,9 @@
 //   * covers          -- the greedy multicover output is feasible.
 //   * context         -- AnalysisContext-cached artifacts are identical
 //     to cold computations and stable across repeated access.
+//   * mutation        -- the incremental pipeline (core/mutate/) stays
+//     bit-identical to from-scratch rebuilds across a random mutation
+//     trace (see check/mutation.hpp; failing traces are ddmin-shrunk).
 //   * round-trips     -- text/hMETIS/binary/MatrixMarket serialization
 //     is lossless; Pajek export has the declared line structure.
 //   * mutated loads   -- corrupted serializations either raise
@@ -58,6 +61,12 @@ struct CheckOptions {
   bool with_loaders = true;
   /// Include the AnalysisContext cold-vs-cached comparison.
   bool with_context = true;
+  /// Include the incremental-vs-rebuild mutation differential
+  /// (check/mutation.hpp): a deterministic random mutation trace seeded
+  /// from the instance's structural hash.
+  bool with_mutations = true;
+  /// Length of the mutation trace per instance.
+  int mutation_ops = 16;
   /// Skip the path cross-check above this pin count.
   count_t max_pins_for_paths = 4096;
 };

@@ -2,12 +2,16 @@
 
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "bio/cellzome_synth.hpp"
 #include "bio/paper_report.hpp"
+#include "check/mutation.hpp"
 #include "core/binary_io.hpp"
 #include "core/context/analysis_context.hpp"
+#include "core/mutate/mutable_context.hpp"
 #include "core/cover.hpp"
 #include "core/hypergraph_io.hpp"
 #include "core/kcore.hpp"
@@ -50,10 +54,14 @@ Format detect_format(const std::string& path) {
 bio::ComplexDataset wrap(hyper::Hypergraph h) {
   bio::ComplexDataset data;
   for (index_t v = 0; v < h.num_vertices(); ++v) {
-    data.proteins.intern("v" + std::to_string(v));
+    std::string name = "v";
+    name += std::to_string(v);
+    data.proteins.intern(name);
   }
   for (index_t e = 0; e < h.num_edges(); ++e) {
-    data.complex_names.push_back("f" + std::to_string(e));
+    std::string name = "f";
+    name += std::to_string(e);
+    data.complex_names.push_back(std::move(name));
   }
   data.hypergraph = std::move(h);
   return data;
@@ -314,6 +322,10 @@ int cmd_generate(const Args& args, std::ostream& out) {
   HP_REQUIRE(args.positional().size() >= 2,
              "generate needs an output file");
   bio::CellzomeParams params;
+  if (args.has("proteins")) {
+    params = bio::scaled_cellzome_params(
+        static_cast<index_t>(args.get_int("proteins", 1361)));
+  }
   params.seed = static_cast<std::uint64_t>(args.get_int("seed", 20040426));
   const bio::ComplexDataset data = bio::cellzome_surrogate(params);
   save_dataset(data, args.positional()[1]);
@@ -382,6 +394,168 @@ int cmd_render(const Args& args, std::ostream& out) {
   return 0;
 }
 
+namespace {
+
+/// Parse one mutation op per line, in the exact format printed by
+/// check::to_string(MutationOp) — so shrunk fuzz traces can be replayed
+/// verbatim. Blank lines and '#' comments are skipped.
+std::vector<check::MutationOp> load_mutation_script(const std::string& path) {
+  std::ifstream in(path);
+  HP_REQUIRE(in.good(), "cannot open mutation script '" + path + "'");
+  std::vector<check::MutationOp> ops;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind) || kind[0] == '#') continue;
+    check::MutationOp op;
+    const auto parse_id = [&](const char* what) {
+      std::uint64_t id = 0;
+      HP_REQUIRE(static_cast<bool>(fields >> id),
+                 "script line " + std::to_string(line_no) + ": " + kind +
+                     " needs a " + what + " id");
+      return static_cast<index_t>(id);
+    };
+    if (kind == "add-vertex") {
+      op.kind = check::MutationOp::Kind::kAddVertex;
+    } else if (kind == "remove-vertex") {
+      op.kind = check::MutationOp::Kind::kRemoveVertex;
+      op.target = parse_id("vertex");
+    } else if (kind == "add-edge") {
+      op.kind = check::MutationOp::Kind::kAddEdge;
+      std::uint64_t member = 0;
+      while (fields >> member) {
+        op.members.push_back(static_cast<index_t>(member));
+      }
+      HP_REQUIRE(!op.members.empty(),
+                 "script line " + std::to_string(line_no) +
+                     ": add-edge needs at least one member");
+    } else if (kind == "remove-edge") {
+      op.kind = check::MutationOp::Kind::kRemoveEdge;
+      op.target = parse_id("edge");
+    } else {
+      throw InvalidInputError{"script line " + std::to_string(line_no) +
+                              ": unknown op '" + kind + "'"};
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+/// Apply one op to the editable graph; returns false when the op is
+/// invalid in the current state (dangling/dead ids), which mirrors the
+/// skip semantics of the fuzz oracle rather than aborting the batch.
+bool apply_mutation(hyper::MutableHypergraph& graph,
+                    const check::MutationOp& op) {
+  using Kind = check::MutationOp::Kind;
+  try {
+    switch (op.kind) {
+      case Kind::kAddVertex:
+        graph.add_vertex();
+        return true;
+      case Kind::kRemoveVertex:
+        graph.remove_vertex(op.target);
+        return true;
+      case Kind::kAddEdge:
+        graph.add_hyperedge(op.members);
+        return true;
+      case Kind::kRemoveEdge:
+        graph.remove_hyperedge(op.target);
+        return true;
+    }
+  } catch (const InvalidInputError&) {
+    return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+int cmd_mutate(const Args& args, std::ostream& out) {
+  bio::ComplexDataset data = load_dataset(input_path(args));
+  hyper::MutableAnalysisContext ctx{data.hypergraph};
+
+  std::vector<check::MutationOp> ops;
+  if (args.has("script")) {
+    ops = load_mutation_script(args.get("script", ""));
+  } else {
+    check::MutationTraceOptions options;
+    options.num_ops = static_cast<int>(args.get_int("ops", 64));
+    ops = check::generate_trace(
+        data.hypergraph,
+        static_cast<std::uint64_t>(args.get_int("seed", 42)), options);
+  }
+
+  // Warm the cheap tier so the batch loop below exercises incremental
+  // maintenance rather than repeated cold builds.
+  ctx.vertex_degrees();
+  ctx.vertex_degree_histogram();
+  ctx.edge_size_histogram();
+  ctx.components();
+  ctx.cores();
+
+  const std::size_t batch =
+      static_cast<std::size_t>(args.get_int("batch", 1));
+  HP_REQUIRE(batch >= 1, "--batch must be at least 1");
+  std::size_t applied = 0;
+  std::size_t skipped = 0;
+  Timer timer;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (apply_mutation(ctx.graph(), ops[i])) {
+      ++applied;
+    } else {
+      ++skipped;
+    }
+    if ((i + 1) % batch == 0 || i + 1 == ops.size()) {
+      ctx.apply();
+      ctx.cores();
+    }
+  }
+  const double seconds = timer.seconds();
+
+  const hyper::MutableHypergraph& graph = ctx.graph();
+  out << "applied " << applied << " mutations (" << skipped
+      << " skipped as invalid) in " << format_duration(seconds) << '\n'
+      << "version        : " << graph.version() << '\n'
+      << "live vertices  : " << graph.live_vertices() << '\n'
+      << "live hyperedges: " << graph.live_edges() << '\n'
+      << "live pins      : " << graph.live_pins() << '\n';
+
+  const hyper::HyperCoreResult& cores = ctx.cores();
+  out << "\nk-core ladder (k, vertices, hyperedges):\n";
+  for (std::size_t k = 0; k < cores.level_vertices.size(); ++k) {
+    out << "  " << k << "  " << cores.level_vertices[k] << "  "
+        << cores.level_edges[k] << '\n';
+  }
+
+  const hyper::MutableAnalysisContext::ApplyStats& stats = ctx.apply_stats();
+  out << "\nincremental maintenance:\n"
+      << "  applies              : " << stats.applies << '\n'
+      << "  mutations absorbed   : " << stats.mutations << '\n'
+      << "  incremental updates  : " << stats.incremental_updates << '\n'
+      << "  component rebuilds   : " << stats.component_rebuilds << '\n'
+      << "  core repairs         : " << stats.core_repairs << '\n'
+      << "  core repair fallbacks: " << stats.core_repair_fallbacks << '\n'
+      << "  slot invalidations   : " << stats.slot_invalidations << '\n';
+
+  if (args.get_bool("peel-stats", false)) {
+    out << "\npeel substrate counters:\n"
+        << hyper::to_string(ctx.core_peel_stats());
+  }
+  if (args.has("out")) {
+    const std::string path = args.get("out", "mutated.hyper");
+    hyper::save_text(ctx.snapshot().hypergraph, path);
+    out << "\nwrote " << path << '\n';
+  }
+  if (args.get_bool("context-stats", false)) {
+    out << '\n' << hyper::to_string(ctx.stats());
+  }
+  hyper::publish_metrics(ctx.stats());
+  return 0;
+}
+
 std::string usage() {
   return "usage: hp_cli <command> [args]\n"
          "\n"
@@ -397,10 +571,16 @@ std::string usage() {
          "  soverlap <file>                        s-overlap census\n"
          "  smallworld <file> [--seed N]           null-model comparison\n"
          "  convert <in> <out>                     format conversion\n"
-         "  generate <out> [--seed N]              Cellzome-scale surrogate\n"
+         "  generate <out> [--seed N] [--proteins N]  calibrated surrogate\n"
+         "                                         (or scaled to N "
+         "proteins)\n"
          "  pajek <file> <prefix> [--k K]          Figure-3 style export\n"
          "  render <file> <out.svg> [--k K] [--iterations N]\n"
          "                                         offline Figure-3 SVG\n"
+         "  mutate <file> [--ops N] [--seed S] [--batch B]\n"
+         "         [--script ops.txt] [--out f.hyper] [--peel-stats]\n"
+         "                                         incremental mutation "
+         "replay\n"
          "\n"
          "every analysis command also accepts --context-stats: print the\n"
          "  shared derived-artifact cache counters (builds, hits, bytes)\n"
@@ -440,6 +620,7 @@ constexpr Command kCommands[] = {
     {"generate", "cli.generate", &cmd_generate},
     {"pajek", "cli.pajek", &cmd_pajek},
     {"render", "cli.render", &cmd_render},
+    {"mutate", "cli.mutate", &cmd_mutate},
 };
 
 /// Flag with environment fallback: --trace beats HP_TRACE, etc.

@@ -44,6 +44,7 @@ int cmd_convert(const Args& args, std::ostream& out);
 int cmd_generate(const Args& args, std::ostream& out);
 int cmd_pajek(const Args& args, std::ostream& out);
 int cmd_render(const Args& args, std::ostream& out);
+int cmd_mutate(const Args& args, std::ostream& out);
 
 /// Dispatch on the first positional argument; prints usage on
 /// unknown/missing commands and returns 2.

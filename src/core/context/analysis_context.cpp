@@ -131,6 +131,29 @@ void AnalysisContext::prefetch() const {
   summary();  // components() and overlaps() are warm now
 }
 
+index_t AnalysisContext::rebase(Hypergraph h) {
+  HP_TRACE_SPAN("context.apply.rebase");
+  hypergraph_ = std::move(h);
+  index_t reset_count = 0;
+  reset_count += dual_.reset() ? 1 : 0;
+  reset_count += clique_.reset() ? 1 : 0;
+  reset_count += star_baits_.reset() ? 1 : 0;
+  reset_count += star_.reset() ? 1 : 0;
+  reset_count += intersection_.reset() ? 1 : 0;
+  reset_count += components_.reset() ? 1 : 0;
+  reset_count += vertex_degree_histogram_.reset() ? 1 : 0;
+  reset_count += edge_size_histogram_.reset() ? 1 : 0;
+  reset_count += overlaps_.reset() ? 1 : 0;
+  reset_count += reduced_.reset() ? 1 : 0;
+  if (cores_.reset()) {
+    ++reset_count;
+    peel_stats_ = PeelStats{};
+  }
+  reset_count += summary_.reset() ? 1 : 0;
+  reset_count += paths_.reset() ? 1 : 0;
+  return reset_count;
+}
+
 RepresentationCosts AnalysisContext::representation_costs() const {
   RepresentationCosts costs;
   costs.hypergraph_bytes = hypergraph_.storage_bytes();

@@ -10,17 +10,25 @@
 // drivers stop rebuilding them independently -- and future artifacts
 // (centralities, spectra) have one place to hang.
 //
-// Concurrency: each slot is guarded by its own std::once_flag, so
-// concurrent readers racing on a cold slot build it exactly once and
-// everyone blocks until the value is ready. Slots may depend on one
-// another (summary pulls components and overlaps); the dependency graph
-// is acyclic, so nested call_once cannot deadlock. Counter updates are
-// relaxed atomics -- ContextStats snapshots are advisory, the cached
-// references are what carry the synchronization.
+// Concurrency: each slot is guarded by its own mutex with an atomic
+// ready flag fast path, so concurrent readers racing on a cold slot
+// build it exactly once and everyone blocks until the value is ready.
+// Slots may depend on one another (summary pulls components and
+// overlaps); the dependency graph is acyclic, so nested builds cannot
+// deadlock. Counter updates are relaxed atomics -- ContextStats
+// snapshots are advisory, the cached references are what carry the
+// synchronization.
 //
-// The context is neither copyable nor movable (once_flag pins it);
-// construct it where it will live, e.g. once per CLI invocation or per
-// bench table row.
+// Mutation (PR-6): slots can be reset individually, and rebase() swaps
+// in a new hypergraph resetting only the slots that were actually
+// built. Resets are a *single-writer* operation: the caller must
+// guarantee no concurrent reader holds a reference into the slot (the
+// mutable pipeline in core/mutate/ is single-threaded by contract, so
+// this falls out naturally there).
+//
+// The context is neither copyable nor movable (the slot mutexes pin
+// it); construct it where it will live, e.g. once per CLI invocation or
+// per bench table row.
 #pragma once
 
 #include <atomic>
@@ -46,56 +54,99 @@ namespace hp::hyper {
 
 namespace detail {
 
-/// One memoized artifact: built at most once via std::call_once, then
-/// served by const reference. The first access counts as the build;
-/// every later access counts as a hit. The build runs under a trace
-/// span named `trace_name` (a literal, e.g. "context.build.dual") and
-/// records its latency into the "context.build_ns" histogram, so every
-/// artifact construction is visible on the obs timeline.
+/// One memoized artifact: built on first access (exactly once between
+/// resets), then served by const reference. The first access counts as
+/// the build; every later access counts as a hit. The build runs under
+/// a trace span named `trace_name` (a literal, e.g.
+/// "context.build.dual") and records its latency into the
+/// "context.build_ns" histogram, so every artifact construction is
+/// visible on the obs timeline.
+///
+/// Unlike the original once_flag design, a slot can be reset() (drops
+/// the value, counts an invalidation) and rebuilt -- so `builds` can
+/// exceed 1 over the lifetime of a mutable pipeline. reset() and
+/// update() require the single-writer guarantee described in the file
+/// header.
 template <typename T>
 class ArtifactSlot {
  public:
   template <typename Build>
   const T& get(const char* trace_name, const Build& build) const {
-    bool miss = false;
-    std::call_once(once_, [&] {
+    if (ready_.load(std::memory_order_acquire)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return *value_;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ready_.load(std::memory_order_relaxed)) {
       obs::TraceSpan span{trace_name};
       Timer timer;
       value_.emplace(build());
       const std::uint64_t elapsed_ns = timer.nanoseconds();
-      build_seconds_ = static_cast<double>(elapsed_ns) / 1e9;
+      build_seconds_ += static_cast<double>(elapsed_ns) / 1e9;
       obs::latency("context.build_ns").record_ns(elapsed_ns);
-      miss = true;
-    });
-    if (miss) {
       builds_.fetch_add(1, std::memory_order_relaxed);
+      ready_.store(true, std::memory_order_release);
     } else {
+      // Lost the race to a concurrent builder: the value is ready.
       hits_.fetch_add(1, std::memory_order_relaxed);
     }
     return *value_;
   }
 
-  /// True once the build has completed.
-  bool built() const { return builds_.load(std::memory_order_relaxed) > 0; }
+  /// True once the build has completed (and not been reset since).
+  bool built() const { return ready_.load(std::memory_order_acquire); }
 
-  /// Counter snapshot; `bytes_of` is only invoked on a built value.
+  /// Drop the cached value; the next get() rebuilds. Counts an
+  /// invalidation. Returns false (and counts nothing) when the slot was
+  /// not built. Single-writer: no concurrent reader may hold a
+  /// reference obtained from get().
+  bool reset() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ready_.load(std::memory_order_relaxed)) return false;
+    ready_.store(false, std::memory_order_release);
+    value_.reset();
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Mutate a built value in place (incremental maintenance). Returns
+  /// false when the slot is cold -- the caller should then leave it to
+  /// the next full build. Single-writer, like reset().
+  template <typename Update>
+  bool update(const Update& apply) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ready_.load(std::memory_order_relaxed)) return false;
+    apply(*value_);
+    incremental_updates_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Counter snapshot; `bytes_of` is only invoked on a currently-built
+  /// value, so reported bytes shrink back to zero after a reset.
   template <typename BytesOf>
   ArtifactStats stats(const char* name, const BytesOf& bytes_of) const {
     ArtifactStats s;
     s.name = name;
     s.builds = builds_.load(std::memory_order_relaxed);
     s.hits = hits_.load(std::memory_order_relaxed);
+    s.invalidations = invalidations_.load(std::memory_order_relaxed);
+    s.incremental_updates =
+        incremental_updates_.load(std::memory_order_relaxed);
     s.build_seconds = build_seconds_;
-    if (s.builds > 0) s.bytes = bytes_of(*value_);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ready_.load(std::memory_order_relaxed)) s.bytes = bytes_of(*value_);
     return s;
   }
 
  private:
-  mutable std::once_flag once_;
+  mutable std::mutex mu_;
+  mutable std::atomic<bool> ready_{false};
   mutable std::optional<T> value_;
   mutable double build_seconds_ = 0.0;
   mutable std::atomic<count_t> builds_{0};
   mutable std::atomic<count_t> hits_{0};
+  mutable std::atomic<count_t> invalidations_{0};
+  mutable std::atomic<count_t> incremental_updates_{0};
 };
 
 }  // namespace detail
@@ -167,6 +218,15 @@ class AnalysisContext {
   /// guarantee exactly-once construction. At HP_THREADS=1 this runs
   /// every build inline, in declaration order.
   void prefetch() const;
+
+  /// Swap in a new hypergraph, resetting every *built* slot (each reset
+  /// counts an invalidation; cold slots stay untouched, so artifacts
+  /// nobody asked for stay free). This is the per-slot alternative to
+  /// tearing the whole context down: counters, build times and the
+  /// slots' identities survive. Single-writer -- callers must hold no
+  /// artifact references across a rebase. Returns the number of slots
+  /// reset.
+  index_t rebase(Hypergraph h);
 
   /// Snapshot of every slot's build/hit counters.
   ContextStats stats() const;

@@ -14,6 +14,18 @@ count_t ContextStats::total_hits() const {
   return total;
 }
 
+count_t ContextStats::total_invalidations() const {
+  count_t total = 0;
+  for (const ArtifactStats& a : artifacts) total += a.invalidations;
+  return total;
+}
+
+count_t ContextStats::total_incremental_updates() const {
+  count_t total = 0;
+  for (const ArtifactStats& a : artifacts) total += a.incremental_updates;
+  return total;
+}
+
 double ContextStats::total_build_seconds() const {
   double total = 0.0;
   for (const ArtifactStats& a : artifacts) total += a.build_seconds;
@@ -44,6 +56,13 @@ obs::MetricsSnapshot to_metrics(const ContextStats& stats) {
     const std::string prefix = "context." + slug(a.name);
     snap.counters.push_back({prefix + ".builds", a.builds});
     snap.counters.push_back({prefix + ".hits", a.hits});
+    if (a.invalidations > 0) {
+      snap.counters.push_back({prefix + ".invalidations", a.invalidations});
+    }
+    if (a.incremental_updates > 0) {
+      snap.counters.push_back(
+          {prefix + ".incremental_updates", a.incremental_updates});
+    }
     if (a.builds > 0) {
       snap.gauges.push_back({prefix + ".build_seconds", a.build_seconds});
       snap.gauges.push_back(
@@ -52,6 +71,10 @@ obs::MetricsSnapshot to_metrics(const ContextStats& stats) {
   }
   snap.counters.push_back({"context.total.builds", stats.total_builds()});
   snap.counters.push_back({"context.total.hits", stats.total_hits()});
+  snap.counters.push_back(
+      {"context.total.invalidations", stats.total_invalidations()});
+  snap.counters.push_back({"context.total.incremental_updates",
+                           stats.total_incremental_updates()});
   snap.gauges.push_back(
       {"context.total.build_seconds", stats.total_build_seconds()});
   snap.gauges.push_back(

@@ -18,14 +18,22 @@ namespace hp::hyper {
 /// Counters for one memoized artifact slot.
 struct ArtifactStats {
   std::string name;
-  /// Accesses that had to build the artifact (0 = never requested,
-  /// 1 = built; the slot design makes > 1 impossible).
+  /// Accesses that had to build the artifact. On a static context this
+  /// is 0 (never requested) or 1 (built); under mutation a slot can be
+  /// invalidated and rebuilt, so builds can exceed 1 and
+  /// `builds - invalidations` tells whether the slot is currently warm.
   count_t builds = 0;
-  /// Accesses served from the cache after the build.
+  /// Accesses served from the cache after a build.
   count_t hits = 0;
-  /// Wall-clock seconds the (single) build took.
+  /// Times the slot was reset (value dropped) by rebase()/mutation.
+  count_t invalidations = 0;
+  /// In-place incremental updates applied to a built value instead of a
+  /// rebuild (the mutable pipeline's cheap tier).
+  count_t incremental_updates = 0;
+  /// Wall-clock seconds spent building, summed over rebuilds.
   double build_seconds = 0.0;
-  /// Bytes held by the cached artifact (0 until built).
+  /// Bytes held by the cached artifact *right now* (0 until built, and
+  /// back to 0 after an invalidation).
   std::size_t bytes = 0;
 };
 
@@ -35,6 +43,8 @@ struct ContextStats {
 
   count_t total_builds() const;
   count_t total_hits() const;
+  count_t total_invalidations() const;
+  count_t total_incremental_updates() const;
   double total_build_seconds() const;
   std::size_t total_bytes() const;
 };

@@ -139,6 +139,10 @@ HyperCoreResult core_decomposition(const Hypergraph& h, PeelStats* stats) {
   // level 0 = reduced input.
   result.level_vertices.push_back(peeler.residual().live_vertices());
   result.level_edges.push_back(peeler.residual().live_edges());
+  result.in_reduced.assign(h.num_edges(), 0);
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    result.in_reduced[e] = peeler.residual().edge_alive(e) ? 1 : 0;
+  }
 
   // The substrate stamps core numbers at deletion time, so the loop only
   // has to record per-level population counts; no survivor sweeps. Each

@@ -38,6 +38,12 @@ struct HyperCoreResult {
   /// peeling, only one representative keeps the higher core value; which
   /// one is implementation-defined, but the *count* per level is not.
   std::vector<index_t> edge_core;
+  /// in_reduced[e] != 0 iff edge e survived the initial reduction (the
+  /// level-0 residual). Not derivable from edge_core: reduction-removed
+  /// and level-1-removed edges both report core 0, yet only the latter
+  /// counted toward level_edges[0]. Incremental core repair
+  /// (core/mutate/) needs this to maintain level_edges[0] under splices.
+  std::vector<char> in_reduced;
   /// Largest k with a non-empty k-core.
   index_t max_core = 0;
   /// level_vertices[k] / level_edges[k]: number of vertices / edges in

@@ -72,6 +72,10 @@ HyperCoreResult core_decomposition_naive(const Hypergraph& h) {
   policy.reduce_by_comparison();
   result.level_vertices.push_back(residual.live_vertices());
   result.level_edges.push_back(residual.live_edges());
+  result.in_reduced.assign(h.num_edges(), 0);
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    result.in_reduced[e] = residual.edge_alive(e) ? 1 : 0;
+  }
 
   for (index_t k = 1;; ++k) {
     residual.set_peel_level(k);

@@ -64,6 +64,10 @@ HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
 
   result.level_vertices.push_back(residual.live_vertices());
   result.level_edges.push_back(residual.live_edges());
+  result.in_reduced.assign(h.num_edges(), 0);
+  for (index_t e = 0; e < h.num_edges(); ++e) {
+    result.in_reduced[e] = residual.edge_alive(e) ? 1 : 0;
+  }
 
   // Core numbers are stamped by the substrate at deletion time; the
   // level loop only records populations (no survivor sweeps).

@@ -1,0 +1,58 @@
+// DirtyRegion: the set of vertices and hyperedges touched by mutations
+// since the last apply/drain, with the *pre-mutation* value captured at
+// first touch.
+//
+// The old values are what make incremental artifact maintenance
+// possible: a degree histogram can move a vertex from its old bucket to
+// its new one only if somebody remembered the old bucket. The
+// MutableHypergraph records each vertex/edge at most once per drain
+// window (first touch wins), so the region is a delta between two
+// consistent states, not a mutation log.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hp::hyper {
+
+/// A vertex touched since the last drain. `old_degree` is its degree at
+/// the start of the window; `existed` is false for vertices created
+/// inside the window (their old degree is meaningless).
+struct DirtyVertex {
+  index_t id = kInvalidIndex;
+  index_t old_degree = 0;
+  bool existed = true;
+};
+
+/// A hyperedge touched since the last drain. `old_size` is its
+/// cardinality at the start of the window; `existed` is false for edges
+/// inserted inside the window.
+struct DirtyEdge {
+  index_t id = kInvalidIndex;
+  index_t old_size = 0;
+  bool existed = true;
+};
+
+/// Accumulated delta between two consistent MutableHypergraph states.
+struct DirtyRegion {
+  std::vector<DirtyVertex> vertices;  ///< unique ids, first-touch order
+  std::vector<DirtyEdge> edges;       ///< unique ids, first-touch order
+  /// Number of effective mutations in the window (no-ops excluded).
+  count_t mutations = 0;
+  /// True when any pin or edge was removed; connectivity can only merge
+  /// under pure insertion, so this flag selects the union-find fast
+  /// path vs the rebuild-on-deletion fallback.
+  bool structural_removal = false;
+
+  bool empty() const { return mutations == 0; }
+
+  void clear() {
+    vertices.clear();
+    edges.clear();
+    mutations = 0;
+    structural_removal = false;
+  }
+};
+
+}  // namespace hp::hyper

@@ -1,0 +1,148 @@
+// MutableHypergraph: an edit overlay over the immutable CSR Hypergraph.
+//
+// The CSR form (core/hypergraph.hpp) is the right layout for analysis
+// but cannot absorb edits; this class keeps the same structure in
+// "unpacked" form -- one member vector per hyperedge, one incidence
+// vector per vertex -- and supports add/remove of vertices and
+// hyperedges in O(degree log) time per pin. Identifiers are *stable*:
+//
+//   - Vertices are never renumbered. remove_vertex() detaches the
+//     vertex from all its hyperedges and leaves a tombstone; the id
+//     stays valid (alive == false) and still occupies a slot in any
+//     materialized snapshot, as an isolated vertex.
+//   - Hyperedges get ids 0..num_edge_slots()-1 in insertion order;
+//     removal leaves a dead slot, insertion always appends a new slot.
+//     Snapshots compact the live edges in stable-id order and report
+//     the mapping in Snapshot::edge_to_stable.
+//
+// Every effective mutation bumps version() and records the touched
+// vertices/edges -- with their pre-mutation degree/size -- in a
+// DirtyRegion (see dirty_region.hpp) which incremental consumers drain.
+// Snapshot materialization is lazy and cached by version, so a burst of
+// edits pays O(V + E) packing cost once, and only if somebody asks.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/hypergraph.hpp"
+#include "core/mutate/dirty_region.hpp"
+#include "util/common.hpp"
+
+namespace hp::hyper {
+
+class MutableHypergraph {
+ public:
+  MutableHypergraph() = default;
+
+  /// Unpack an immutable snapshot into editable form (O(V + E + pins)).
+  explicit MutableHypergraph(const Hypergraph& base);
+
+  /// Monotonic edit counter; bumped once per effective mutation.
+  std::uint64_t version() const { return version_; }
+
+  /// Size of the vertex id space, tombstones included.
+  index_t num_vertices() const {
+    return static_cast<index_t>(incident_.size());
+  }
+
+  /// Size of the hyperedge id space, dead slots included.
+  index_t num_edge_slots() const {
+    return static_cast<index_t>(members_.size());
+  }
+
+  index_t live_vertices() const { return live_vertices_; }
+  index_t live_edges() const { return live_edges_; }
+  count_t live_pins() const { return live_pins_; }
+
+  bool vertex_alive(index_t v) const { return vertex_alive_[v] != 0; }
+  bool edge_alive(index_t e) const { return edge_alive_[e] != 0; }
+
+  /// Degree of a vertex (0 for tombstones).
+  index_t vertex_degree(index_t v) const {
+    return static_cast<index_t>(incident_[v].size());
+  }
+
+  /// Cardinality of a hyperedge (0 for dead slots).
+  index_t edge_size(index_t e) const {
+    return static_cast<index_t>(members_[e].size());
+  }
+
+  /// Sorted member vertices of a live hyperedge (empty for dead slots).
+  std::span<const index_t> edge_members(index_t e) const {
+    return members_[e];
+  }
+
+  /// Sorted live hyperedge ids containing vertex v.
+  std::span<const index_t> edges_of(index_t v) const { return incident_[v]; }
+
+  /// Append a new isolated vertex; returns its id.
+  index_t add_vertex();
+
+  /// Detach a vertex from every hyperedge containing it and tombstone
+  /// it. Hyperedges that become empty die. Returns false (no-op) if the
+  /// vertex is already dead.
+  bool remove_vertex(index_t v);
+
+  /// Insert a hyperedge over the given members (deduplicated, sorted --
+  /// HypergraphBuilder semantics). Duplicate whole edges are allowed,
+  /// exactly as in the builder. Throws InvalidInputError on an empty
+  /// member list or a dead/out-of-range member. Returns the stable id.
+  index_t add_hyperedge(std::span<const index_t> members);
+  index_t add_hyperedge(std::initializer_list<index_t> members);
+
+  /// Remove a hyperedge. Returns false (no-op) if the slot is already
+  /// dead. Member vertices stay alive even at degree 0.
+  bool remove_hyperedge(index_t e);
+
+  /// Touched-since-last-drain delta; see DirtyRegion.
+  const DirtyRegion& dirty() const { return dirty_; }
+
+  /// Hand the accumulated region to the caller and start a new window.
+  DirtyRegion drain_dirty();
+
+  /// An immutable materialization of the live structure. Vertex ids are
+  /// preserved verbatim (tombstones become isolated vertices); live
+  /// hyperedges are compacted in stable-id order, with
+  /// edge_to_stable[compact] giving the stable id.
+  struct Snapshot {
+    Hypergraph hypergraph;
+    std::vector<index_t> edge_to_stable;
+  };
+
+  /// Materialize (or return the cached) snapshot for the current
+  /// version. O(V + E + pins) when stale, O(1) when cached.
+  const Snapshot& snapshot() const;
+
+  /// Bytes held by the unpacked representation (excludes the cached
+  /// snapshot, which is accounted separately by its owner).
+  std::size_t storage_bytes() const;
+
+ private:
+  void touch_vertex(index_t v, bool existed);
+  void touch_edge(index_t e, bool existed);
+
+  std::vector<std::vector<index_t>> members_;   // per edge slot, sorted
+  std::vector<std::vector<index_t>> incident_;  // per vertex, sorted ids
+  std::vector<char> vertex_alive_;
+  std::vector<char> edge_alive_;
+  index_t live_vertices_ = 0;
+  index_t live_edges_ = 0;
+  count_t live_pins_ = 0;
+  std::uint64_t version_ = 0;
+
+  DirtyRegion dirty_;
+  // First-touch dedup: slot != current epoch means "not yet recorded in
+  // this drain window".
+  std::vector<std::uint64_t> vertex_touch_epoch_;
+  std::vector<std::uint64_t> edge_touch_epoch_;
+  std::uint64_t epoch_ = 1;
+
+  mutable std::optional<Snapshot> snapshot_;
+  mutable std::uint64_t snapshot_version_ = ~std::uint64_t{0};
+};
+
+}  // namespace hp::hyper

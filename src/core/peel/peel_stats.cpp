@@ -12,6 +12,10 @@ obs::MetricsSnapshot to_metrics(const PeelStats& stats) {
       {"peel.cascaded_edge_deletions", stats.cascaded_edge_deletions},
       {"peel.rounds", stats.peel_rounds},
       {"peel.peak_queue_length", stats.peak_queue_length},
+      {"peel.repairs", stats.repairs},
+      {"peel.repair_fallbacks", stats.repair_fallbacks},
+      {"peel.repaired_vertices", stats.repaired_vertices},
+      {"peel.repaired_edges", stats.repaired_edges},
   };
   return snap;
 }
@@ -24,6 +28,10 @@ void publish_metrics(const PeelStats& stats) {
   obs::counter("peel.cascaded_edge_deletions")
       .add(stats.cascaded_edge_deletions);
   obs::counter("peel.rounds").add(stats.peel_rounds);
+  obs::counter("peel.repairs").add(stats.repairs);
+  obs::counter("peel.repair_fallbacks").add(stats.repair_fallbacks);
+  obs::counter("peel.repaired_vertices").add(stats.repaired_vertices);
+  obs::counter("peel.repaired_edges").add(stats.repaired_edges);
   // Peaks do not sum across peels; last-write gauge keeps the largest
   // recent value observable without inventing max-counter semantics.
   obs::gauge("peel.peak_queue_length")

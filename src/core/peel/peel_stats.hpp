@@ -44,6 +44,17 @@ struct PeelStats {
   count_t peel_rounds = 0;
   /// Largest work-queue (or frontier) population observed.
   count_t peak_queue_length = 0;
+  /// Bounded subcore repairs performed by incremental core maintenance
+  /// (core/mutate/): each repair re-peels only the components reachable
+  /// from the dirty region.
+  count_t repairs = 0;
+  /// Repairs that escalated to a full re-peel because the affected
+  /// region exceeded the repair threshold.
+  count_t repair_fallbacks = 0;
+  /// Vertices / edges re-peeled across all bounded repairs (the
+  /// "repair size" -- compare against |V| / |F| to see the savings).
+  count_t repaired_vertices = 0;
+  count_t repaired_edges = 0;
 
   void note_queue_length(count_t length) {
     if (length > peak_queue_length) peak_queue_length = length;
@@ -57,6 +68,10 @@ struct PeelStats {
     cascaded_edge_deletions += other.cascaded_edge_deletions;
     peel_rounds += other.peel_rounds;
     note_queue_length(other.peak_queue_length);
+    repairs += other.repairs;
+    repair_fallbacks += other.repair_fallbacks;
+    repaired_vertices += other.repaired_vertices;
+    repaired_edges += other.repaired_edges;
     return *this;
   }
 };

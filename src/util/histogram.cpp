@@ -16,6 +16,15 @@ void Histogram::add(std::size_t value, std::size_t count) {
   total_ += count;
 }
 
+void Histogram::remove(std::size_t value, std::size_t count) {
+  if (value >= freq_.size() || freq_[value] < count) {
+    throw std::logic_error{"Histogram::remove: underflow"};
+  }
+  freq_[value] -= count;
+  total_ -= count;
+  while (!freq_.empty() && freq_.back() == 0) freq_.pop_back();
+}
+
 std::size_t Histogram::count(std::size_t value) const {
   return value < freq_.size() ? freq_[value] : 0;
 }

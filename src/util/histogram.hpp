@@ -18,6 +18,13 @@ class Histogram {
 
   void add(std::size_t value, std::size_t count = 1);
 
+  /// Remove observations previously added. Keeps the table in the same
+  /// canonical form a freshly-built histogram has (no trailing
+  /// zero-frequency buckets), so an incrementally maintained histogram
+  /// compares bit-identical to a rebuilt one. Throws std::logic_error
+  /// on underflow.
+  void remove(std::size_t value, std::size_t count = 1);
+
   /// Number of observations with exactly this value.
   std::size_t count(std::size_t value) const;
 
