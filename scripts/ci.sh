@@ -58,6 +58,48 @@ print(f"mutate bench ok: {speedup:.1f}x single-update speedup vs rebuild "
       f"(gate: >= 20x)")
 EOF
 
+echo "=== snapshot format: round-trip + corruption + open-speed gate ==="
+snap_dir="${prefix}/snap-check"
+mkdir -p "${snap_dir}"
+"${prefix}/src/cli/hyperproteome" generate "${snap_dir}/surrogate.hyper" \
+  --proteins 20000
+"${prefix}/src/cli/hyperproteome" snapshot convert \
+  "${snap_dir}/surrogate.hyper" "${snap_dir}/surrogate.hps"
+"${prefix}/src/cli/hyperproteome" snapshot convert \
+  "${snap_dir}/surrogate.hyper" "${snap_dir}/surrogate_varint.hps" \
+  --codec varint
+"${prefix}/src/cli/hyperproteome" snapshot verify "${snap_dir}/surrogate.hps"
+"${prefix}/src/cli/hyperproteome" snapshot verify \
+  "${snap_dir}/surrogate_varint.hps"
+# Analysis over the mmap'd snapshot must print exactly what the text
+# path prints (the zero-copy storage is an implementation detail).
+"${prefix}/src/cli/hyperproteome" stats "${snap_dir}/surrogate.hyper" \
+  > "${snap_dir}/stats_text.txt"
+"${prefix}/src/cli/hyperproteome" stats "${snap_dir}/surrogate.hps" \
+  > "${snap_dir}/stats_snap.txt"
+"${prefix}/src/cli/hyperproteome" stats "${snap_dir}/surrogate_varint.hps" \
+  > "${snap_dir}/stats_varint.txt"
+diff "${snap_dir}/stats_text.txt" "${snap_dir}/stats_snap.txt"
+diff "${snap_dir}/stats_text.txt" "${snap_dir}/stats_varint.txt"
+# Byte-flip corruption of snapshots is oracle-checked inside hp_fuzz
+# (check_mutated_loads), which the sanitizer stage below re-runs.
+"${prefix}/bench/bench_micro_snapshot" --quick \
+  --json "${root}/BENCH_snapshot.json"
+python3 - "${root}/BENCH_snapshot.json" <<'EOF'
+import json, sys
+
+bench = json.load(open(sys.argv[1]))
+speedup = bench["gate_speedup"]
+scaled = next(i for i in bench["instances"] if i["name"] == "cellzome scaled")
+text = next(w for w in scaled["workloads"] if w["name"] == "text parse")
+assert text["seconds"] > 0, "text-parse baseline did not run"
+assert speedup >= 50.0, \
+    f"warm mmap open speedup {speedup:.1f}x < 50x vs text parse " \
+    f"on the scaled surrogate"
+print(f"snapshot bench ok: {speedup:.1f}x warm open speedup vs text parse "
+      f"(gate: >= 50x)")
+EOF
+
 echo "=== fuzz pipeline throughput bench (quick) ==="
 "${prefix}/bench/bench_micro_fuzz" --quick --json "${root}/BENCH_fuzz.json"
 

@@ -19,6 +19,7 @@
 #include "core/pajek.hpp"
 #include "core/projection.hpp"
 #include "core/reduce.hpp"
+#include "core/snapshot/snapshot.hpp"
 #include "core/stats.hpp"
 #include "core/traversal.hpp"
 #include "check/generator.hpp"
@@ -399,6 +400,23 @@ void check_roundtrips(const Hypergraph& h,
       fail(failures, "roundtrip",
            "binary round-trip changed the hypergraph");
     }
+    // Snapshot bytes, both codecs, differentially against the text
+    // loader: to_text/from_text is the independent reference.
+    const Hypergraph via_text = hyper::from_text(hyper::to_text(h));
+    if (!same_structure(hyper::snapshot::from_bytes(
+                            hyper::snapshot::to_bytes(h)),
+                        via_text)) {
+      fail(failures, "roundtrip",
+           "snapshot (raw) round-trip disagrees with the text loader");
+    }
+    hyper::snapshot::SaveOptions varint;
+    varint.codec = hyper::snapshot::Codec::kVarint;
+    if (!same_structure(hyper::snapshot::from_bytes(
+                            hyper::snapshot::to_bytes(h, varint)),
+                        via_text)) {
+      fail(failures, "roundtrip",
+           "snapshot (varint) round-trip disagrees with the text loader");
+    }
   } catch (const std::exception& e) {
     fail(failures, "roundtrip",
          std::string{"serializing a valid hypergraph threw: "} + e.what());
@@ -462,6 +480,8 @@ std::vector<CheckFailure> check_mutated_loads(const Hypergraph& h, Rng& rng,
       incidence.entries.push_back(mm::Entry{e, v, 1.0});
     }
   }
+  hyper::snapshot::SaveOptions varint_options;
+  varint_options.codec = hyper::snapshot::Codec::kVarint;
   const Format formats[] = {
       {"text", false, hyper::to_text(h),
        [](const std::string& s) { return hyper::from_text(s); }},
@@ -473,6 +493,14 @@ std::vector<CheckFailure> check_mutated_loads(const Hypergraph& h, Rng& rng,
        [](const std::string& s) {
          return mm::row_net_hypergraph(mm::parse_matrix_market(s));
        }},
+      // Snapshot corruption oracle: byte-flips across header, offset
+      // tables and adjacency sections must either be detected
+      // (ParseError from the checksum/bounds checks) or yield a graph
+      // that still passes validate() -- never UB or a crash.
+      {"snapshot", true, hyper::snapshot::to_bytes(h),
+       [](const std::string& s) { return hyper::snapshot::from_bytes(s); }},
+      {"snapshot_varint", true, hyper::snapshot::to_bytes(h, varint_options),
+       [](const std::string& s) { return hyper::snapshot::from_bytes(s); }},
   };
 
   for (const Format& format : formats) {

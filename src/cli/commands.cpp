@@ -19,6 +19,7 @@
 #include "core/multicover.hpp"
 #include "core/pajek.hpp"
 #include "core/smallworld.hpp"
+#include "core/snapshot/snapshot.hpp"
 #include "core/soverlap.hpp"
 #include "core/svg.hpp"
 #include "core/stats.hpp"
@@ -34,7 +35,14 @@ namespace hp::cli {
 
 namespace {
 
-enum class Format { kHyper, kHmetis, kBinary, kMatrixMarket, kComplexTable };
+enum class Format {
+  kHyper,
+  kHmetis,
+  kBinary,
+  kSnapshot,
+  kMatrixMarket,
+  kComplexTable
+};
 
 Format detect_format(const std::string& path) {
   const auto dot = path.rfind('.');
@@ -43,11 +51,12 @@ Format detect_format(const std::string& path) {
   if (ext == "hyper") return Format::kHyper;
   if (ext == "hgr") return Format::kHmetis;
   if (ext == "hpb") return Format::kBinary;
+  if (ext == "hps") return Format::kSnapshot;
   if (ext == "mtx") return Format::kMatrixMarket;
   if (ext == "tsv" || ext == "txt") return Format::kComplexTable;
   throw InvalidInputError{
       "unrecognized file extension on '" + path +
-      "' (expected .hyper, .hgr, .hpb, .mtx, .tsv, .txt)"};
+      "' (expected .hyper, .hgr, .hpb, .hps, .mtx, .tsv, .txt)"};
 }
 
 /// Wrap a bare hypergraph in a dataset with generated names.
@@ -115,6 +124,8 @@ bio::ComplexDataset load_dataset(const std::string& path) {
         return wrap(hyper::load_hmetis(path));
       case Format::kBinary:
         return wrap(hyper::load_binary(path));
+      case Format::kSnapshot:
+        return wrap(hyper::snapshot::open(path));
       case Format::kMatrixMarket:
         return wrap(mm::row_net_hypergraph(mm::load_matrix_market(path)));
       case Format::kComplexTable:
@@ -149,14 +160,17 @@ void save_dataset(const bio::ComplexDataset& data, const std::string& path) {
     case Format::kBinary:
       hyper::save_binary(data.hypergraph, path);
       return;
+    case Format::kSnapshot:
+      hyper::snapshot::save(data.hypergraph, path);
+      return;
     case Format::kComplexTable:
       bio::save_complex_table(data, path);
       return;
     case Format::kMatrixMarket:
       throw InvalidInputError{
           "writing MatrixMarket from a hypergraph is not supported (the "
-          "row-net conversion is lossy); choose .hyper, .hgr, .hpb or "
-          ".tsv"};
+          "row-net conversion is lossy); choose .hyper, .hgr, .hpb, .hps "
+          "or .tsv"};
   }
 }
 
@@ -556,6 +570,73 @@ int cmd_mutate(const Args& args, std::ostream& out) {
   return 0;
 }
 
+namespace {
+
+hyper::snapshot::SaveOptions snapshot_options(const Args& args) {
+  hyper::snapshot::SaveOptions options;
+  const std::string codec = args.get("codec", "nop");
+  if (codec == "nop") {
+    options.codec = hyper::snapshot::Codec::kNone;
+  } else if (codec == "varint") {
+    options.codec = hyper::snapshot::Codec::kVarint;
+  } else {
+    throw InvalidInputError{"--codec must be 'nop' or 'varint'"};
+  }
+  return options;
+}
+
+void print_snapshot_info(const hyper::snapshot::Info& info,
+                         const std::string& path, std::ostream& out) {
+  out << path << ":\n"
+      << "  format version : " << info.version << '\n'
+      << "  codec          : "
+      << (info.codec == hyper::snapshot::Codec::kVarint ? "varint" : "nop")
+      << '\n'
+      << "  vertices       : " << info.num_vertices << '\n'
+      << "  hyperedges     : " << info.num_edges << '\n'
+      << "  pins           : " << info.num_pins << '\n'
+      << "  file bytes     : " << info.file_bytes << '\n'
+      << "  section bytes  : " << info.section_bytes << '\n';
+}
+
+}  // namespace
+
+int cmd_snapshot(const Args& args, std::ostream& out) {
+  HP_REQUIRE(args.positional().size() >= 2,
+             "snapshot needs a subcommand: convert, info or verify");
+  const std::string sub = args.positional()[1];
+  if (sub == "convert") {
+    HP_REQUIRE(args.positional().size() >= 4,
+               "snapshot convert needs an input and an output file");
+    const bio::ComplexDataset data = load_dataset(args.positional()[2]);
+    const std::string& out_path = args.positional()[3];
+    hyper::snapshot::save(data.hypergraph, out_path, snapshot_options(args));
+    const hyper::snapshot::Info info = hyper::snapshot::info(out_path);
+    out << "wrote " << out_path << " (" << info.num_vertices
+        << " vertices, " << info.num_edges << " hyperedges, "
+        << info.file_bytes << " bytes, codec "
+        << (info.codec == hyper::snapshot::Codec::kVarint ? "varint" : "nop")
+        << ")\n";
+    return 0;
+  }
+  if (sub == "info") {
+    HP_REQUIRE(args.positional().size() >= 3,
+               "snapshot info needs a snapshot file");
+    print_snapshot_info(hyper::snapshot::info(args.positional()[2]),
+                        args.positional()[2], out);
+    return 0;
+  }
+  if (sub == "verify") {
+    HP_REQUIRE(args.positional().size() >= 3,
+               "snapshot verify needs a snapshot file");
+    hyper::snapshot::verify(args.positional()[2]);
+    out << args.positional()[2] << ": snapshot ok\n";
+    return 0;
+  }
+  throw InvalidInputError{"unknown snapshot subcommand '" + sub +
+                          "' (expected convert, info or verify)"};
+}
+
 std::string usage() {
   return "usage: hp_cli <command> [args]\n"
          "\n"
@@ -581,6 +662,10 @@ std::string usage() {
          "         [--script ops.txt] [--out f.hyper] [--peel-stats]\n"
          "                                         incremental mutation "
          "replay\n"
+         "  snapshot convert <in> <out.hps> [--codec nop|varint]\n"
+         "  snapshot info <f.hps> | verify <f.hps>\n"
+         "                                         mmap'd zero-copy "
+         "snapshots\n"
          "\n"
          "every analysis command also accepts --context-stats: print the\n"
          "  shared derived-artifact cache counters (builds, hits, bytes)\n"
@@ -594,6 +679,7 @@ std::string usage() {
          "                      HP_METRICS=out.json is equivalent\n"
          "\n"
          "formats by extension: .hyper (native), .hgr (hMETIS),\n"
+         "  .hpb (binary), .hps (mmap'd snapshot),\n"
          "  .mtx (MatrixMarket row-net), .tsv/.txt (complex table)\n";
 }
 
@@ -621,6 +707,7 @@ constexpr Command kCommands[] = {
     {"pajek", "cli.pajek", &cmd_pajek},
     {"render", "cli.render", &cmd_render},
     {"mutate", "cli.mutate", &cmd_mutate},
+    {"snapshot", "cli.snapshot", &cmd_snapshot},
 };
 
 /// Flag with environment fallback: --trace beats HP_TRACE, etc.

@@ -10,6 +10,7 @@
 //   .hyper        hp-hyper text format (hypergraph_io)
 //   .hgr          hMETIS / PaToH
 //   .hpb          binary hypergraph (binary_io)
+//   .hps          mmap'd snapshot (core/snapshot; zero-copy open)
 //   .mtx          MatrixMarket (converted via the row-net model)
 //   .tsv / .txt   protein-complex membership table (names preserved)
 #pragma once
@@ -45,6 +46,7 @@ int cmd_generate(const Args& args, std::ostream& out);
 int cmd_pajek(const Args& args, std::ostream& out);
 int cmd_render(const Args& args, std::ostream& out);
 int cmd_mutate(const Args& args, std::ostream& out);
+int cmd_snapshot(const Args& args, std::ostream& out);
 
 /// Dispatch on the first positional argument; prints usage on
 /// unknown/missing commands and returns 2.

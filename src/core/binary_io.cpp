@@ -5,7 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "core/hypergraph_io.hpp"  // kMaxDeclaredEntities
+#include "util/declared_sizes.hpp"
 
 namespace hp::hyper {
 
@@ -71,18 +71,14 @@ Hypergraph from_binary(const std::string& bytes) {
   const auto num_pins = get<std::uint64_t>(bytes, cursor);
 
   // Validate the total length before allocating anything: a corrupted
-  // header must not trigger multi-gigabyte allocations. The coarse
-  // bound first avoids overflow in the exact computation. num_vertices
-  // never enters the size equation (isolated vertices occupy no bytes),
-  // so it needs its own bound -- without it a flipped header word makes
+  // header must not trigger multi-gigabyte allocations. The shared
+  // coarse bounds (io::check_declared_sizes) come first so the exact
+  // size equation below cannot overflow; num_vertices never enters that
+  // equation (isolated vertices occupy no bytes), which is why it needs
+  // the declared-entity bound -- without it a flipped header word makes
   // the builder commit tens of gigabytes of per-vertex offsets.
-  if (num_vertices > kMaxDeclaredEntities) {
-    throw ParseError{"binary hypergraph: vertex count " +
-                     std::to_string(num_vertices) + " out of range"};
-  }
-  if (num_edges > bytes.size() || num_pins > bytes.size()) {
-    throw ParseError{"binary hypergraph: counts exceed input size"};
-  }
+  io::check_declared_sizes(num_vertices, num_edges, num_pins, bytes.size(),
+                           "binary hypergraph");
   const std::size_t expected_size =
       24 + (static_cast<std::size_t>(num_edges) + 1) * 8 +
       static_cast<std::size_t>(num_pins) * 4;

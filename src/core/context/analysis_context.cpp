@@ -193,6 +193,8 @@ ContextStats AnalysisContext::stats() const {
       "summary", [](const HypergraphSummary&) { return sizeof(HypergraphSummary); }));
   out.artifacts.push_back(paths_.stats(
       "path summary", [](const HyperPathSummary&) { return sizeof(HyperPathSummary); }));
+  out.hypergraph_owned_bytes = hypergraph_.owned_bytes();
+  out.hypergraph_mapped_bytes = hypergraph_.mapped_bytes();
   return out;
 }
 

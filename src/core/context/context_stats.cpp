@@ -79,6 +79,12 @@ obs::MetricsSnapshot to_metrics(const ContextStats& stats) {
       {"context.total.build_seconds", stats.total_build_seconds()});
   snap.gauges.push_back(
       {"context.total.bytes", static_cast<double>(stats.total_bytes())});
+  snap.gauges.push_back(
+      {"context.hypergraph.owned_bytes",
+       static_cast<double>(stats.hypergraph_owned_bytes)});
+  snap.gauges.push_back(
+      {"context.hypergraph.mapped_bytes",
+       static_cast<double>(stats.hypergraph_mapped_bytes)});
   return snap;
 }
 

@@ -41,6 +41,15 @@ struct ArtifactStats {
 struct ContextStats {
   std::vector<ArtifactStats> artifacts;
 
+  /// Base hypergraph storage, split by ownership: heap-owned CSR
+  /// buffers versus pages borrowed from an mmap'd snapshot. A context
+  /// opened from a .hps snapshot reports its CSR arrays under
+  /// `mapped`, not `owned` -- mapped pages are shared, evictable file
+  /// cache, so counting them as heap usage would misstate the
+  /// process's real footprint.
+  std::size_t hypergraph_owned_bytes = 0;
+  std::size_t hypergraph_mapped_bytes = 0;
+
   count_t total_builds() const;
   count_t total_hits() const;
   count_t total_invalidations() const;

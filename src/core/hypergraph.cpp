@@ -4,6 +4,127 @@
 
 namespace hp::hyper {
 
+void Hypergraph::bind_owned() {
+  voff_ = voff_own_;
+  vadj_ = vadj_own_;
+  eoff_ = eoff_own_;
+  eadj_ = eadj_own_;
+}
+
+void Hypergraph::swap(Hypergraph& other) noexcept {
+  // Vector swap moves the buffers with their data pointers, so the
+  // views (swapped alongside) stay bound to the right storage.
+  voff_own_.swap(other.voff_own_);
+  vadj_own_.swap(other.vadj_own_);
+  eoff_own_.swap(other.eoff_own_);
+  eadj_own_.swap(other.eadj_own_);
+  keepalive_.swap(other.keepalive_);
+  std::swap(voff_, other.voff_);
+  std::swap(vadj_, other.vadj_);
+  std::swap(eoff_, other.eoff_);
+  std::swap(eadj_, other.eadj_);
+}
+
+Hypergraph::Hypergraph(const Hypergraph& other)
+    : voff_own_(other.voff_own_),
+      vadj_own_(other.vadj_own_),
+      eoff_own_(other.eoff_own_),
+      eadj_own_(other.eadj_own_),
+      keepalive_(other.keepalive_) {
+  if (keepalive_ != nullptr) {
+    // Mapped: share the region (O(1) copy), views alias the same pages.
+    voff_ = other.voff_;
+    vadj_ = other.vadj_;
+    eoff_ = other.eoff_;
+    eadj_ = other.eadj_;
+  } else {
+    bind_owned();
+  }
+}
+
+Hypergraph::Hypergraph(Hypergraph&& other) noexcept { swap(other); }
+
+Hypergraph& Hypergraph::operator=(const Hypergraph& other) {
+  Hypergraph tmp{other};
+  swap(tmp);
+  return *this;
+}
+
+Hypergraph& Hypergraph::operator=(Hypergraph&& other) noexcept {
+  if (this != &other) {
+    Hypergraph tmp{std::move(other)};
+    swap(tmp);
+  }
+  return *this;
+}
+
+std::size_t Hypergraph::owned_bytes() const {
+  return voff_own_.size() * sizeof(offset_t) +
+         vadj_own_.size() * sizeof(index_t) +
+         eoff_own_.size() * sizeof(offset_t) +
+         eadj_own_.size() * sizeof(index_t);
+}
+
+std::size_t Hypergraph::mapped_bytes() const {
+  if (keepalive_ == nullptr) return 0;
+  return voff_.size_bytes() + vadj_.size_bytes() + eoff_.size_bytes() +
+         eadj_.size_bytes();
+}
+
+bool Hypergraph::operator==(const Hypergraph& other) const {
+  if (num_vertices() != other.num_vertices() ||
+      num_edges() != other.num_edges() || num_pins() != other.num_pins()) {
+    return false;
+  }
+  for (index_t e = 0; e < num_edges(); ++e) {
+    if (edge_size(e) != other.edge_size(e)) return false;
+  }
+  // Identical edge partitions + identical concatenated members pin down
+  // the vertex-side CSR too (it is derived).
+  return std::equal(eadj_.begin(), eadj_.end(), other.eadj_.begin());
+}
+
+Hypergraph Hypergraph::adopt_owned(std::vector<offset_t> voff,
+                                   std::vector<index_t> vadj,
+                                   std::vector<offset_t> eoff,
+                                   std::vector<index_t> eadj) {
+  HP_REQUIRE(!voff.empty() && !eoff.empty(),
+             "Hypergraph::adopt_owned: offset arrays need a leading 0");
+  HP_REQUIRE(voff.front() == 0 && voff.back() == vadj.size() &&
+                 eoff.front() == 0 && eoff.back() == eadj.size() &&
+                 vadj.size() == eadj.size(),
+             "Hypergraph::adopt_owned: offset/adjacency size mismatch");
+  Hypergraph h;
+  h.voff_own_ = std::move(voff);
+  h.vadj_own_ = std::move(vadj);
+  h.eoff_own_ = std::move(eoff);
+  h.eadj_own_ = std::move(eadj);
+  h.bind_owned();
+  return h;
+}
+
+Hypergraph Hypergraph::adopt_external(std::shared_ptr<const void> keepalive,
+                                      std::span<const offset_t> voff,
+                                      std::span<const index_t> vadj,
+                                      std::span<const offset_t> eoff,
+                                      std::span<const index_t> eadj) {
+  HP_REQUIRE(keepalive != nullptr,
+             "Hypergraph::adopt_external: null keepalive");
+  HP_REQUIRE(!voff.empty() && !eoff.empty(),
+             "Hypergraph::adopt_external: offset arrays need a leading 0");
+  HP_REQUIRE(voff.front() == 0 && voff.back() == vadj.size() &&
+                 eoff.front() == 0 && eoff.back() == eadj.size() &&
+                 vadj.size() == eadj.size(),
+             "Hypergraph::adopt_external: offset/adjacency size mismatch");
+  Hypergraph h;
+  h.keepalive_ = std::move(keepalive);
+  h.voff_ = voff;
+  h.vadj_ = vadj;
+  h.eoff_ = eoff;
+  h.eadj_ = eadj;
+  return h;
+}
+
 bool Hypergraph::edge_contains(index_t e, index_t v) const {
   const auto members = vertices_of(e);
   return std::binary_search(members.begin(), members.end(), v);
@@ -46,33 +167,34 @@ void HypergraphBuilder::ensure_vertex(index_t v) {
 }
 
 Hypergraph HypergraphBuilder::build() const {
-  Hypergraph h;
+  using offset_t = Hypergraph::offset_t;
   const index_t num_edges = static_cast<index_t>(edge_offsets_.size());
 
-  h.eoff_.assign(num_edges + 1, 0);
+  std::vector<offset_t> eoff(static_cast<std::size_t>(num_edges) + 1, 0);
   for (index_t e = 0; e < num_edges; ++e) {
     const std::size_t begin = edge_offsets_[e];
     const std::size_t end =
         e + 1 < num_edges ? edge_offsets_[e + 1] : members_.size();
-    h.eoff_[e + 1] = h.eoff_[e] + (end - begin);
+    eoff[e + 1] = eoff[e] + (end - begin);
   }
-  h.eadj_ = members_;
+  std::vector<index_t> eadj = members_;
 
-  h.voff_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
-  for (index_t v : members_) ++h.voff_[v + 1];
-  for (std::size_t i = 1; i < h.voff_.size(); ++i) {
-    h.voff_[i] += h.voff_[i - 1];
+  std::vector<offset_t> voff(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (index_t v : members_) ++voff[v + 1];
+  for (std::size_t i = 1; i < voff.size(); ++i) {
+    voff[i] += voff[i - 1];
   }
-  h.vadj_.resize(members_.size());
-  std::vector<std::size_t> cursor(h.voff_.begin(), h.voff_.end() - 1);
+  std::vector<index_t> vadj(members_.size());
+  std::vector<offset_t> cursor(voff.begin(), voff.end() - 1);
   // Edges are appended in increasing id order, so each vertex's incidence
   // list comes out sorted by edge id automatically.
   for (index_t e = 0; e < num_edges; ++e) {
-    for (std::size_t i = h.eoff_[e]; i < h.eoff_[e + 1]; ++i) {
-      h.vadj_[cursor[h.eadj_[i]]++] = e;
+    for (offset_t i = eoff[e]; i < eoff[e + 1]; ++i) {
+      vadj[cursor[eadj[i]]++] = e;
     }
   }
-  return h;
+  return Hypergraph::adopt_owned(std::move(voff), std::move(vadj),
+                                 std::move(eoff), std::move(eadj));
 }
 
 SubHypergraph induce(const Hypergraph& h, const std::vector<bool>& keep_vertex,

@@ -8,11 +8,16 @@
 // sizes -- the storage measure the paper contrasts with the O(n^2) clique
 // expansion.
 //
-// A Hypergraph is immutable after construction; peeling algorithms keep
-// their own mutable degree/alive arrays. Use HypergraphBuilder to
-// assemble one.
+// All reads go through std::span views. The views are backed either by
+// owned heap vectors (HypergraphBuilder output -- the historical
+// behavior) or by an external read-only region kept alive by a
+// shared_ptr (a memory-mapped snapshot; see core/snapshot/). Either
+// way a Hypergraph is immutable after construction; peeling algorithms
+// keep their own mutable degree/alive arrays.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -21,11 +26,21 @@
 
 namespace hp::hyper {
 
-class HypergraphBuilder;
-
 class Hypergraph {
  public:
+  /// Element type of the CSR offset arrays. Fixed-width (not
+  /// std::size_t) so the on-disk snapshot sections are the in-memory
+  /// arrays, byte for byte, on every platform.
+  using offset_t = std::uint64_t;
+
   Hypergraph() = default;
+  Hypergraph(const Hypergraph& other);
+  Hypergraph(Hypergraph&& other) noexcept;
+  Hypergraph& operator=(const Hypergraph& other);
+  Hypergraph& operator=(Hypergraph&& other) noexcept;
+  ~Hypergraph() = default;
+
+  void swap(Hypergraph& other) noexcept;
 
   /// Number of vertices (proteins), including isolated ones.
   index_t num_vertices() const {
@@ -53,13 +68,21 @@ class Hypergraph {
 
   /// Sorted hyperedges containing vertex v.
   std::span<const index_t> edges_of(index_t v) const {
-    return {vadj_.data() + voff_[v], vadj_.data() + voff_[v + 1]};
+    return vadj_.subspan(voff_[v], voff_[v + 1] - voff_[v]);
   }
 
   /// Sorted member vertices of hyperedge e.
   std::span<const index_t> vertices_of(index_t e) const {
-    return {eadj_.data() + eoff_[e], eadj_.data() + eoff_[e + 1]};
+    return eadj_.subspan(eoff_[e], eoff_[e + 1] - eoff_[e]);
   }
+
+  /// Raw CSR views (serializers and the snapshot writer read these; the
+  /// offset arrays have a leading 0, or are empty on a
+  /// default-constructed instance).
+  std::span<const offset_t> vertex_offsets() const { return voff_; }
+  std::span<const index_t> vertex_adjacency() const { return vadj_; }
+  std::span<const offset_t> edge_offsets() const { return eoff_; }
+  std::span<const index_t> edge_adjacency() const { return eadj_; }
 
   /// Binary search in the sorted member list.
   bool edge_contains(index_t e, index_t v) const;
@@ -70,21 +93,65 @@ class Hypergraph {
   /// Delta_F: maximum hyperedge cardinality.
   index_t max_edge_size() const;
 
-  /// Bytes consumed by the CSR arrays.
-  std::size_t storage_bytes() const {
-    return voff_.size() * sizeof(voff_[0]) + vadj_.size() * sizeof(vadj_[0]) +
-           eoff_.size() * sizeof(eoff_[0]) + eadj_.size() * sizeof(eadj_[0]);
-  }
+  /// True when the CSR arrays live in an external region (a mapped
+  /// snapshot) instead of owned heap vectors.
+  bool is_mapped() const { return keepalive_ != nullptr; }
 
-  /// Structural equality (same vertex count and identical edge lists).
-  bool operator==(const Hypergraph& other) const = default;
+  /// Heap bytes owned by this instance's CSR vectors.
+  std::size_t owned_bytes() const;
+
+  /// Bytes viewed in an external mapped region (0 for owned storage).
+  /// These are OS page-cache pages shared across processes, not process
+  /// heap -- --context-stats reports them separately.
+  std::size_t mapped_bytes() const;
+
+  /// Bytes consumed by the CSR arrays, regardless of who owns them.
+  std::size_t storage_bytes() const { return owned_bytes() + mapped_bytes(); }
+
+  /// Structural equality: same vertex count and identical edge lists.
+  /// Compares content, not storage -- an owned hypergraph equals its
+  /// mapped snapshot.
+  bool operator==(const Hypergraph& other) const;
+
+  /// Adopt pre-built CSR arrays as owned storage. Low-level: the caller
+  /// guarantees the arrays form a consistent dual CSR (sorted,
+  /// duplicate-free lists with matching vertex/edge sides) -- only the
+  /// O(1) size equations are checked here. Used by HypergraphBuilder
+  /// and the snapshot readers; run hyper::validate() on anything that
+  /// came from an untrusted source.
+  static Hypergraph adopt_owned(std::vector<offset_t> voff,
+                                std::vector<index_t> vadj,
+                                std::vector<offset_t> eoff,
+                                std::vector<index_t> eadj);
+
+  /// Adopt CSR views into an external read-only region (a mapped
+  /// snapshot file). `keepalive` owns the region and is held for the
+  /// lifetime of this instance and all copies. Same caller contract as
+  /// adopt_owned.
+  static Hypergraph adopt_external(std::shared_ptr<const void> keepalive,
+                                   std::span<const offset_t> voff,
+                                   std::span<const index_t> vadj,
+                                   std::span<const offset_t> eoff,
+                                   std::span<const index_t> eadj);
 
  private:
-  friend class HypergraphBuilder;
-  std::vector<std::size_t> voff_;
-  std::vector<index_t> vadj_;
-  std::vector<std::size_t> eoff_;
-  std::vector<index_t> eadj_;
+  /// Point the views at the owned vectors.
+  void bind_owned();
+
+  // Owned storage (empty when mapped).
+  std::vector<offset_t> voff_own_;
+  std::vector<index_t> vadj_own_;
+  std::vector<offset_t> eoff_own_;
+  std::vector<index_t> eadj_own_;
+  // Keeps an external region (mmap) alive; null for owned storage.
+  std::shared_ptr<const void> keepalive_;
+  // The views every accessor reads through. Invariant: either all four
+  // alias the owned vectors (keepalive_ == nullptr) or all four point
+  // into the external region.
+  std::span<const offset_t> voff_;
+  std::span<const index_t> vadj_;
+  std::span<const offset_t> eoff_;
+  std::span<const index_t> eadj_;
 };
 
 /// Accumulates hyperedges and produces an immutable Hypergraph.

@@ -10,19 +10,14 @@ namespace hp::hyper {
 
 namespace {
 
-/// Bounds-checked header count (bound shared by all loaders; see
-/// kMaxDeclaredEntities in the header): rejects negatives and counts that would
-/// wrap (or bomb) the 32-bit index space *before* any cast, so a
-/// corrupted header fails with ParseError instead of a silent
-/// reinterpretation or a multi-gigabyte allocation.
+/// Parse + bounds-check a header count through the loader-shared policy
+/// (io::check_declared_count): negatives and counts that would wrap (or
+/// bomb) the 32-bit index space fail with ParseError *before* any cast
+/// or allocation.
 index_t parse_entity_count(std::string_view field, std::size_t line_no,
                            const char* what) {
-  const long long value = parse_int(field);
-  if (value < 0 || value > kMaxDeclaredEntities) {
-    throw ParseError{"line " + std::to_string(line_no) + ": " + what +
-                     " count '" + std::string{field} + "' out of range"};
-  }
-  return static_cast<index_t>(value);
+  return io::check_declared_count(parse_int(field), what,
+                                  "line " + std::to_string(line_no));
 }
 
 }  // namespace
@@ -63,8 +58,8 @@ Hypergraph from_text(const std::string& text) {
         throw ParseError{"line " + std::to_string(line_no) +
                          ": bad header, expected '%hypergraph <V> <F>'"};
       }
-      num_vertices = parse_entity_count(fields[1], line_no, "vertex");
-      declared_edges = parse_entity_count(fields[2], line_no, "edge");
+      num_vertices = parse_entity_count(fields[1], line_no, "vertex count");
+      declared_edges = parse_entity_count(fields[2], line_no, "edge count");
       builder = HypergraphBuilder{num_vertices};
       header_seen = true;
       continue;
@@ -152,8 +147,9 @@ Hypergraph from_hmetis(const std::string& text) {
         throw ParseError{"hmetis line " + std::to_string(line_no) +
                          ": expected '<edges> <vertices>' header"};
       }
-      declared_edges = parse_entity_count(fields[0], line_no, "hyperedge");
-      num_vertices = parse_entity_count(fields[1], line_no, "vertex");
+      declared_edges =
+          parse_entity_count(fields[0], line_no, "hyperedge count");
+      num_vertices = parse_entity_count(fields[1], line_no, "vertex count");
       builder = HypergraphBuilder{num_vertices};
       header_seen = true;
       continue;

@@ -15,16 +15,18 @@
 #include <string>
 
 #include "core/hypergraph.hpp"
+#include "util/declared_sizes.hpp"
 
 namespace hp::hyper {
 
 /// Largest vertex/edge count any hypergraph loader accepts from a file
 /// header. Guards against allocation bombs: a 30-byte header (or a
 /// corrupted binary header word) must not make a loader commit
-/// gigabytes of CSR offsets before any structural check can run. 2^24
-/// entities is an order of magnitude beyond the paper's scope while
-/// bounding the worst-case header-driven allocation to ~200MB.
-inline constexpr long long kMaxDeclaredEntities = 1LL << 24;
+/// gigabytes of CSR offsets before any structural check can run.
+/// Re-exported alias: the policy (and the shared check helpers) moved
+/// to io::kMaxDeclaredEntities in util/declared_sizes.hpp so the mm and
+/// snapshot loaders enforce the same bound.
+inline constexpr long long kMaxDeclaredEntities = io::kMaxDeclaredEntities;
 
 /// Serialize to the text format above.
 std::string to_text(const Hypergraph& h);

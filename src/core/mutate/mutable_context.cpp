@@ -531,11 +531,17 @@ ContextStats MutableAnalysisContext::stats() {
            cores_.level_vertices.size() + cores_.level_edges.size()) *
                   sizeof(index_t) +
               cores_.in_reduced.size()));
+  // The unpacked mutable representation always lives on the heap; only
+  // the inner analysis context (rebased onto materialized snapshots)
+  // can be carrying mapped pages.
+  out.hypergraph_owned_bytes = graph_.storage_bytes();
   if (analysis_) {
     ContextStats inner = analysis_->stats();
     for (ArtifactStats& a : inner.artifacts) {
       out.artifacts.push_back(std::move(a));
     }
+    out.hypergraph_owned_bytes += inner.hypergraph_owned_bytes;
+    out.hypergraph_mapped_bytes += inner.hypergraph_mapped_bytes;
   }
   return out;
 }

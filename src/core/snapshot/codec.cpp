@@ -1,0 +1,87 @@
+#include "core/snapshot/codec.hpp"
+
+#include <cstring>
+
+namespace hp::hyper::snapshot {
+
+namespace {
+
+void put_varint(std::string& out, std::uint32_t value) {
+  while (value >= 0x80u) {
+    out.push_back(static_cast<char>((value & 0x7fu) | 0x80u));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::uint32_t get_varint(std::string_view bytes, std::size_t& cursor) {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 35; shift += 7) {
+    if (cursor >= bytes.size()) {
+      throw ParseError{"snapshot varint: truncated stream"};
+    }
+    const auto byte = static_cast<unsigned char>(bytes[cursor++]);
+    value |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      if (value > 0xffffffffull) {
+        throw ParseError{"snapshot varint: value overflows 32 bits"};
+      }
+      return static_cast<std::uint32_t>(value);
+    }
+  }
+  throw ParseError{"snapshot varint: value overflows 32 bits"};
+}
+
+}  // namespace
+
+void NopCodec::encode(std::span<const index_t> values,
+                      std::span<const offset_t> /*offsets*/,
+                      std::string& out) {
+  out.append(reinterpret_cast<const char*>(values.data()),
+             values.size_bytes());
+}
+
+void NopCodec::decode(std::string_view encoded,
+                      std::span<const offset_t> /*offsets*/,
+                      std::span<index_t> decoded) {
+  if (encoded.size() != decoded.size_bytes()) {
+    throw ParseError{"snapshot: raw adjacency section size mismatch"};
+  }
+  if (!decoded.empty()) {
+    std::memcpy(decoded.data(), encoded.data(), encoded.size());
+  }
+}
+
+void VarintCodec::encode(std::span<const index_t> values,
+                         std::span<const offset_t> offsets,
+                         std::string& out) {
+  for (std::size_t list = 0; list + 1 < offsets.size(); ++list) {
+    index_t previous = 0;
+    for (offset_t i = offsets[list]; i < offsets[list + 1]; ++i) {
+      // First id absolute, then the (>= 1) gaps of the sorted list.
+      put_varint(out, i == offsets[list] ? values[i] : values[i] - previous);
+      previous = values[i];
+    }
+  }
+}
+
+void VarintCodec::decode(std::string_view encoded,
+                         std::span<const offset_t> offsets,
+                         std::span<index_t> decoded) {
+  std::size_t cursor = 0;
+  for (std::size_t list = 0; list + 1 < offsets.size(); ++list) {
+    index_t previous = 0;
+    for (offset_t i = offsets[list]; i < offsets[list + 1]; ++i) {
+      const std::uint32_t delta = get_varint(encoded, cursor);
+      // Wrap-around from a corrupt delta yields an unsorted or
+      // out-of-range list; hyper::validate rejects it downstream.
+      previous = i == offsets[list] ? delta : previous + delta;
+      decoded[i] = previous;
+    }
+  }
+  if (cursor != encoded.size()) {
+    throw ParseError{"snapshot varint: trailing bytes in adjacency section"};
+  }
+}
+
+}  // namespace hp::hyper::snapshot

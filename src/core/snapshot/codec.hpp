@@ -1,0 +1,72 @@
+// Adjacency-section codecs for the snapshot format.
+//
+// A codec transforms the concatenated sorted adjacency lists of one CSR
+// side (vadj or eadj) to and from a byte stream. The offset array frames
+// the lists, so codecs can exploit within-list structure: VarintCodec
+// stores each list as an absolute first id plus strictly positive
+// deltas, LEB128-encoded -- small ids and dense lists shrink to a byte
+// or two per pin. NopCodec is the raw little-endian u32 dump whose
+// on-disk bytes are directly mappable.
+//
+// Decoders are fed untrusted bytes (the reader checks the section
+// checksum first on the owned path, but `verify` and the corruption
+// oracle reach them with arbitrary input): they must either throw
+// ParseError or write exactly offsets.back() values, never read out of
+// bounds.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/hypergraph.hpp"
+
+namespace hp::hyper::snapshot {
+
+using offset_t = Hypergraph::offset_t;
+
+/// What the snapshot reader/writer require of an adjacency codec.
+template <typename C>
+concept SectionCodec =
+    requires(std::span<const index_t> values, std::span<const offset_t> offsets,
+             std::string& out, std::string_view encoded,
+             std::span<index_t> decoded) {
+      { C::kId } -> std::convertible_to<std::uint32_t>;
+      { C::name() } -> std::convertible_to<const char*>;
+      { C::encode(values, offsets, out) } -> std::same_as<void>;
+      { C::decode(encoded, offsets, decoded) } -> std::same_as<void>;
+    };
+
+/// Identity codec: raw little-endian u32 values (the zero-copy layout).
+struct NopCodec {
+  static constexpr std::uint32_t kId = 0;
+  static const char* name() { return "nop"; }
+  static void encode(std::span<const index_t> values,
+                     std::span<const offset_t> offsets, std::string& out);
+  /// Throws ParseError unless encoded.size() == 4 * decoded.size().
+  static void decode(std::string_view encoded,
+                     std::span<const offset_t> offsets,
+                     std::span<index_t> decoded);
+};
+
+/// Per-list delta + LEB128 varint codec. Lists are sorted and
+/// duplicate-free, so every delta after the absolute first id is >= 1.
+struct VarintCodec {
+  static constexpr std::uint32_t kId = 1;
+  static const char* name() { return "varint"; }
+  static void encode(std::span<const index_t> values,
+                     std::span<const offset_t> offsets, std::string& out);
+  /// Throws ParseError on truncation, trailing bytes, or a varint that
+  /// overflows 32 bits. Value-level validity (sortedness, range) is the
+  /// caller's hyper::validate pass, as with every other loader.
+  static void decode(std::string_view encoded,
+                     std::span<const offset_t> offsets,
+                     std::span<index_t> decoded);
+};
+
+static_assert(SectionCodec<NopCodec>);
+static_assert(SectionCodec<VarintCodec>);
+
+}  // namespace hp::hyper::snapshot

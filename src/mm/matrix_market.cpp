@@ -5,24 +5,20 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/declared_sizes.hpp"
 #include "util/stringutil.hpp"
 
 namespace hp::mm {
 
 namespace {
 
-/// Largest dimension the size line may declare; bounds header-driven
-/// allocations (same policy as hyper::kMaxDeclaredEntities).
-constexpr long long kMaxDeclaredDimension = 1LL << 24;
-
+/// Size-line dimensions run through the loader-shared declared-entity
+/// bound (io::kMaxDeclaredEntities) so MatrixMarket headers cannot
+/// drive allocations the other loaders would reject.
 index_t parse_dimension(std::string_view field, std::size_t line_no,
                         const char* what) {
-  const long long value = parse_int(field);
-  if (value < 0 || value > kMaxDeclaredDimension) {
-    throw ParseError{"line " + std::to_string(line_no) + ": " + what +
-                     " '" + std::string{field} + "' out of range"};
-  }
-  return static_cast<index_t>(value);
+  return io::check_declared_count(parse_int(field), what,
+                                  "line " + std::to_string(line_no));
 }
 
 }  // namespace

@@ -1,0 +1,33 @@
+#include "util/declared_sizes.hpp"
+
+namespace hp::io {
+
+index_t check_declared_count(long long value, const char* what,
+                             const std::string& where) {
+  if (value < 0 || value > kMaxDeclaredEntities) {
+    throw ParseError{where + ": " + what + " " + std::to_string(value) +
+                     " out of range"};
+  }
+  return static_cast<index_t>(value);
+}
+
+void check_declared_sizes(unsigned long long num_vertices,
+                          unsigned long long num_edges,
+                          unsigned long long num_pins,
+                          std::size_t input_bytes, const char* format) {
+  const auto limit = static_cast<unsigned long long>(kMaxDeclaredEntities);
+  if (num_vertices > limit) {
+    throw ParseError{std::string{format} + ": vertex count " +
+                     std::to_string(num_vertices) + " out of range"};
+  }
+  if (num_edges > limit) {
+    throw ParseError{std::string{format} + ": edge count " +
+                     std::to_string(num_edges) + " out of range"};
+  }
+  if (num_pins > input_bytes) {
+    throw ParseError{std::string{format} + ": pin count " +
+                     std::to_string(num_pins) + " exceeds input size"};
+  }
+}
+
+}  // namespace hp::io

@@ -1,0 +1,113 @@
+#include "util/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#endif
+
+namespace hp {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error{"MappedFile: " + what + " '" + path +
+                           "': " + std::strerror(errno)};
+}
+
+}  // namespace
+
+#if defined(HP_HAVE_MMAP)
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("cannot stat", path);
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    throw std::runtime_error{"MappedFile: not a regular file '" + path + "'"};
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* mapping = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping == MAP_FAILED) {
+      ::close(fd);
+      size_ = 0;
+      fail("cannot mmap", path);
+    }
+    data_ = mapping;
+  }
+  // The mapping outlives the descriptor.
+  ::close(fd);
+}
+
+void MappedFile::release() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<void*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+#else  // fallback: read the file into an owned buffer
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open", path);
+  in.seekg(0, std::ios::end);
+  fallback_.resize(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0, std::ios::beg);
+  if (!fallback_.empty()) {
+    in.read(fallback_.data(), static_cast<std::streamsize>(fallback_.size()));
+    if (!in) fail("cannot read", path);
+    data_ = fallback_.data();
+  }
+  size_ = fallback_.size();
+}
+
+void MappedFile::release() noexcept {
+  fallback_.clear();
+  data_ = nullptr;
+  size_ = 0;
+}
+
+#endif
+
+MappedFile::~MappedFile() { release(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      path_(std::move(other.path_)),
+      fallback_(std::move(other.fallback_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    release();
+    data_ = other.data_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    fallback_ = std::move(other.fallback_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+}  // namespace hp

@@ -1,0 +1,52 @@
+// Read-only memory-mapped file (RAII).
+//
+// The zero-copy substrate for the snapshot format (core/snapshot/): a
+// snapshot `open` maps the file and hands out spans into the mapping
+// instead of parsing into freshly allocated vectors, so "loading" a
+// hypergraph costs page faults, not a parse. The mapping is
+// MAP_PRIVATE + PROT_READ; the pages are backed by the OS page cache
+// and shared between processes mapping the same file.
+//
+// On platforms without POSIX mmap the class degrades to reading the
+// whole file into an owned buffer -- same (data, size) interface, just
+// without the zero-copy property.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hp {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+
+  /// Map `path` read-only. Throws std::runtime_error when the file
+  /// cannot be opened, stat'ed, or mapped (with errno text). An empty
+  /// file yields data() == nullptr, size() == 0.
+  explicit MappedFile(const std::string& path);
+
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// First byte of the mapping (page-aligned on mmap platforms), or
+  /// nullptr for an empty/default-constructed instance.
+  const void* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void release() noexcept;
+
+  const void* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+  std::vector<char> fallback_;  // owns the bytes on non-mmap platforms
+};
+
+}  // namespace hp

@@ -190,6 +190,64 @@ TEST_F(CliTest, ConvertThroughBinary) {
   std::remove(hpb.c_str());
 }
 
+TEST_F(CliTest, SnapshotConvertInfoVerify) {
+  const std::string hps = dir_ + "/cli_snap.hps";
+  std::ostringstream out;
+  EXPECT_EQ(cmd_snapshot(
+                make_args({"snapshot", "convert", table_path_.c_str(),
+                           hps.c_str()}),
+                out),
+            0);
+  EXPECT_NE(out.str().find("codec nop"), std::string::npos);
+
+  std::ostringstream info_out;
+  EXPECT_EQ(cmd_snapshot(make_args({"snapshot", "info", hps.c_str()}),
+                         info_out),
+            0);
+  EXPECT_NE(info_out.str().find("hyperedges     : 3"), std::string::npos);
+
+  std::ostringstream verify_out;
+  EXPECT_EQ(cmd_snapshot(make_args({"snapshot", "verify", hps.c_str()}),
+                         verify_out),
+            0);
+  EXPECT_NE(verify_out.str().find("snapshot ok"), std::string::npos);
+  std::remove(hps.c_str());
+}
+
+TEST_F(CliTest, SnapshotStatsMatchesTextPath) {
+  // The acceptance contract: analysis over a .hps must print exactly
+  // what the same analysis over the text formats prints.
+  const std::string hyper = dir_ + "/cli_snap_ref.hyper";
+  const std::string hps = dir_ + "/cli_snap_ref.hps";
+  std::ostringstream conv;
+  ASSERT_EQ(cmd_convert(
+                make_args({"convert", table_path_.c_str(), hyper.c_str()}),
+                conv),
+            0);
+  ASSERT_EQ(cmd_snapshot(
+                make_args({"snapshot", "convert", hyper.c_str(), hps.c_str(),
+                           "--codec", "varint"}),
+                conv),
+            0);
+  std::ostringstream from_text, from_snapshot;
+  ASSERT_EQ(cmd_stats(make_args({"stats", hyper.c_str()}), from_text), 0);
+  ASSERT_EQ(cmd_stats(make_args({"stats", hps.c_str()}), from_snapshot), 0);
+  EXPECT_EQ(from_text.str(), from_snapshot.str());
+  std::remove(hyper.c_str());
+  std::remove(hps.c_str());
+}
+
+TEST_F(CliTest, SnapshotRejectsBadSubcommandAndCodec) {
+  std::ostringstream out;
+  EXPECT_THROW(cmd_snapshot(make_args({"snapshot", "frob", "x.hps"}), out),
+               InvalidInputError);
+  EXPECT_THROW(cmd_snapshot(make_args({"snapshot", "convert",
+                                       table_path_.c_str(), "x.hps",
+                                       "--codec", "lzma"}),
+                            out),
+               InvalidInputError);
+}
+
 TEST_F(CliTest, ReportCommand) {
   std::ostringstream out;
   const int rc = cmd_report(

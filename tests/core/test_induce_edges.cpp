@@ -62,6 +62,34 @@ TEST(InduceEdgesTest, EmptyEdgeMaskKeepsVerticesOnly) {
   EXPECT_TRUE(sub.edge_to_parent.empty());
 }
 
+TEST(InduceEdgesTest, BothMasksFalseYieldEmptyHypergraph) {
+  const Hypergraph h = testing::toy_hypergraph();
+  const SubHypergraph sub =
+      induce(h, std::vector<bool>(h.num_vertices(), false),
+             std::vector<bool>(h.num_edges(), false));
+
+  EXPECT_EQ(sub.hypergraph.num_vertices(), 0u);
+  EXPECT_EQ(sub.hypergraph.num_edges(), 0u);
+  EXPECT_EQ(sub.hypergraph.num_pins(), 0u);
+  EXPECT_TRUE(sub.vertex_to_parent.empty());
+  EXPECT_TRUE(sub.edge_to_parent.empty());
+  validate(sub.hypergraph);
+}
+
+TEST(InduceEdgesTest, IsolatedVertexOnlyParent) {
+  // A parent with vertices but no hyperedges at all: induction is pure
+  // vertex renumbering and must not touch (empty) adjacency.
+  const Hypergraph h = HypergraphBuilder{4}.build();
+  std::vector<bool> keep_vertex{true, false, true, false};
+  const SubHypergraph sub = induce(h, keep_vertex, {});
+
+  EXPECT_EQ(sub.hypergraph.num_vertices(), 2u);
+  EXPECT_EQ(sub.hypergraph.num_edges(), 0u);
+  EXPECT_EQ(sub.hypergraph.num_pins(), 0u);
+  EXPECT_EQ(sub.vertex_to_parent, (std::vector<index_t>{0, 2}));
+  validate(sub.hypergraph);
+}
+
 TEST(InduceEdgesTest, EdgesEmptiedByVertexRemovalAreDropped) {
   // toy: e0 = {0,1,2,3}, e1 = {2,3,4}, e2 = {4,5}, e3 = {5},
   //      e4 = {0,1,2,3,6}. Removing vertices 4 and 5 empties e2 and e3.
