@@ -6,16 +6,25 @@
 //   * the per-site cost of a disabled span / counter (tight loop, loop
 //     overhead subtracted via an empty baseline loop);
 //   * the per-site cost of an enabled span (buffer append, both ends);
-//   * the end-to-end core decomposition of the Cellzome surrogate with
-//     tracing off and on.
+//   * the end-to-end core decomposition of the *scaled* Cellzome
+//     surrogate (the calibrated 1361-protein instance peels in well
+//     under a millisecond, too short to measure percent-level overhead
+//     against scheduler noise) with tracing off, tracing on, and the
+//     SIGPROF sampler running.
 // From the disabled per-site cost and the number of span/counter sites
 // an instrumented peel actually executes (counted by re-parsing a real
 // trace of one decomposition), we derive an upper bound on the
-// tracing-disabled overhead as a percentage of the peel time. The
-// acceptance bar from the issue is < 5%; the result is recorded in
-// BENCH_obs.json and EXPERIMENTS.md.
+// tracing-disabled overhead as a percentage of the peel time.
 //
-// Usage: bench_micro_obs [--seed N] [--quick] [--json PATH]
+// Acceptance bars from the issue, both recorded in BENCH_obs.json and
+// EXPERIMENTS.md and enforced by scripts/ci.sh:
+//   * derived tracing-disabled overhead  <= 0.1%
+//   * measured tracing-enabled overhead  <= 5%
+// The profiler's overhead at its default ~1 kHz is recorded
+// (profiler_overhead_percent, budget < 10%, see obs/profile.hpp) but
+// not gated: on a 1-2 core CI box the measurement is noise-bound.
+//
+// Usage: bench_micro_obs [--seed N] [--proteins N] [--quick] [--json PATH]
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -24,6 +33,7 @@
 #include "bio/cellzome_synth.hpp"
 #include "core/kcore.hpp"
 #include "obs/json_check.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
@@ -41,11 +51,25 @@ double loop_ns(int iters, const Body& body) {
   return static_cast<double>(timer.nanoseconds()) / iters;
 }
 
+/// Best-of-reps seconds for one core decomposition of `h`.
+double best_peel_seconds(const hp::hyper::Hypergraph& h, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    hp::Timer timer;
+    g_sink = g_sink + hp::hyper::core_decomposition(h, nullptr).max_core;
+    const double s = timer.seconds();
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
 struct PeelTiming {
-  double seconds_off = 0.0;  // tracing disabled
-  double seconds_on = 0.0;   // tracing enabled
-  std::size_t spans = 0;     // span sites executed per decomposition
-  std::size_t counters = 0;  // counter sites executed per decomposition
+  double seconds_off = 0.0;       // tracing disabled
+  double seconds_on = 0.0;        // tracing enabled
+  double seconds_profiled = 0.0;  // tracing off, SIGPROF sampler on
+  std::size_t spans = 0;          // span sites executed per decomposition
+  std::size_t counters = 0;       // counter sites executed per decomposition
+  std::size_t profile_samples = 0;
 };
 
 PeelTiming time_peel(const hp::hyper::Hypergraph& h, int reps) {
@@ -53,28 +77,15 @@ PeelTiming time_peel(const hp::hyper::Hypergraph& h, int reps) {
 
   hp::obs::set_tracing_enabled(false);
   hp::obs::reset_tracing();
-  {
-    double best = 0.0;
-    for (int r = 0; r < reps; ++r) {
-      hp::Timer timer;
-      g_sink = g_sink + hp::hyper::core_decomposition(h, nullptr).max_core;
-      const double s = timer.seconds();
-      if (r == 0 || s < best) best = s;
-    }
-    out.seconds_off = best;
-  }
+  out.seconds_off = best_peel_seconds(h, reps);
 
   hp::obs::set_tracing_enabled(true);
-  {
-    double best = 0.0;
-    for (int r = 0; r < reps; ++r) {
-      hp::obs::reset_tracing();
-      hp::Timer timer;
-      g_sink = g_sink + hp::hyper::core_decomposition(h, nullptr).max_core;
-      const double s = timer.seconds();
-      if (r == 0 || s < best) best = s;
-    }
-    out.seconds_on = best;
+  for (int r = 0; r < reps; ++r) {
+    hp::obs::reset_tracing();
+    hp::Timer timer;
+    g_sink = g_sink + hp::hyper::core_decomposition(h, nullptr).max_core;
+    const double s = timer.seconds();
+    if (r == 0 || s < out.seconds_on) out.seconds_on = s;
   }
 
   // Count the span/counter sites one decomposition actually executes by
@@ -90,6 +101,13 @@ PeelTiming time_peel(const hp::hyper::Hypergraph& h, int reps) {
 
   hp::obs::set_tracing_enabled(false);
   hp::obs::reset_tracing();
+
+  // Same workload under the default ~1 kHz CPU sampler.
+  hp::obs::start_profiling();
+  out.seconds_profiled = best_peel_seconds(h, reps);
+  hp::obs::stop_profiling();
+  out.profile_samples = hp::obs::profile_sample_count();
+  hp::obs::reset_profiling();
   return out;
 }
 
@@ -103,7 +121,9 @@ int main(int argc, char** argv) {
   const std::string json_path = args.get("json", "");
 
   const int site_iters = quick ? 2'000'000 : 20'000'000;
-  const int peel_reps = quick ? 3 : 10;
+  const int peel_reps = quick ? 5 : 10;
+  const hp::index_t proteins = static_cast<hp::index_t>(
+      args.get_int("proteins", quick ? 20000 : 60000));
 
   std::puts("=== obs layer: span-site cost and peel overhead ablation ===");
 
@@ -158,7 +178,7 @@ int main(int argc, char** argv) {
     t.print();
   }
 
-  hp::bio::CellzomeParams params;
+  hp::bio::CellzomeParams params = hp::bio::scaled_cellzome_params(proteins);
   params.seed = seed;
   const hp::bio::ComplexDataset data = hp::bio::cellzome_surrogate(params);
   const PeelTiming peel = time_peel(data.hypergraph, peel_reps);
@@ -176,39 +196,60 @@ int main(int argc, char** argv) {
       peel.seconds_off > 0.0
           ? 100.0 * (peel.seconds_on - peel.seconds_off) / peel.seconds_off
           : 0.0;
+  const double profiler_overhead_percent =
+      peel.seconds_off > 0.0
+          ? 100.0 * (peel.seconds_profiled - peel.seconds_off) /
+                peel.seconds_off
+          : 0.0;
 
   std::printf(
-      "\ncore decomposition (cellzome surrogate, best of %d):\n"
-      "  tracing off: %s\n"
-      "  tracing on:  %s  (%zu spans, %zu counter samples per peel)\n"
-      "  measured enabled overhead:  %.2f%%\n"
-      "  derived disabled overhead:  %.4f%%  (span sites x disabled cost)\n",
-      peel_reps, hp::format_duration(peel.seconds_off).c_str(),
+      "\ncore decomposition (scaled surrogate, %lld proteins, best of %d):\n"
+      "  tracing off:   %s\n"
+      "  tracing on:    %s  (%zu spans, %zu counter samples per peel)\n"
+      "  profiler on:   %s  (%zu stack samples at ~1 kHz)\n"
+      "  measured enabled overhead:  %.2f%%  (budget <= 5%%)\n"
+      "  derived disabled overhead:  %.5f%%  (span sites x disabled cost, "
+      "budget <= 0.1%%)\n"
+      "  profiler overhead:          %.2f%%  (recorded, not gated)\n",
+      static_cast<long long>(proteins), peel_reps,
+      hp::format_duration(peel.seconds_off).c_str(),
       hp::format_duration(peel.seconds_on).c_str(), peel.spans, peel.counters,
-      enabled_overhead_percent, derived_overhead_percent);
+      hp::format_duration(peel.seconds_profiled).c_str(),
+      peel.profile_samples, enabled_overhead_percent,
+      derived_overhead_percent, profiler_overhead_percent);
 
-  const bool within_budget = derived_overhead_percent < 5.0;
-  std::printf("tracing-disabled overhead within 5%% budget: %s\n",
-              within_budget ? "yes" : "NO");
+  const bool disabled_ok = derived_overhead_percent <= 0.1;
+  const bool enabled_ok = enabled_overhead_percent <= 5.0;
+  std::printf("tracing-disabled overhead within 0.1%% budget: %s\n",
+              disabled_ok ? "yes" : "NO");
+  std::printf("tracing-enabled overhead within 5%% budget: %s\n",
+              enabled_ok ? "yes" : "NO");
 
   if (!json_path.empty()) {
     std::ofstream out{json_path};
     out << "{\n  \"benchmark\": \"bench_micro_obs\",\n"
+        << "  \"surrogate_proteins\": " << proteins << ",\n"
         << "  \"baseline_loop_ns\": " << baseline_ns << ",\n"
         << "  \"disabled_span_ns\": " << disabled_span_ns << ",\n"
         << "  \"disabled_counter_ns\": " << disabled_counter_ns << ",\n"
         << "  \"enabled_span_ns\": " << enabled_span_ns << ",\n"
         << "  \"peel_seconds_tracing_off\": " << peel.seconds_off << ",\n"
         << "  \"peel_seconds_tracing_on\": " << peel.seconds_on << ",\n"
+        << "  \"peel_seconds_profiled\": " << peel.seconds_profiled << ",\n"
+        << "  \"profiler_samples\": " << peel.profile_samples << ",\n"
         << "  \"trace_spans_per_peel\": " << peel.spans << ",\n"
         << "  \"trace_counters_per_peel\": " << peel.counters << ",\n"
         << "  \"derived_disabled_overhead_percent\": "
         << derived_overhead_percent << ",\n"
         << "  \"measured_enabled_overhead_percent\": "
         << enabled_overhead_percent << ",\n"
-        << "  \"within_5_percent\": " << (within_budget ? "true" : "false")
-        << "\n}\n";
+        << "  \"profiler_overhead_percent\": " << profiler_overhead_percent
+        << ",\n"
+        << "  \"disabled_within_0_1_percent\": "
+        << (disabled_ok ? "true" : "false") << ",\n"
+        << "  \"enabled_within_5_percent\": "
+        << (enabled_ok ? "true" : "false") << "\n}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return within_budget ? 0 : 1;
+  return disabled_ok && enabled_ok ? 0 : 1;
 }

@@ -108,15 +108,41 @@ echo "=== context memoization bench (quick) ==="
 
 echo "=== tracing overhead bench (quick) ==="
 "${prefix}/bench/bench_micro_obs" --quick --json "${root}/BENCH_obs.json"
+python3 - "${root}/BENCH_obs.json" <<'EOF'
+import json, sys
 
-echo "=== traced report on the Cellzome surrogate ==="
+bench = json.load(open(sys.argv[1]))
+disabled = bench["derived_disabled_overhead_percent"]
+enabled = bench["measured_enabled_overhead_percent"]
+assert bench["disabled_within_0_1_percent"], \
+    f"tracing-disabled overhead {disabled:.5f}% exceeds the 0.1% budget"
+assert bench["enabled_within_5_percent"], \
+    f"tracing-enabled overhead {enabled:.2f}% exceeds the 5% budget"
+assert bench["profiler_samples"] > 0, "profiler collected no samples"
+print(f"obs bench ok: disabled {disabled:.5f}% (gate: <= 0.1%), "
+      f"enabled {enabled:.2f}% (gate: <= 5%), "
+      f"profiler {bench['profiler_overhead_percent']:.2f}% (recorded)")
+EOF
+
+echo "=== traced + profiled report on the Cellzome surrogate ==="
 obs_dir="${prefix}/obs-check"
 mkdir -p "${obs_dir}"
-"${prefix}/src/cli/hyperproteome" generate "${obs_dir}/cellzome.tsv"
-"${prefix}/src/cli/hyperproteome" report "${obs_dir}/cellzome.tsv" \
+"${prefix}/src/cli/hyperproteome" generate "${obs_dir}/cellzome.tsv" \
+  --proteins 20000
+# HP_THREADS=16 oversubscribes the pool so the span tree really crosses
+# lanes; the validator below requires every task span to reattach to the
+# single cli.report root via parent links and s/f flow events.
+HP_THREADS=16 "${prefix}/src/cli/hyperproteome" report \
+  "${obs_dir}/cellzome.tsv" \
   --trace "${obs_dir}/report_trace.json" \
-  --metrics "${obs_dir}/report_metrics.json"
-python3 - "${obs_dir}/report_trace.json" "${obs_dir}/report_metrics.json" <<'EOF'
+  --metrics "${obs_dir}/report_metrics.json" \
+  --profile "${obs_dir}/report_profile.folded" \
+  --metrics-interval 50ms \
+  --metrics-jsonl "${obs_dir}/report_metrics.jsonl" \
+  --metrics-prom "${obs_dir}/report_metrics.prom"
+python3 - "${obs_dir}/report_trace.json" "${obs_dir}/report_metrics.json" \
+  "${obs_dir}/report_profile.folded" "${obs_dir}/report_metrics.jsonl" \
+  "${obs_dir}/report_metrics.prom" <<'EOF'
 import json, sys
 
 trace = json.load(open(sys.argv[1]))
@@ -144,14 +170,58 @@ peel_levels = sum(
 assert peel_levels >= 1, "no per-level peel spans"
 assert "cli.report" in names and "cli.load_dataset" in names
 
+# Causal-tree integrity: every B event carries trace/span/parent ids,
+# they form ONE tree rooted at cli.report, and no parent dangles.
+spans = {}
+traces = set()
+for e in events:
+    if e["ph"] != "B":
+        continue
+    args = e.get("args", {})
+    assert {"trace", "span", "parent"} <= args.keys(), \
+        f"span {e['name']} missing causal ids"
+    assert args["span"] not in spans, f"duplicate span id {args['span']}"
+    spans[args["span"]] = args
+    traces.add(args["trace"])
+assert len(traces) == 1, f"expected one trace tree, got {len(traces)}"
+roots = [s for s in spans.values() if s["parent"] == 0]
+assert len(roots) == 1, f"expected one root span, got {len(roots)}"
+dangling = [s for s in spans.values()
+            if s["parent"] != 0 and s["parent"] not in spans]
+assert not dangling, f"{len(dangling)} spans reference missing parents"
+threads = {e["tid"] for e in events if e["ph"] == "B"}
+flows = sum(1 for e in events if e["ph"] in ("s", "f"))
+
 metrics = json.load(open(sys.argv[2]))
 assert metrics["counters"].get("peel.rounds", 0) > 0
 assert any(k.startswith("context.") and k.endswith(".builds")
            for k in metrics["counters"])
 assert "context.build_ns" in metrics["histograms"]
 
-print(f"trace ok: {len(events)} events, {len(builds)} artifact build "
-      f"spans, {peel_levels} peel-level spans; metrics ok")
+# Folded profile: non-empty, every line is "frame;frame;... count".
+folded = [l for l in open(sys.argv[3]) if l.strip()]
+assert folded, "profiler wrote an empty folded file"
+for line in folded:
+    stack, _, count = line.rstrip("\n").rpartition(" ")
+    assert stack and count.isdigit() and int(count) > 0, \
+        f"malformed folded line: {line!r}"
+
+# Continuous export: the JSONL series parses per line and the final
+# flush carries process gauges; the Prometheus snapshot is typed.
+series = [json.loads(l) for l in open(sys.argv[4]) if l.strip()]
+assert series, "metrics JSONL series is empty"
+last = series[-1]
+assert last["gauges"].get("process.rss_bytes", 0) > 0
+assert "par.queue_depth" in last["gauges"]
+prom = open(sys.argv[5]).read()
+assert "# TYPE hp_process_rss_bytes gauge" in prom
+assert "hp_peel_rounds" in prom
+
+print(f"trace ok: {len(events)} events, one tree of {len(spans)} spans "
+      f"across {len(threads)} threads ({flows} flow events), "
+      f"{len(builds)} artifact build spans, {peel_levels} peel-level "
+      f"spans; profile ok: {len(folded)} folded stacks; "
+      f"metrics ok: {len(series)} flushes")
 EOF
 
 echo "=== tier-1: sanitized build + ctest (HP_SANITIZE=address;undefined) ==="

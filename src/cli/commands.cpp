@@ -26,7 +26,9 @@
 #include "core/traversal.hpp"
 #include "mm/matrix_market.hpp"
 #include "mm/mm_to_hypergraph.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/stringutil.hpp"
 #include "util/timer.hpp"
@@ -677,6 +679,19 @@ std::string usage() {
          "  --metrics out.json  dump the metrics registry (counters,\n"
          "                      gauges, latency histograms); env\n"
          "                      HP_METRICS=out.json is equivalent\n"
+         "  --profile out.folded  sample the command with the SIGPROF\n"
+         "                      CPU profiler and write folded stacks\n"
+         "                      (flamegraph.pl / speedscope input); env\n"
+         "                      HP_PROFILE=out.folded is equivalent\n"
+         "  --metrics-interval 250ms|2s|N  flush metrics continuously\n"
+         "                      from a background thread to\n"
+         "                      --metrics-jsonl (default hp_metrics.jsonl)\n"
+         "                      and --metrics-prom (default\n"
+         "                      hp_metrics.prom, Prometheus text format);\n"
+         "                      env HP_METRICS_INTERVAL etc.\n"
+         "  --slow-span-ms N    log traced spans that exceed N ms (also\n"
+         "                      counted in obs.slow_spans); env\n"
+         "                      HP_SLOW_SPAN_MS\n"
          "\n"
          "formats by extension: .hyper (native), .hgr (hMETIS),\n"
          "  .hpb (binary), .hps (mmap'd snapshot),\n"
@@ -731,7 +746,47 @@ int run(const Args& args, std::ostream& out) {
 
   const std::string trace_path = flag_or_env(args, "trace", "HP_TRACE");
   const std::string metrics_path = flag_or_env(args, "metrics", "HP_METRICS");
+  const std::string profile_path =
+      flag_or_env(args, "profile", "HP_PROFILE");
   if (!trace_path.empty()) obs::set_tracing_enabled(true);
+
+  // Slow-span watchdog: spans longer than the threshold are logged as
+  // they close (and counted in obs.slow_spans). 0 = off.
+  {
+    std::int64_t slow_ms = args.get_int("slow-span-ms", 0);
+    if (slow_ms <= 0) {
+      if (const char* env = std::getenv("HP_SLOW_SPAN_MS")) {
+        slow_ms = std::strtoll(env, nullptr, 10);
+      }
+    }
+    if (slow_ms > 0) {
+      obs::set_slow_span_threshold_ns(
+          static_cast<std::uint64_t>(slow_ms) * 1000000u);
+    }
+  }
+
+  // Continuous metrics export: --metrics-interval / HP_METRICS_INTERVAL
+  // turn on the background flusher for the duration of the command.
+  std::optional<std::chrono::milliseconds> metrics_interval;
+  if (args.has("metrics-interval")) {
+    metrics_interval =
+        obs::parse_metrics_interval(args.get("metrics-interval", ""));
+    if (!metrics_interval) {
+      out << "error: --metrics-interval expects '250ms', '2s' or a "
+             "millisecond count\n";
+      return 2;
+    }
+  } else {
+    metrics_interval = obs::metrics_interval_from_env();
+  }
+  std::string jsonl_path;
+  std::string prom_path;
+  if (metrics_interval) {
+    jsonl_path = flag_or_env(args, "metrics-jsonl", "HP_METRICS_JSONL");
+    if (jsonl_path.empty()) jsonl_path = "hp_metrics.jsonl";
+    prom_path = flag_or_env(args, "metrics-prom", "HP_METRICS_PROM");
+    if (prom_path.empty()) prom_path = "hp_metrics.prom";
+  }
 
   const Command* matched = nullptr;
   for (const Command& cmd : kCommands) {
@@ -746,7 +801,19 @@ int run(const Args& args, std::ostream& out) {
   }
 
   int code = 0;
+  bool profiling = false;
   try {
+    if (!profile_path.empty()) {
+      obs::start_profiling();
+      profiling = true;
+    }
+    if (metrics_interval) {
+      obs::ExportOptions options;
+      options.interval = *metrics_interval;
+      options.jsonl_path = jsonl_path;
+      options.prom_path = prom_path;
+      obs::MetricsExporter::global().start(options);
+    }
     Timer timer;
     {
       HP_TRACE_SPAN(matched->span);
@@ -756,10 +823,32 @@ int run(const Args& args, std::ostream& out) {
   } catch (const std::exception& error) {
     out << "error: " << error.what() << '\n';
     code = 1;
+  } catch (...) {
+    out << "error: unknown exception\n";
+    code = 1;
   }
 
-  // Flush observability outputs even when the command failed: a trace of
-  // a failing run is precisely when you want one.
+  // Flush observability outputs even when the command failed: a trace,
+  // profile or metrics series of a failing run is precisely when you
+  // want one.
+  if (profiling) {
+    obs::stop_profiling();
+    try {
+      obs::write_folded_file(profile_path);
+      out << "wrote profile " << profile_path << " ("
+          << obs::profile_sample_count() << " samples, "
+          << obs::profile_dropped_samples() << " dropped)\n";
+    } catch (const std::exception& error) {
+      out << "error: " << error.what() << '\n';
+      code = 1;
+    }
+  }
+  if (obs::MetricsExporter::global().running()) {
+    obs::MetricsExporter::global().stop();  // final flush inside
+    out << "wrote metrics series " << jsonl_path << " and " << prom_path
+        << " (" << obs::MetricsExporter::global().flush_count()
+        << " flushes)\n";
+  }
   if (!trace_path.empty()) {
     try {
       obs::write_chrome_trace_file(trace_path);

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cstdlib>
 #include <map>
+#include <set>
+#include <vector>
 
 #include "util/common.hpp"
 
@@ -230,9 +232,24 @@ bool TraceSummary::all_monotonic() const {
       [](const TraceThreadSummary& t) { return t.timestamps_monotonic; });
 }
 
+bool TraceSummary::all_single_rooted() const {
+  return parent_integrity &&
+         std::all_of(trees.begin(), trees.end(),
+                     [](const TraceTreeSummary& t) {
+                       return t.roots == 1 && t.connected;
+                     });
+}
+
 const TraceThreadSummary* TraceSummary::thread(std::uint32_t tid) const {
   for (const TraceThreadSummary& t : threads) {
     if (t.tid == tid) return &t;
+  }
+  return nullptr;
+}
+
+const TraceTreeSummary* TraceSummary::tree(std::uint64_t trace_id) const {
+  for (const TraceTreeSummary& t : trees) {
+    if (t.trace_id == trace_id) return &t;
   }
   return nullptr;
 }
@@ -249,6 +266,18 @@ TraceSummary summarize_trace(const json::Value& root) {
     std::int64_t depth = 0;
   };
   std::map<std::uint32_t, ThreadState> threads;
+
+  struct TreeState {
+    TraceTreeSummary summary;
+    std::set<std::uint32_t> tids;
+  };
+  std::map<std::uint64_t, TreeState> trees;
+  std::map<std::uint64_t, std::uint64_t> span_to_trace;  // span id -> trace
+  struct ParentRef {
+    std::uint64_t trace_id;
+    std::uint64_t parent_id;
+  };
+  std::vector<ParentRef> parent_refs;  // resolved after the event sweep
 
   TraceSummary out;
   for (const json::Value& event : events->array) {
@@ -273,16 +302,49 @@ TraceSummary summarize_trace(const json::Value& root) {
     }
     state.last_ts = ts->number;
     switch (phase->string[0]) {
-      case 'B':
+      case 'B': {
         ++state.summary.begin_events;
         ++state.depth;
+        // Causal ids ride in args: {"trace": t, "span": s, "parent": p}.
+        // Spans without them (older traces) simply stay outside the
+        // tree bookkeeping.
+        const json::Value* args = event.find("args");
+        const json::Value* trace = args ? args->find("trace") : nullptr;
+        const json::Value* span = args ? args->find("span") : nullptr;
+        const json::Value* parent = args ? args->find("parent") : nullptr;
+        if (trace != nullptr && span != nullptr && parent != nullptr &&
+            trace->type == json::Value::Type::kNumber &&
+            span->type == json::Value::Type::kNumber &&
+            parent->type == json::Value::Type::kNumber) {
+          const auto trace_id = static_cast<std::uint64_t>(trace->number);
+          const auto span_id = static_cast<std::uint64_t>(span->number);
+          const auto parent_id = static_cast<std::uint64_t>(parent->number);
+          TreeState& tree = trees[trace_id];
+          tree.summary.trace_id = trace_id;
+          ++tree.summary.spans;
+          tree.tids.insert(state.summary.tid);
+          if (parent_id == 0) {
+            ++tree.summary.roots;
+          } else {
+            parent_refs.push_back({trace_id, parent_id});
+          }
+          if (!span_to_trace.emplace(span_id, trace_id).second) {
+            out.parent_integrity = false;  // duplicate span id
+          }
+        }
         break;
+      }
       case 'E':
         ++state.summary.end_events;
         if (--state.depth < 0) state.summary.balanced = false;
         break;
       case 'C':
         ++state.summary.counter_events;
+        break;
+      case 's':
+      case 't':
+      case 'f':
+        ++state.summary.flow_events;
         break;
       case 'X':
         break;  // complete events carry their own duration
@@ -291,9 +353,22 @@ TraceSummary summarize_trace(const json::Value& root) {
                          "'"};
     }
   }
+  // Second pass: every parent reference must name a recorded span of
+  // the same trace. Dangling or cross-trace parents break connectivity.
+  for (const ParentRef& ref : parent_refs) {
+    const auto found = span_to_trace.find(ref.parent_id);
+    if (found == span_to_trace.end() || found->second != ref.trace_id) {
+      out.parent_integrity = false;
+      trees[ref.trace_id].summary.connected = false;
+    }
+  }
   for (auto& [tid, state] : threads) {
     if (state.depth != 0) state.summary.balanced = false;
     out.threads.push_back(state.summary);
+  }
+  for (auto& [trace_id, state] : trees) {
+    state.summary.threads = state.tids.size();
+    out.trees.push_back(state.summary);
   }
   return out;
 }

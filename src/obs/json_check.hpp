@@ -47,23 +47,45 @@ struct TraceThreadSummary {
   std::size_t begin_events = 0;
   std::size_t end_events = 0;
   std::size_t counter_events = 0;
+  std::size_t flow_events = 0;  // ph "s"/"t"/"f" task hand-off markers
   bool timestamps_monotonic = true;  // non-decreasing ts in file order
   bool balanced = true;  // B/E counts match and depth never went negative
+};
+
+/// Per-trace-id tallies of the causal span tree (args.trace/span/parent
+/// on B events, DESIGN.md section 14). A healthy operation shows up as
+/// exactly one tree: `roots == 1` and `connected` true.
+struct TraceTreeSummary {
+  std::uint64_t trace_id = 0;
+  std::size_t spans = 0;      // B events carrying this trace id
+  std::size_t roots = 0;      // spans with parent 0
+  std::size_t threads = 0;    // distinct tids contributing spans
+  /// Every non-root parent id resolves to a span of the same trace.
+  bool connected = true;
 };
 
 struct TraceSummary {
   std::size_t events = 0;
   std::vector<TraceThreadSummary> threads;  // sorted by tid
+  std::vector<TraceTreeSummary> trees;      // sorted by trace_id
+  /// Span ids unique file-wide and every parent reference resolves to a
+  /// span of the same trace. Spans without ids (pre-context traces) are
+  /// exempt.
+  bool parent_integrity = true;
 
   bool all_balanced() const;
   bool all_monotonic() const;
+  /// Every tree has exactly one root and is fully connected.
+  bool all_single_rooted() const;
   const TraceThreadSummary* thread(std::uint32_t tid) const;
+  const TraceTreeSummary* tree(std::uint64_t trace_id) const;
 };
 
 /// Validate a parsed trace document: must be an object with a
 /// "traceEvents" array whose entries carry string "name"/"ph" and
 /// numeric "ts"/"tid". Throws hp::ParseError on structural violations;
-/// ordering/balance problems are reported in the summary, not thrown.
+/// ordering/balance/parent-integrity problems are reported in the
+/// summary, not thrown.
 TraceSummary summarize_trace(const json::Value& root);
 
 }  // namespace hp::obs

@@ -166,6 +166,7 @@ std::string render_table(const MetricsSnapshot& snapshot) {
     value << "count=" << s.count << " sum=" << format_ns(s.sum_ns)
           << " p50<=" << format_ns(s.p50_ns)
           << " p90<=" << format_ns(s.p90_ns)
+          << " p99<=" << format_ns(s.p99_ns)
           << " max<=" << format_ns(s.max_ns);
     table.row().cell(s.name).cell("histogram").cell(value.str());
   }

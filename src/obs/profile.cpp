@@ -1,0 +1,296 @@
+#include "obs/profile.hpp"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <sys/time.h>
+#include <ucontext.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hp::obs {
+
+namespace {
+
+/// Sample buffer layout: `stride` atomic words per sample; word 0 is
+/// the frame count (written last, with release, so a reader that sees
+/// it non-zero also sees the frames), words 1..depth are PC values
+/// leaf-first. Allocated by start_profiling() before the handler is
+/// installed; the handler only ever indexes it.
+struct ProfileState {
+  std::vector<std::atomic<std::uintptr_t>> buffer;
+  std::size_t stride = 0;
+  std::size_t capacity = 0;  // samples
+  int max_frames = 0;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> dropped{0};
+};
+
+ProfileState& state() {
+  static ProfileState* s = new ProfileState;  // leaked: outlives statics
+  return *s;
+}
+
+/// Armed flag the handler checks first; lock-free and async-signal-safe.
+std::atomic<bool> g_armed{false};
+bool g_active = false;  // start/stop bookkeeping, under g_control_mutex
+std::mutex g_control_mutex;
+struct sigaction g_previous_action;
+
+/// Upper bound on how far above the handler's own frame a valid frame
+/// pointer may live. Anything outside [approx_sp, approx_sp + 8 MiB) is
+/// rejected before it is dereferenced, so a clobbered rbp (e.g. libc
+/// code using it as a scratch register) degrades to a shorter stack
+/// instead of a fault.
+constexpr std::uintptr_t kMaxStackSpan = 8u << 20;
+
+/// Async-signal-safe by construction: atomics, arithmetic, and loads
+/// from addresses validated to lie on the current thread's stack. The
+/// sanitizers are excluded because the frame walk intentionally reads
+/// stack words that instrumentation considers out of scope (spilled
+/// registers, parent frames).
+#if defined(__clang__) || defined(__GNUC__)
+__attribute__((no_sanitize("address", "thread", "undefined")))
+#endif
+void
+sigprof_handler(int, siginfo_t*, void* context) {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  ProfileState& s = state();
+  const std::size_t index =
+      s.cursor.fetch_add(1, std::memory_order_relaxed);
+  if (index >= s.capacity) {
+    s.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::atomic<std::uintptr_t>* sample = s.buffer.data() + index * s.stride;
+
+  std::uintptr_t pc = 0;
+  std::uintptr_t fp = 0;
+#if defined(__x86_64__)
+  const auto* uc = static_cast<const ucontext_t*>(context);
+  pc = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  fp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__aarch64__)
+  const auto* uc = static_cast<const ucontext_t*>(context);
+  pc = static_cast<std::uintptr_t>(uc->uc_mcontext.pc);
+  fp = static_cast<std::uintptr_t>(uc->uc_mcontext.regs[29]);
+#else
+  (void)context;
+  pc = reinterpret_cast<std::uintptr_t>(__builtin_return_address(0));
+  fp = reinterpret_cast<std::uintptr_t>(__builtin_frame_address(0));
+#endif
+
+  int depth = 0;
+  if (pc != 0) {
+    sample[1 + depth].store(pc, std::memory_order_relaxed);
+    ++depth;
+  }
+  // The handler runs on the interrupted thread's stack (no sigaltstack),
+  // so a local's address bounds the valid frame-pointer range from
+  // below.
+  const std::uintptr_t stack_low = reinterpret_cast<std::uintptr_t>(&depth);
+  const std::uintptr_t stack_high = stack_low + kMaxStackSpan;
+  while (depth < s.max_frames) {
+    if (fp < stack_low || fp + 2 * sizeof(void*) > stack_high ||
+        fp % sizeof(void*) != 0) {
+      break;
+    }
+    const auto* frame = reinterpret_cast<const std::uintptr_t*>(fp);
+    const std::uintptr_t ret = frame[1];
+    const std::uintptr_t next = frame[0];
+    if (ret == 0) break;
+    sample[1 + depth].store(ret, std::memory_order_relaxed);
+    ++depth;
+    if (next <= fp) break;  // frame chain must move toward the stack base
+    fp = next;
+  }
+  sample[0].store(static_cast<std::uintptr_t>(depth),
+                  std::memory_order_release);
+}
+
+/// Demangle + cache one code address. `adjust` subtracts 1 for return
+/// addresses so the lookup lands inside the call instruction.
+std::string symbolize(std::uintptr_t address, bool is_return_address) {
+  const std::uintptr_t lookup =
+      is_return_address && address > 0 ? address - 1 : address;
+  Dl_info info;
+  if (dladdr(reinterpret_cast<void*>(lookup), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        status == 0 && demangled != nullptr ? demangled : info.dli_sname;
+    std::free(demangled);
+    // ';' is the folded-stack separator and ' ' separates the count;
+    // neither may appear inside a frame name.
+    for (char& c : name) {
+      if (c == ';') c = ':';
+      if (c == ' ') c = '_';
+    }
+    return name;
+  }
+  char buf[64];
+  if (dladdr(reinterpret_cast<void*>(lookup), &info) != 0 &&
+      info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    base = base != nullptr ? base + 1 : info.dli_fname;
+    std::snprintf(buf, sizeof buf, "%s+0x%llx", base,
+                  static_cast<unsigned long long>(
+                      lookup -
+                      reinterpret_cast<std::uintptr_t>(info.dli_fbase)));
+    std::string name = buf;
+    for (char& c : name) {
+      if (c == ';') c = ':';
+      if (c == ' ') c = '_';
+    }
+    return name;
+  }
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(address));
+  return buf;
+}
+
+}  // namespace
+
+bool profiling_active() {
+  const std::lock_guard<std::mutex> lock{g_control_mutex};
+  return g_active;
+}
+
+void start_profiling(const ProfileOptions& options) {
+  const std::lock_guard<std::mutex> lock{g_control_mutex};
+  HP_REQUIRE(!g_active, "profiler is already active");
+  HP_REQUIRE(options.interval_us > 0, "profiler interval must be > 0");
+  HP_REQUIRE(options.max_frames > 0, "profiler max_frames must be > 0");
+  HP_REQUIRE(options.max_samples > 0, "profiler max_samples must be > 0");
+
+  ProfileState& s = state();
+  s.stride = static_cast<std::size_t>(options.max_frames) + 1;
+  s.capacity = options.max_samples;
+  s.max_frames = options.max_frames;
+  // value-initialized atomics: every depth word starts at 0 ("empty")
+  s.buffer = std::vector<std::atomic<std::uintptr_t>>(s.capacity * s.stride);
+  s.cursor.store(0, std::memory_order_relaxed);
+  s.dropped.store(0, std::memory_order_relaxed);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof action);
+  action.sa_sigaction = &sigprof_handler;
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (sigaction(SIGPROF, &action, &g_previous_action) != 0) {
+    throw InvalidInputError{"profiler: sigaction(SIGPROF) failed"};
+  }
+
+  g_armed.store(true, std::memory_order_release);
+
+  itimerval timer;
+  timer.it_interval.tv_sec =
+      static_cast<time_t>(options.interval_us / 1000000);
+  timer.it_interval.tv_usec =
+      static_cast<suseconds_t>(options.interval_us % 1000000);
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    g_armed.store(false, std::memory_order_release);
+    sigaction(SIGPROF, &g_previous_action, nullptr);
+    throw InvalidInputError{"profiler: setitimer(ITIMER_PROF) failed"};
+  }
+  g_active = true;
+}
+
+void stop_profiling() {
+  const std::lock_guard<std::mutex> lock{g_control_mutex};
+  if (!g_active) return;
+  itimerval off;
+  std::memset(&off, 0, sizeof off);
+  setitimer(ITIMER_PROF, &off, nullptr);
+  g_armed.store(false, std::memory_order_release);
+  sigaction(SIGPROF, &g_previous_action, nullptr);
+  g_active = false;
+}
+
+std::size_t profile_sample_count() {
+  ProfileState& s = state();
+  const std::size_t claimed = s.cursor.load(std::memory_order_relaxed);
+  return claimed < s.capacity ? claimed : s.capacity;
+}
+
+std::size_t profile_dropped_samples() {
+  return state().dropped.load(std::memory_order_relaxed);
+}
+
+void reset_profiling() {
+  const std::lock_guard<std::mutex> lock{g_control_mutex};
+  HP_REQUIRE(!g_active, "stop the profiler before resetting it");
+  ProfileState& s = state();
+  for (std::atomic<std::uintptr_t>& word : s.buffer) {
+    word.store(0, std::memory_order_relaxed);
+  }
+  s.cursor.store(0, std::memory_order_relaxed);
+  s.dropped.store(0, std::memory_order_relaxed);
+}
+
+void write_folded(std::ostream& out) {
+  ProfileState& s = state();
+  const std::size_t samples = profile_sample_count();
+
+  // Aggregate identical stacks (stored leaf-first) before symbolizing.
+  std::map<std::vector<std::uintptr_t>, std::uint64_t> stacks;
+  std::vector<std::uintptr_t> key;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::atomic<std::uintptr_t>* sample =
+        s.buffer.data() + i * s.stride;
+    const auto depth = static_cast<std::size_t>(
+        sample[0].load(std::memory_order_acquire));
+    if (depth == 0) continue;  // claimed but unfinished at stop time
+    key.clear();
+    for (std::size_t f = 0; f < depth; ++f) {
+      key.push_back(sample[1 + f].load(std::memory_order_relaxed));
+    }
+    ++stacks[key];
+  }
+
+  std::map<std::uintptr_t, std::string> leaf_names;
+  std::map<std::uintptr_t, std::string> return_names;
+  const auto name_of = [&](std::uintptr_t address, bool is_return) {
+    auto& cache = is_return ? return_names : leaf_names;
+    auto found = cache.find(address);
+    if (found == cache.end()) {
+      found = cache.emplace(address, symbolize(address, is_return)).first;
+    }
+    return found->second;
+  };
+
+  // Folded lines are root-first; samples are leaf-first, so iterate the
+  // stack backwards. Frame 0 is the interrupted PC, the rest are return
+  // addresses (symbolized at address - 1).
+  for (const auto& [stack, count] : stacks) {
+    for (std::size_t f = stack.size(); f-- > 0;) {
+      out << name_of(stack[f], /*is_return=*/f != 0);
+      out << (f == 0 ? ' ' : ';');
+    }
+    out << count << '\n';
+  }
+}
+
+void write_folded_file(const std::string& path) {
+  std::ofstream out{path};
+  if (!out) {
+    throw InvalidInputError{"cannot open profile output file '" + path +
+                            "'"};
+  }
+  write_folded(out);
+}
+
+}  // namespace hp::obs

@@ -9,7 +9,10 @@
 #include <ostream>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/common.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace hp::obs {
 
@@ -23,12 +26,28 @@ std::atomic<bool> g_enabled{false};
 /// Written only by reset_tracing() / first use, read by every event.
 std::atomic<std::int64_t> g_epoch_ns{0};
 
+/// Process-unique id wells. Span/trace id 0 means "none", so both start
+/// handing out ids at 1. Flow ids share the span well (Chrome only
+/// needs flow ids to be unique among flows, but distinct wells invite
+/// collisions after a reset; one well is simpler and safe).
+std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<std::uint64_t> g_next_trace_id{1};
+
+/// Slow-span watchdog threshold; 0 = disabled.
+std::atomic<std::uint64_t> g_slow_span_ns{0};
+
+/// Ambient causal position of the calling thread.
+thread_local TraceContext tl_context;
+
 struct TraceEvent {
   const char* name;   // literal owned by the call site
   std::uint64_t ts_ns;
-  std::uint64_t arg;  // kNoTraceArg = absent
-  double value;       // counter events only
-  char phase;         // 'B', 'E', 'C'
+  std::uint64_t arg;       // kNoTraceArg = absent
+  std::uint64_t trace_id;  // 0 = no context recorded
+  std::uint64_t span_id;   // B: this span; s/f: the flow id
+  std::uint64_t parent_id; // B only; 0 = root of its trace
+  double value;            // counter events only
+  char phase;              // 'B', 'E', 'C', 's' (flow start), 'f' (flow end)
 };
 
 /// Per-thread event buffer. Owned by the global registry (so it outlives
@@ -129,10 +148,33 @@ void write_event(std::ostream& out, const TraceEvent& e, std::uint32_t tid) {
     char value[64];
     std::snprintf(value, sizeof value, "%.17g", e.value);
     out << ", \"args\": {\"value\": " << value << "}";
+  } else if (e.phase == 's' || e.phase == 'f') {
+    // Flow events bind to the enclosing slice; "bp": "e" makes the
+    // finish attach to the slice it is emitted inside of.
+    out << ", \"cat\": \"par\", \"id\": " << e.span_id;
+    if (e.phase == 'f') out << ", \"bp\": \"e\"";
+  } else if (e.phase == 'B') {
+    out << ", \"args\": {";
+    bool first = true;
+    if (e.arg != kNoTraceArg) {
+      out << "\"k\": " << e.arg;
+      first = false;
+    }
+    if (e.trace_id != 0) {
+      out << (first ? "" : ", ") << "\"trace\": " << e.trace_id
+          << ", \"span\": " << e.span_id << ", \"parent\": " << e.parent_id;
+      first = false;
+    }
+    out << "}";
   } else if (e.arg != kNoTraceArg) {
     out << ", \"args\": {\"k\": " << e.arg << "}";
   }
   out << "}";
+}
+
+Counter& slow_span_counter() {
+  static Counter& c = counter("obs.slow_spans");
+  return c;
 }
 
 }  // namespace
@@ -148,23 +190,89 @@ std::uint64_t trace_now_ns() {
   return static_cast<std::uint64_t>(steady_ns() - epoch_ns());
 }
 
+TraceContext current_trace_context() { return tl_context; }
+
+TraceContextScope::TraceContextScope(TraceContext context)
+    : previous_(tl_context) {
+  tl_context = context;
+}
+
+TraceContextScope::~TraceContextScope() { tl_context = previous_; }
+
+void set_slow_span_threshold_ns(std::uint64_t threshold_ns) {
+  g_slow_span_ns.store(threshold_ns, std::memory_order_relaxed);
+}
+
+std::uint64_t slow_span_threshold_ns() {
+  return g_slow_span_ns.load(std::memory_order_relaxed);
+}
+
 namespace detail {
 
 bool enabled_relaxed() { return g_enabled.load(std::memory_order_relaxed); }
 
-void record_begin(const char* name, std::uint64_t arg) {
-  append({name, trace_now_ns(), arg, 0.0, 'B'});
+SpanState begin_span(const char* name, std::uint64_t arg) {
+  SpanState state;
+  state.previous = tl_context;
+  const std::uint64_t span_id =
+      g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t trace_id =
+      state.previous.trace_id != 0
+          ? state.previous.trace_id
+          : g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  state.start_ns = trace_now_ns();
+  append({name, state.start_ns, arg, trace_id, span_id,
+          state.previous.span_id, 0.0, 'B'});
+  tl_context = {trace_id, span_id};
+  return state;
 }
 
-void record_end(const char* name) {
-  append({name, trace_now_ns(), kNoTraceArg, 0.0, 'E'});
+void end_span(const char* name, const SpanState& state) {
+  const std::uint64_t now = trace_now_ns();
+  const TraceContext self = tl_context;
+  append({name, now, kNoTraceArg, 0, 0, 0, 0.0, 'E'});
+  tl_context = state.previous;
+  const std::uint64_t threshold =
+      g_slow_span_ns.load(std::memory_order_relaxed);
+  if (threshold != 0 && now - state.start_ns > threshold) {
+    slow_span_counter().add(1);
+    log_warn() << "slow span '" << name << "' took "
+               << format_duration(static_cast<double>(now - state.start_ns) /
+                                  1e9)
+               << " (threshold "
+               << format_duration(static_cast<double>(threshold) / 1e9)
+               << ", trace " << self.trace_id << ", span " << self.span_id
+               << ")";
+  }
 }
 
 }  // namespace detail
 
+TaskLink capture_task_link() {
+  TaskLink link;
+  if (!detail::enabled_relaxed()) return link;
+  link.context = tl_context;
+  link.flow_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  append({"par.spawn", trace_now_ns(), kNoTraceArg, link.context.trace_id,
+          link.flow_id, 0, 0.0, 's'});
+  return link;
+}
+
+TaskScope::TaskScope(const TaskLink& link)
+    : scope_(link.flow_id != 0 ? link.context : current_trace_context()),
+      span_("par.task") {
+  if (link.flow_id == 0 || !detail::enabled_relaxed()) return;
+  // Emitted inside the just-opened par.task span so "bp": "e" binds the
+  // arrow head to it.
+  append({"par.spawn", trace_now_ns(), kNoTraceArg, link.context.trace_id,
+          link.flow_id, 0, 0.0, 'f'});
+}
+
+TaskScope::~TaskScope() = default;
+
 void trace_counter(const char* name, double value) {
   if (!detail::enabled_relaxed()) return;
-  append({name, trace_now_ns(), kNoTraceArg, value, 'C'});
+  append({name, trace_now_ns(), kNoTraceArg, 0, 0, 0, value, 'C'});
 }
 
 std::size_t trace_span_depth() {

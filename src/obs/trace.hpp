@@ -2,10 +2,11 @@
 // buffers, exported as Chrome trace-event JSON (chrome://tracing,
 // Perfetto, `about:tracing`).
 //
-// Design constraints (DESIGN.md section 9):
+// Design constraints (DESIGN.md sections 9 and 14):
 //   * A span site in a hot path must be almost free when tracing is off:
 //     the TraceSpan constructor performs exactly one relaxed atomic load
-//     and no allocation, then bails. bench_micro_obs measures this.
+//     and no allocation, then bails. bench_micro_obs measures this and
+//     scripts/ci.sh gates the derived disabled overhead at <= 0.1%.
 //   * When tracing is on, events go to a thread-local buffer (one mutex
 //     acquisition per event, always uncontended except against a
 //     concurrent flush), so worker threads never serialize on a global
@@ -21,6 +22,19 @@
 // ordered by timestamp, which the exporter (and the satellite test's
 // "strictly non-decreasing ts per thread" assertion) relies on. Counter
 // events (`ph: "C"`) interleave on the same per-thread timeline.
+//
+// Request-scoped causality (DESIGN.md section 14): every enabled span
+// gets a process-unique span id and records the ambient TraceContext --
+// the innermost open span on the current thread -- as its parent. A
+// span opening with no ambient context starts a new trace (fresh trace
+// id), so one CLI command = one trace tree. The context is carried
+// thread-locally and captured/restored across src/par/ task boundaries
+// (TaskGroup::run wraps task bodies in a TaskScope), so spans emitted
+// by pool workers -- including stolen tasks -- parent into the
+// submitting operation's tree instead of forming disjoint per-thread
+// strips. B events export args.trace/args.span/args.parent; task
+// hand-offs additionally emit Chrome flow events (ph "s"/"f") so the
+// tracing UI draws cross-thread arrows.
 #pragma once
 
 #include <cstddef>
@@ -42,10 +56,56 @@ std::uint64_t trace_now_ns();
 /// Sentinel for "span has no integer argument".
 inline constexpr std::uint64_t kNoTraceArg = ~std::uint64_t{0};
 
+/// Ambient causal position: the trace we are inside and the innermost
+/// open span. {0, 0} = "no trace context" (a span opened here roots a
+/// new trace). Plain values -- cheap to capture at a task-spawn site
+/// and restore on whichever thread (or steal victim) runs the task.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;  // parent for spans opened under this scope
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The calling thread's ambient context (two thread-local reads).
+TraceContext current_trace_context();
+
+/// RAII: make `context` the calling thread's ambient context, restoring
+/// the previous one on destruction. This is how a task body adopts the
+/// context captured where the task was spawned.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext context);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
+/// Slow-span watchdog: any span whose wall duration exceeds the
+/// threshold is logged (hp::log_warn, with its trace/span ids) and
+/// counted in the obs.slow_spans metric when it closes. 0 disables the
+/// check (the default). Active only while tracing is on -- the span
+/// fast path stays one relaxed load when tracing is off.
+void set_slow_span_threshold_ns(std::uint64_t threshold_ns);
+std::uint64_t slow_span_threshold_ns();
+
 namespace detail {
-void record_begin(const char* name, std::uint64_t arg);
-void record_end(const char* name);
+
 bool enabled_relaxed();
+
+/// State a TraceSpan carries between construction and destruction.
+struct SpanState {
+  TraceContext previous;       // ambient context to restore
+  std::uint64_t start_ns = 0;  // for the slow-span watchdog
+};
+
+SpanState begin_span(const char* name, std::uint64_t arg);
+void end_span(const char* name, const SpanState& state);
+
 }  // namespace detail
 
 /// RAII scoped span. Emits a B event when constructed (if tracing is on)
@@ -56,10 +116,10 @@ class TraceSpan {
       : name_(nullptr) {
     if (!detail::enabled_relaxed()) return;  // 1 relaxed load, no alloc
     name_ = name;
-    detail::record_begin(name, arg);
+    state_ = detail::begin_span(name, arg);
   }
   ~TraceSpan() {
-    if (name_ != nullptr) detail::record_end(name_);
+    if (name_ != nullptr) detail::end_span(name_, state_);
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -67,6 +127,39 @@ class TraceSpan {
 
  private:
   const char* name_;  // nullptr = tracing was off at construction
+  detail::SpanState state_;
+};
+
+/// Cross-thread task hand-off, one per spawned task. Captured on the
+/// spawning thread (inside the parent span); the running thread -- which
+/// may be a steal victim -- opens a TaskScope from it. When tracing is
+/// on the capture emits a flow-start event ("s") and the TaskScope emits
+/// the matching flow-finish ("f") under a "par.task" span, so Chrome
+/// draws an arrow from spawn site to execution site. When tracing is
+/// off both sides are no-ops (flow_id 0).
+struct TaskLink {
+  TraceContext context;
+  std::uint64_t flow_id = 0;
+};
+
+/// Capture the ambient context for a task about to be spawned; emits
+/// the flow-start event when tracing is on.
+TaskLink capture_task_link();
+
+/// RAII task body scope: restores the captured context, opens a
+/// "par.task" span and emits the flow-finish event. Use on the thread
+/// that actually runs the task.
+class TaskScope {
+ public:
+  explicit TaskScope(const TaskLink& link);
+  ~TaskScope();
+
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+
+ private:
+  TraceContextScope scope_;
+  TraceSpan span_;
 };
 
 /// Emit a counter sample on the calling thread's timeline. No-op (one
@@ -77,7 +170,7 @@ void trace_counter(const char* name, double value);
 /// any span). Only meaningful while tracing is on.
 std::size_t trace_span_depth();
 
-/// Total buffered events across all threads (B + E + C).
+/// Total buffered events across all threads (B + E + C + flows).
 std::size_t trace_event_count();
 
 /// Drop all buffered events and restart the trace epoch. Call with

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
@@ -80,6 +81,16 @@ ThreadPool::~ThreadPool() {
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool{configured_threads()};
+  // The metrics flusher polls queue depth through this callback; the
+  // pool contributes it here so obs never has to link against par.
+  static const bool registered = [] {
+    obs::register_flush_callback("par.queue_depth", [] {
+      obs::gauge("par.queue_depth")
+          .set(static_cast<double>(ThreadPool::global().queue_depth()));
+    });
+    return true;
+  }();
+  (void)registered;
   return pool;
 }
 
@@ -200,6 +211,15 @@ void TaskGroup::run(std::function<void()> fn) {
   if (pool_.thread_count() == 1 || tl_lane_limit == 1) {
     fn();  // serial mode: inline, exceptions propagate to the caller
     return;
+  }
+  if (obs::tracing_enabled()) {
+    // Capture the spawner's causal position so the task's spans parent
+    // into this operation's trace tree no matter which lane (or steal
+    // victim) runs it. Only paid while tracing is on.
+    fn = [link = obs::capture_task_link(), body = std::move(fn)] {
+      obs::TaskScope scope{link};
+      body();
+    };
   }
   state_->pending.fetch_add(1, std::memory_order_acq_rel);
   pool_.submit({std::move(fn), state_});

@@ -120,6 +120,11 @@ class ThreadPool {
 
   PoolStats stats() const;
 
+  /// Tasks currently queued (submitted, not yet taken). Advisory -- the
+  /// value is racy by nature; the metrics exporter samples it as the
+  /// par.queue_depth gauge.
+  int queue_depth() const { return queued_.load(std::memory_order_relaxed); }
+
   /// Pop-or-steal one queued task and run it on the calling thread.
   /// Returns false when every deque is empty. Public so blocked waiters
   /// outside TaskGroup (tests, future latches) can help too.
@@ -184,6 +189,13 @@ class LaneLimit {
 /// until every task finished, helping with queued work meanwhile, and
 /// rethrows the first exception any task raised. The destructor waits
 /// but swallows exceptions; call wait() explicitly to observe them.
+///
+/// Tracing: when tracing is enabled at run() time, the task body is
+/// wrapped so it adopts the spawner's obs::TraceContext on whichever
+/// lane executes it (including steals) under a "par.task" span -- spans
+/// inside pooled tasks parent into the submitting operation's trace
+/// tree (DESIGN.md section 14). With tracing off the body is submitted
+/// unwrapped: zero extra cost.
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool& pool = ThreadPool::global());

@@ -60,6 +60,11 @@ TEST_F(CliSmokeTest, UsageMentionsEveryCommandAndContextStats) {
   EXPECT_NE(text.find("--trace"), std::string::npos);
   EXPECT_NE(text.find("--metrics"), std::string::npos);
   EXPECT_NE(text.find("HP_TRACE"), std::string::npos);
+  EXPECT_NE(text.find("--profile"), std::string::npos);
+  EXPECT_NE(text.find("HP_PROFILE"), std::string::npos);
+  EXPECT_NE(text.find("--metrics-interval"), std::string::npos);
+  EXPECT_NE(text.find("HP_METRICS_INTERVAL"), std::string::npos);
+  EXPECT_NE(text.find("--slow-span-ms"), std::string::npos);
 }
 
 TEST_F(CliSmokeTest, ContextStatsFlagEmitsCounterBlock) {
@@ -169,6 +174,145 @@ TEST_F(CliSmokeTest, MetricsFlagWritesRegistryJson) {
   ASSERT_NE(histograms, nullptr);
   EXPECT_NE(histograms->find("context.build_ns"), nullptr);
   std::remove(metrics_path.c_str());
+}
+
+TEST_F(CliSmokeTest, TracedCommandYieldsSingleConnectedSpanTree) {
+  const std::string trace_path =
+      ::testing::TempDir() + "/cli_smoke_tree.json";
+  std::ostringstream out;
+  const int rc = run(
+      make_args({"report", table_path_.c_str(), "--trace",
+                 trace_path.c_str()}),
+      out);
+  EXPECT_EQ(rc, 0);
+
+  std::ifstream in{trace_path};
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const obs::TraceSummary summary =
+      obs::summarize_trace(obs::json::parse(text.str()));
+  // The whole command -- dataset load, every artifact build, peel
+  // levels, pool tasks -- hangs off the one cli.report root span.
+  EXPECT_TRUE(summary.parent_integrity);
+  ASSERT_EQ(summary.trees.size(), 1u);
+  EXPECT_EQ(summary.trees[0].roots, 1u);
+  EXPECT_TRUE(summary.trees[0].connected);
+  EXPECT_TRUE(summary.all_single_rooted());
+  EXPECT_GT(summary.trees[0].spans, 10u);
+  std::remove(trace_path.c_str());
+  obs::set_tracing_enabled(false);
+  obs::reset_tracing();
+}
+
+// Satellite (a): observability reports must flush on error paths too --
+// a trace of a failing run is precisely when you want one.
+TEST_F(CliSmokeTest, FailingCommandStillFlushesTraceAndMetrics) {
+  const std::string trace_path =
+      ::testing::TempDir() + "/cli_smoke_err_trace.json";
+  const std::string metrics_path =
+      ::testing::TempDir() + "/cli_smoke_err_metrics.json";
+  std::ostringstream out;
+  const int rc = run(
+      make_args({"stats", "/nonexistent/input.tsv", "--trace",
+                 trace_path.c_str(), "--metrics", metrics_path.c_str()}),
+      out);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.str().find("error:"), std::string::npos);
+  EXPECT_NE(out.str().find("wrote trace"), std::string::npos);
+  EXPECT_NE(out.str().find("wrote metrics"), std::string::npos);
+
+  std::ifstream trace_in{trace_path};
+  ASSERT_TRUE(trace_in.good());
+  std::ostringstream trace_text;
+  trace_text << trace_in.rdbuf();
+  const obs::TraceSummary summary =
+      obs::summarize_trace(obs::json::parse(trace_text.str()));
+  // The cli.stats root span closed cleanly despite the throw inside.
+  EXPECT_TRUE(summary.all_balanced());
+  EXPECT_TRUE(summary.all_single_rooted());
+
+  std::ifstream metrics_in{metrics_path};
+  ASSERT_TRUE(metrics_in.good());
+  std::ostringstream metrics_text;
+  metrics_text << metrics_in.rdbuf();
+  obs::json::parse(metrics_text.str());
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+  obs::set_tracing_enabled(false);
+  obs::reset_tracing();
+}
+
+TEST_F(CliSmokeTest, ProfileFlagWritesFoldedFile) {
+  const std::string profile_path =
+      ::testing::TempDir() + "/cli_smoke_profile.folded";
+  std::ostringstream out;
+  const int rc = run(
+      make_args({"report", table_path_.c_str(), "--profile",
+                 profile_path.c_str()}),
+      out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("wrote profile"), std::string::npos);
+  // The run may be too short to catch a sample; the file must exist
+  // either way (ci.sh asserts non-emptiness on a real workload).
+  EXPECT_TRUE(std::ifstream{profile_path}.good());
+  std::remove(profile_path.c_str());
+}
+
+TEST_F(CliSmokeTest, BadMetricsIntervalIsAUsageError) {
+  std::ostringstream out;
+  const int rc = run(
+      make_args({"stats", table_path_.c_str(), "--metrics-interval",
+                 "soon"}),
+      out);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.str().find("--metrics-interval"), std::string::npos);
+}
+
+TEST_F(CliSmokeTest, MetricsIntervalWritesSeriesSinks) {
+  const std::string jsonl = ::testing::TempDir() + "/cli_smoke_series.jsonl";
+  const std::string prom = ::testing::TempDir() + "/cli_smoke_series.prom";
+  std::remove(jsonl.c_str());
+  std::ostringstream out;
+  const int rc = run(
+      make_args({"report", table_path_.c_str(), "--metrics-interval",
+                 "10ms", "--metrics-jsonl", jsonl.c_str(),
+                 "--metrics-prom", prom.c_str()}),
+      out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("wrote metrics series"), std::string::npos);
+
+  // stop() always takes a final snapshot, so both sinks exist even if
+  // the command beat the first timer tick.
+  std::ifstream jsonl_in{jsonl};
+  ASSERT_TRUE(jsonl_in.good());
+  std::string line;
+  std::string last_line;
+  std::size_t lines = 0;
+  while (std::getline(jsonl_in, line)) {
+    ++lines;
+    last_line = line;
+    const obs::json::Value root = obs::json::parse(line);
+    EXPECT_NE(root.find("unix_ms"), nullptr);
+  }
+  ASSERT_GE(lines, 1u);
+  // The final flush (after the command ran) carries the refreshed
+  // process gauges and the pool's queue-depth contribution.
+  const obs::json::Value last = obs::json::parse(last_line);
+  const obs::json::Value* gauges = last.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->find("process.rss_bytes"), nullptr);
+  EXPECT_GT(gauges->find("process.rss_bytes")->number, 0.0);
+  ASSERT_NE(gauges->find("par.queue_depth"), nullptr);
+  std::ifstream prom_in{prom};
+  ASSERT_TRUE(prom_in.good());
+  std::ostringstream prom_text;
+  prom_text << prom_in.rdbuf();
+  EXPECT_NE(prom_text.str().find("# TYPE hp_process_rss_bytes gauge"),
+            std::string::npos);
+  std::remove(jsonl.c_str());
+  std::remove(prom.c_str());
 }
 
 TEST_F(CliSmokeTest, PeelStatsRouteThroughMetricsTable) {

@@ -85,6 +85,104 @@ TEST(JsonCheck, FlagsUnbalancedSpans) {
   EXPECT_FALSE(summary.all_balanced());
 }
 
+TEST(JsonCheck, SummarizesCausalTrees) {
+  const json::Value root = json::parse(R"({"traceEvents": [
+    {"name": "root", "ph": "B", "pid": 1, "tid": 0, "ts": 1.0,
+     "args": {"trace": 7, "span": 1, "parent": 0}},
+    {"name": "child", "ph": "B", "pid": 1, "tid": 3, "ts": 2.0,
+     "args": {"trace": 7, "span": 2, "parent": 1}},
+    {"name": "spawn", "ph": "s", "pid": 1, "tid": 0, "ts": 2.1,
+     "cat": "par", "id": 9},
+    {"name": "spawn", "ph": "f", "pid": 1, "tid": 3, "ts": 2.2,
+     "cat": "par", "id": 9, "bp": "e"},
+    {"name": "child", "ph": "E", "pid": 1, "tid": 3, "ts": 3.0},
+    {"name": "root", "ph": "E", "pid": 1, "tid": 0, "ts": 4.0}
+  ]})");
+  const TraceSummary summary = summarize_trace(root);
+  EXPECT_TRUE(summary.parent_integrity);
+  EXPECT_TRUE(summary.all_single_rooted());
+  ASSERT_EQ(summary.trees.size(), 1u);
+  const TraceTreeSummary* tree = summary.tree(7);
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->spans, 2u);
+  EXPECT_EQ(tree->roots, 1u);
+  EXPECT_EQ(tree->threads, 2u);
+  EXPECT_TRUE(tree->connected);
+  EXPECT_EQ(summary.tree(8), nullptr);
+  EXPECT_EQ(summary.thread(0)->flow_events, 1u);
+  EXPECT_EQ(summary.thread(3)->flow_events, 1u);
+}
+
+TEST(JsonCheck, FlagsDanglingParentReference) {
+  const json::Value root = json::parse(R"({"traceEvents": [
+    {"name": "root", "ph": "B", "pid": 1, "tid": 0, "ts": 1.0,
+     "args": {"trace": 1, "span": 1, "parent": 0}},
+    {"name": "orphan", "ph": "B", "pid": 1, "tid": 0, "ts": 2.0,
+     "args": {"trace": 1, "span": 2, "parent": 99}},
+    {"name": "orphan", "ph": "E", "pid": 1, "tid": 0, "ts": 3.0},
+    {"name": "root", "ph": "E", "pid": 1, "tid": 0, "ts": 4.0}
+  ]})");
+  const TraceSummary summary = summarize_trace(root);
+  EXPECT_FALSE(summary.parent_integrity);
+  EXPECT_FALSE(summary.all_single_rooted());
+  ASSERT_NE(summary.tree(1), nullptr);
+  EXPECT_FALSE(summary.tree(1)->connected);
+}
+
+TEST(JsonCheck, FlagsCrossTraceParent) {
+  const json::Value root = json::parse(R"({"traceEvents": [
+    {"name": "a", "ph": "B", "pid": 1, "tid": 0, "ts": 1.0,
+     "args": {"trace": 1, "span": 1, "parent": 0}},
+    {"name": "a", "ph": "E", "pid": 1, "tid": 0, "ts": 2.0},
+    {"name": "b", "ph": "B", "pid": 1, "tid": 0, "ts": 3.0,
+     "args": {"trace": 2, "span": 2, "parent": 1}},
+    {"name": "b", "ph": "E", "pid": 1, "tid": 0, "ts": 4.0}
+  ]})");
+  const TraceSummary summary = summarize_trace(root);
+  EXPECT_FALSE(summary.parent_integrity);
+  ASSERT_NE(summary.tree(2), nullptr);
+  EXPECT_FALSE(summary.tree(2)->connected);
+}
+
+TEST(JsonCheck, FlagsTwoRootsInOneTrace) {
+  const json::Value root = json::parse(R"({"traceEvents": [
+    {"name": "a", "ph": "B", "pid": 1, "tid": 0, "ts": 1.0,
+     "args": {"trace": 4, "span": 1, "parent": 0}},
+    {"name": "a", "ph": "E", "pid": 1, "tid": 0, "ts": 2.0},
+    {"name": "b", "ph": "B", "pid": 1, "tid": 0, "ts": 3.0,
+     "args": {"trace": 4, "span": 2, "parent": 0}},
+    {"name": "b", "ph": "E", "pid": 1, "tid": 0, "ts": 4.0}
+  ]})");
+  const TraceSummary summary = summarize_trace(root);
+  EXPECT_TRUE(summary.parent_integrity);  // nothing dangles...
+  EXPECT_FALSE(summary.all_single_rooted());  // ...but the tree forked
+  ASSERT_NE(summary.tree(4), nullptr);
+  EXPECT_EQ(summary.tree(4)->roots, 2u);
+}
+
+TEST(JsonCheck, FlagsDuplicateSpanIds) {
+  const json::Value root = json::parse(R"({"traceEvents": [
+    {"name": "a", "ph": "B", "pid": 1, "tid": 0, "ts": 1.0,
+     "args": {"trace": 1, "span": 5, "parent": 0}},
+    {"name": "a", "ph": "E", "pid": 1, "tid": 0, "ts": 2.0},
+    {"name": "b", "ph": "B", "pid": 1, "tid": 0, "ts": 3.0,
+     "args": {"trace": 1, "span": 5, "parent": 0}},
+    {"name": "b", "ph": "E", "pid": 1, "tid": 0, "ts": 4.0}
+  ]})");
+  EXPECT_FALSE(summarize_trace(root).parent_integrity);
+}
+
+TEST(JsonCheck, SpansWithoutIdsStayOutsideTreeBookkeeping) {
+  const json::Value root = json::parse(R"({"traceEvents": [
+    {"name": "legacy", "ph": "B", "pid": 1, "tid": 0, "ts": 1.0},
+    {"name": "legacy", "ph": "E", "pid": 1, "tid": 0, "ts": 2.0}
+  ]})");
+  const TraceSummary summary = summarize_trace(root);
+  EXPECT_TRUE(summary.parent_integrity);
+  EXPECT_TRUE(summary.trees.empty());
+  EXPECT_TRUE(summary.all_single_rooted());  // vacuously
+}
+
 TEST(JsonCheck, RejectsStructurallyInvalidTrace) {
   EXPECT_THROW(summarize_trace(json::parse("[]")), ParseError);
   EXPECT_THROW(summarize_trace(json::parse("{\"traceEvents\": 3}")),

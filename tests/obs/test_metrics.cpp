@@ -105,6 +105,7 @@ TEST(Metrics, RenderTableListsEveryKind) {
   h.sum_ns = 3000;
   h.p50_ns = 1024;
   h.p90_ns = 1024;
+  h.p99_ns = 2048;
   h.max_ns = 2048;
   snap.histograms.push_back(h);
 
@@ -115,6 +116,8 @@ TEST(Metrics, RenderTableListsEveryKind) {
   EXPECT_NE(table.find("gauge"), std::string::npos);
   EXPECT_NE(table.find("count=3"), std::string::npos);
   EXPECT_NE(table.find("p50<="), std::string::npos);
+  EXPECT_NE(table.find("p90<="), std::string::npos);
+  EXPECT_NE(table.find("p99<="), std::string::npos);
 }
 
 TEST(Metrics, JsonExportRoundTripsThroughParser) {

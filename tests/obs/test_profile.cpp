@@ -1,0 +1,149 @@
+// Sampling profiler: lifecycle, folded-stack output shape, and the
+// fixed-buffer drop accounting. Sampling runs on ITIMER_PROF (CPU
+// time), so each test burns real CPU to guarantee samples arrive.
+#include "obs/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace hp::obs {
+namespace {
+
+/// Burn roughly `ms` milliseconds of CPU time; returns a value the
+/// optimizer cannot delete.
+std::uint64_t burn_cpu_ms(int ms) {
+  volatile std::uint64_t acc = 0;
+  const auto deadline = static_cast<std::uint64_t>(ms) * 2'000'000;
+  for (std::uint64_t i = 0; i < deadline; ++i) acc += i * i;
+  return acc;
+}
+
+struct ProfileSandbox {
+  ProfileSandbox() {
+    stop_profiling();
+    reset_profiling();
+  }
+  ~ProfileSandbox() {
+    stop_profiling();
+    reset_profiling();
+  }
+};
+
+TEST(Profile, InactiveByDefault) {
+  ProfileSandbox sandbox;
+  EXPECT_FALSE(profiling_active());
+  EXPECT_EQ(profile_sample_count(), 0u);
+}
+
+TEST(Profile, CollectsSamplesWhileBurningCpu) {
+  ProfileSandbox sandbox;
+  ProfileOptions options;
+  options.interval_us = 500;  // 2 kHz so even a short burn lands samples
+  start_profiling(options);
+  EXPECT_TRUE(profiling_active());
+  burn_cpu_ms(300);
+  stop_profiling();
+  EXPECT_FALSE(profiling_active());
+  EXPECT_GT(profile_sample_count(), 0u);
+  EXPECT_EQ(profile_dropped_samples(), 0u);
+}
+
+TEST(Profile, FoldedOutputIsWellFormed) {
+  ProfileSandbox sandbox;
+  ProfileOptions options;
+  options.interval_us = 500;
+  start_profiling(options);
+  burn_cpu_ms(300);
+  stop_profiling();
+  ASSERT_GT(profile_sample_count(), 0u);
+
+  std::ostringstream out;
+  write_folded(out);
+  const std::string text = out.str();
+  ASSERT_FALSE(text.empty());
+
+  // Every line is "frame(;frame)* count": a non-empty stack, a single
+  // separating space, and a positive integer whose sum is the number of
+  // completed samples.
+  std::istringstream lines{text};
+  std::string line;
+  std::uint64_t total = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    const std::string count = line.substr(space + 1);
+    ASSERT_FALSE(count.empty()) << line;
+    for (char c : count) {
+      ASSERT_TRUE(std::isdigit(static_cast<unsigned char>(c))) << line;
+    }
+    total += std::strtoull(count.c_str(), nullptr, 10);
+    // Frames never embed the separators.
+    EXPECT_EQ(line.substr(0, space).find(' '), std::string::npos) << line;
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_LE(total, profile_sample_count());
+}
+
+TEST(Profile, StartWhileActiveThrows) {
+  ProfileSandbox sandbox;
+  start_profiling();
+  EXPECT_THROW(start_profiling(), InvalidInputError);
+  stop_profiling();
+}
+
+TEST(Profile, RejectsDegenerateOptions) {
+  ProfileSandbox sandbox;
+  ProfileOptions zero_interval;
+  zero_interval.interval_us = 0;
+  EXPECT_THROW(start_profiling(zero_interval), InvalidInputError);
+  ProfileOptions zero_frames;
+  zero_frames.max_frames = 0;
+  EXPECT_THROW(start_profiling(zero_frames), InvalidInputError);
+}
+
+TEST(Profile, OverflowDropsInsteadOfGrowing) {
+  ProfileSandbox sandbox;
+  ProfileOptions options;
+  options.interval_us = 200;  // 5 kHz
+  options.max_samples = 8;    // overflow almost immediately
+  start_profiling(options);
+  burn_cpu_ms(300);
+  stop_profiling();
+  EXPECT_EQ(profile_sample_count(), 8u);
+  EXPECT_GT(profile_dropped_samples(), 0u);
+}
+
+TEST(Profile, ResetClearsSamples) {
+  ProfileSandbox sandbox;
+  ProfileOptions options;
+  options.interval_us = 500;
+  start_profiling(options);
+  burn_cpu_ms(100);
+  stop_profiling();
+  ASSERT_GT(profile_sample_count(), 0u);
+  reset_profiling();
+  EXPECT_EQ(profile_sample_count(), 0u);
+  EXPECT_EQ(profile_dropped_samples(), 0u);
+  std::ostringstream out;
+  write_folded(out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(Profile, ResetWhileActiveThrows) {
+  ProfileSandbox sandbox;
+  start_profiling();
+  EXPECT_THROW(reset_profiling(), InvalidInputError);
+  stop_profiling();
+}
+
+}  // namespace
+}  // namespace hp::obs
