@@ -224,6 +224,92 @@ print(f"trace ok: {len(events)} events, one tree of {len(spans)} spans "
       f"metrics ok: {len(series)} flushes")
 EOF
 
+echo "=== analysis server: scripted session + replay + cache gate ==="
+serve_dir="${prefix}/serve-check"
+rm -rf "${serve_dir}"
+mkdir -p "${serve_dir}"
+"${prefix}/src/cli/hyperproteome" generate "${serve_dir}/surrogate.hyper" \
+  --proteins 20000
+sock="unix:${serve_dir}/hp.sock"
+# The daemon under --trace: every request lands as a serve.request span
+# in the Chrome trace, validated by hp_trace_check after shutdown.
+"${prefix}/src/cli/hyperproteome" serve --socket "${sock}" \
+  --record "${serve_dir}/session.jsonl" \
+  --trace "${serve_dir}/serve_trace.json" \
+  > "${serve_dir}/server.log" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "${serve_dir}/hp.sock" ] && break
+  sleep 0.1
+done
+[ -S "${serve_dir}/hp.sock" ]
+# Parity: server answers (cold, then cached) must be byte-identical to
+# the one-shot CLI on the same dataset.
+"${prefix}/src/cli/hyperproteome" stats "${serve_dir}/surrogate.hyper" \
+  > "${serve_dir}/stats_oneshot.txt"
+"${prefix}/src/cli/hyperproteome" query --socket "${sock}" \
+  stats "${serve_dir}/surrogate.hyper" > "${serve_dir}/stats_cold.txt"
+"${prefix}/src/cli/hyperproteome" query --socket "${sock}" \
+  stats "${serve_dir}/surrogate.hyper" > "${serve_dir}/stats_warm.txt"
+diff "${serve_dir}/stats_oneshot.txt" "${serve_dir}/stats_cold.txt"
+diff "${serve_dir}/stats_oneshot.txt" "${serve_dir}/stats_warm.txt"
+"${prefix}/src/cli/hyperproteome" query --socket "${sock}" \
+  stats "${serve_dir}/surrogate.hyper" --verbose \
+  | grep -q "cache=hit"
+"${prefix}/src/cli/hyperproteome" query --socket "${sock}" \
+  soverlap "${serve_dir}/surrogate.hyper" > /dev/null
+# Snapshot the record now: the replay below re-appends to the live
+# file, and the timeout request after this would replay as a failure.
+cp "${serve_dir}/session.jsonl" "${serve_dir}/replay_input.jsonl"
+# A request that blows its deadline must come back as a timeout error,
+# not hang the session.
+if "${prefix}/src/cli/hyperproteome" query --socket "${sock}" \
+  sleep --ms=5000 --timeout-ms=50 > "${serve_dir}/timeout.txt" 2>&1; then
+  echo "serve: expected the timed-out request to fail" >&2
+  exit 1
+fi
+grep -q "timeout after 50ms" "${serve_dir}/timeout.txt"
+"${prefix}/src/cli/hyperproteome" query --socket "${sock}" \
+  --script "${serve_dir}/replay_input.jsonl" > "${serve_dir}/replay.txt"
+"${prefix}/src/cli/hyperproteome" query --socket "${sock}" shutdown \
+  > /dev/null
+wait "${server_pid}"
+grep -q "server stopped" "${serve_dir}/server.log"
+"${prefix}/src/obs/hp_trace_check" "${serve_dir}/serve_trace.json" \
+  --require-span serve.request --min-spans 5
+# The standalone daemon binary answers the same protocol.
+"${prefix}/src/serve/hp_serve" --socket "unix:${serve_dir}/hpd.sock" \
+  > "${serve_dir}/daemon.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "${serve_dir}/hpd.sock" ] && break
+  sleep 0.1
+done
+"${prefix}/src/cli/hyperproteome" query \
+  --socket "unix:${serve_dir}/hpd.sock" ping | grep -q "pong"
+"${prefix}/src/cli/hyperproteome" query \
+  --socket "unix:${serve_dir}/hpd.sock" shutdown > /dev/null
+wait "${daemon_pid}"
+
+echo "=== analysis server ablation bench (quick) ==="
+"${prefix}/bench/bench_micro_serve" --quick --json "${root}/BENCH_serve.json"
+python3 - "${root}/BENCH_serve.json" <<'EOF'
+import json, sys
+
+bench = json.load(open(sys.argv[1]))
+speedup = bench["gate_speedup"]
+assert bench["cold_seconds"] > 0, "cold one-shot baseline did not run"
+assert speedup >= 100.0, \
+    f"warm server query speedup {speedup:.1f}x < 100x vs cold one-shot " \
+    f"on the scaled surrogate"
+loop = bench["open_loop"]
+assert loop["errors"] == 0, f"open-loop load run saw {loop['errors']} errors"
+assert loop["requests"] > 0, "open-loop load run sent no requests"
+print(f"serve bench ok: {speedup:.0f}x warm-query speedup (gate: >= 100x), "
+      f"open-loop p99 {loop['p99_us']:.0f}us at "
+      f"{loop['achieved_rps']:.0f} rps")
+EOF
+
 echo "=== tier-1: sanitized build + ctest (HP_SANITIZE=address;undefined) ==="
 cmake -B "${prefix}-asan" -S "${root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DHP_SANITIZE=address;undefined"
@@ -249,7 +335,7 @@ cmake --build "${prefix}-tsan" -j
 # HP_THREADS=4 forces a real multi-worker pool even on 1-2 core CI
 # machines, so TSan sees genuine cross-thread interleavings in the
 # deques, the parallel kcore/BFS/fuzz paths, and the prefetch fan-out.
-HP_THREADS=4 "${prefix}-tsan/tests/unit_tests" --gtest_filter='*Par*:*par*:TaskGroup*:ThreadPool*:LaneLimit*:Oversubscription*:Determinism*:ParallelKCore*:KCoreEquivalence*:Invariants*:Mutate*'
+HP_THREADS=4 "${prefix}-tsan/tests/unit_tests" --gtest_filter='*Par*:*par*:TaskGroup*:ThreadPool*:LaneLimit*:Oversubscription*:Determinism*:ParallelKCore*:KCoreEquivalence*:Invariants*:Mutate*:ServeTest*:ContextPool*'
 # The fuzz smoke again runs the 1000-sequence mutation differential,
 # here with a real multi-worker pool under the rebuild tier's builds.
 HP_THREADS=4 "${prefix}-tsan/src/cli/hp_fuzz" --seed-range 0:1000 \

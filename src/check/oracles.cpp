@@ -24,6 +24,7 @@
 #include "core/traversal.hpp"
 #include "check/generator.hpp"
 #include "check/mutation.hpp"
+#include "check/protocol_fuzz.hpp"
 #include "graph/graph_kcore.hpp"
 #include "mm/matrix_market.hpp"
 #include "mm/mm_to_hypergraph.hpp"
@@ -551,6 +552,15 @@ std::vector<CheckFailure> run_all_oracles(const Hypergraph& h,
   if (options.with_context) check_context(h, failures);
   if (options.with_mutations) check_mutations(h, options.mutation_ops, failures);
   if (options.with_loaders) check_roundtrips(h, failures);
+  if (options.with_protocol) {
+    // Same seeding discipline as the mutation differential: the trace
+    // is a pure function of the instance, so a CI failure replays from
+    // the seed alone.
+    Rng rng{structural_hash(h) ^ 0x70726f746fULL};  // "proto"
+    std::vector<CheckFailure> protocol =
+        check_protocol(rng, options.protocol_trials);
+    failures.insert(failures.end(), protocol.begin(), protocol.end());
+  }
   return failures;
 }
 

@@ -69,6 +69,12 @@ struct CheckOptions {
   int mutation_ops = 16;
   /// Skip the path cross-check above this pin count.
   count_t max_pins_for_paths = 4096;
+  /// Include the analysis-server wire-protocol battery
+  /// (check/protocol_fuzz.hpp): hostile frames, structured corruption
+  /// and round-trips, seeded from the instance's structural hash.
+  bool with_protocol = true;
+  /// Hostile/corruption/round-trip trials per instance.
+  int protocol_trials = 8;
 };
 
 /// Run the full oracle battery; empty result = instance is clean.

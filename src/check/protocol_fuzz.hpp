@@ -1,0 +1,42 @@
+// Fuzz oracle for the analysis-server wire protocol
+// (serve/protocol.hpp): the parsers face untrusted sockets, so their
+// contract -- return a validated value or throw hp::ParseError, never
+// crash, never accept garbage, never return anything that fails to
+// re-serialize -- is hammered with generated hostile frames.
+//
+// Three attack families per seed:
+//   * structured corruption -- format a valid random request/response,
+//     then corrupt it with text edits (byte flips, truncation,
+//     duplication, deletions) and parse the wreckage;
+//   * hostile construction  -- adversarial frames built directly:
+//     deep nesting ("[[[["), huge tokens, wrong types, duplicate keys,
+//     surrogate escapes, NUL bytes, oversized frames, empty input;
+//   * round-trip            -- parse(format(x)) must reproduce x
+//     exactly for every valid request/response, including args order.
+//
+// Wired into run_fuzz alongside the loader-corruption trials, so the
+// 1000-seed CI smoke (ASan) covers the protocol with zero extra
+// plumbing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/oracles.hpp"
+#include "util/rng.hpp"
+
+namespace hp::check {
+
+/// Run `trials` hostile-frame parses plus one round-trip battery, all
+/// deterministic from `rng`. Appends a CheckFailure (oracle "protocol")
+/// per violation; a clean parser appends nothing.
+std::vector<CheckFailure> check_protocol(Rng& rng, int trials);
+
+/// Build one syntactically valid random request frame (the corruption
+/// seed material). Exposed for tests.
+std::string random_request_frame(Rng& rng);
+
+/// Build one syntactically valid random response frame.
+std::string random_response_frame(Rng& rng);
+
+}  // namespace hp::check

@@ -9,6 +9,7 @@
 #include "bio/cellzome_synth.hpp"
 #include "bio/paper_report.hpp"
 #include "check/mutation.hpp"
+#include "cli/query.hpp"
 #include "core/binary_io.hpp"
 #include "core/context/analysis_context.hpp"
 #include "core/mutate/mutable_context.hpp"
@@ -85,33 +86,30 @@ std::string input_path(const Args& args) {
   return args.positional()[1];
 }
 
-/// Every analysis command runs off one shared artifact cache. The
-/// context owns the hypergraph (moved out of the dataset); names stay
-/// behind in `data`.
+/// Every analysis command runs off one shared artifact cache -- a
+/// QuerySession (cli/query.hpp), the same type the analysis server
+/// pools across requests. One-shot invocations wrap it here so the
+/// metrics publish on teardown.
 struct Session {
-  bio::ComplexDataset data;
-  hyper::AnalysisContext context;
+  QuerySession q;
 
-  explicit Session(bio::ComplexDataset loaded)
-      : data(std::move(loaded)), context(std::move(data.hypergraph)) {}
+  explicit Session(bio::ComplexDataset loaded) : q(std::move(loaded)) {}
 
   // Publishing at teardown means --metrics output includes the cache
   // counters of whatever the command actually built.
-  ~Session() { hyper::publish_metrics(context.stats()); }
+  ~Session() { hyper::publish_metrics(q.context.stats()); }
 };
 
 Session open_session(const Args& args) {
   return Session{load_dataset(input_path(args))};
 }
 
-/// Honor the global --context-stats flag: print the artifact counters
-/// of the command's shared context.
-void maybe_context_stats(const Args& args,
-                         const hyper::AnalysisContext& context,
-                         std::ostream& out) {
-  if (args.get_bool("context-stats", false)) {
-    out << '\n' << hyper::to_string(context.stats());
-  }
+/// One-shot wrapper: fresh session, shared query implementation
+/// (cli/query.cpp), metrics published when the session unwinds.
+int run_one_shot_query(const char* command, const Args& args,
+                       std::ostream& out) {
+  Session session = open_session(args);
+  return run_query(session.q, command, args, out);
 }
 
 }  // namespace
@@ -177,150 +175,27 @@ void save_dataset(const bio::ComplexDataset& data, const std::string& path) {
 }
 
 int cmd_stats(const Args& args, std::ostream& out) {
-  const Session session = open_session(args);
-  const hyper::AnalysisContext& ctx = session.context;
-  out << hyper::to_string(ctx.summary());
-  if (args.get_bool("paths", false)) {
-    const hyper::HyperPathSummary& paths = ctx.paths();
-    out << "diameter                  : " << paths.diameter << '\n'
-        << "average path length       : " << paths.average_length << '\n';
-  }
-  const PowerLawFit fit =
-      hyper::vertex_degree_power_law(ctx.vertex_degree_histogram());
-  out << "degree power-law exponent : " << fit.gamma
-      << " (R^2 = " << fit.r_squared << ")\n";
-  maybe_context_stats(args, ctx, out);
-  return 0;
+  return run_one_shot_query("stats", args, out);
 }
 
 int cmd_core(const Args& args, std::ostream& out) {
-  const Session session = open_session(args);
-  const hyper::AnalysisContext& ctx = session.context;
-  Timer timer;
-  const hyper::HyperCoreResult& cores = ctx.cores();
-  out << "core decomposition in " << format_duration(timer.seconds())
-      << "\n\nk-core ladder (k, vertices, hyperedges):\n";
-  for (std::size_t k = 0; k < cores.level_vertices.size(); ++k) {
-    out << "  " << k << "  " << cores.level_vertices[k] << "  "
-        << cores.level_edges[k] << '\n';
-  }
-  const index_t k = static_cast<index_t>(
-      args.get_int("k", static_cast<std::int64_t>(cores.max_core)));
-  const auto members = cores.core_vertices(k);
-  out << "\n" << k << "-core vertices (" << members.size() << "):";
-  const std::size_t limit =
-      static_cast<std::size_t>(args.get_int("limit", 30));
-  for (std::size_t i = 0; i < members.size() && i < limit; ++i) {
-    out << ' ' << session.data.proteins.name_of(members[i]);
-  }
-  if (members.size() > limit) out << " ...";
-  out << '\n';
-  if (args.get_bool("peel-stats", false)) {
-    out << "\npeel substrate counters:\n"
-        << hyper::to_string(ctx.core_peel_stats());
-  }
-  if (args.has("out")) {
-    const hyper::SubHypergraph core =
-        hyper::extract_core(ctx.hypergraph(), cores, k);
-    hyper::save_text(core.hypergraph, args.get("out", "core.hyper"));
-    out << "wrote " << args.get("out", "core.hyper") << '\n';
-  }
-  maybe_context_stats(args, ctx, out);
-  return 0;
+  return run_one_shot_query("core", args, out);
 }
 
 int cmd_cover(const Args& args, std::ostream& out) {
-  const Session session = open_session(args);
-  const hyper::Hypergraph& h = session.context.hypergraph();
-  const std::string weighting = args.get("weights", "unit");
-  std::vector<double> weights;
-  if (weighting == "unit") {
-    weights = hyper::unit_weights(h);
-  } else if (weighting == "deg2") {
-    weights = hyper::degree_squared_weights(h);
-  } else {
-    throw InvalidInputError{"--weights must be 'unit' or 'deg2'"};
-  }
-
-  const index_t r = static_cast<index_t>(args.get_int("multicover", 1));
-  std::vector<index_t> cover;
-  double avg_degree = 0.0;
-  if (r <= 1) {
-    const hyper::CoverResult result = hyper::greedy_vertex_cover(h, weights);
-    cover = result.vertices;
-    avg_degree = result.average_degree;
-  } else {
-    const hyper::MulticoverResult result =
-        hyper::greedy_multicover(h, weights, r);
-    cover = result.vertices;
-    avg_degree = result.average_degree;
-    if (!result.clamped_edges.empty()) {
-      out << result.clamped_edges.size()
-          << " hyperedges smaller than the requirement were clamped\n";
-    }
-  }
-  out << "cover: " << cover.size() << " vertices, average degree "
-      << avg_degree << '\n';
-  const std::size_t limit =
-      static_cast<std::size_t>(args.get_int("limit", 30));
-  for (std::size_t i = 0; i < cover.size() && i < limit; ++i) {
-    out << ' ' << session.data.proteins.name_of(cover[i]);
-  }
-  if (cover.size() > limit) out << " ...";
-  out << '\n';
-  maybe_context_stats(args, session.context, out);
-  return 0;
+  return run_one_shot_query("cover", args, out);
 }
 
 int cmd_match(const Args& args, std::ostream& out) {
-  const Session session = open_session(args);
-  const hyper::MatchingResult m =
-      hyper::greedy_matching(session.context.hypergraph());
-  out << "maximal matching: " << m.edges.size()
-      << " pairwise-disjoint hyperedges (lower bound on any vertex "
-         "cover)\n";
-  const std::size_t limit =
-      static_cast<std::size_t>(args.get_int("limit", 20));
-  for (std::size_t i = 0; i < m.edges.size() && i < limit; ++i) {
-    out << ' ' << session.data.complex_names[m.edges[i]];
-  }
-  if (m.edges.size() > limit) out << " ...";
-  out << '\n';
-  maybe_context_stats(args, session.context, out);
-  return 0;
+  return run_one_shot_query("match", args, out);
 }
 
 int cmd_soverlap(const Args& args, std::ostream& out) {
-  const Session session = open_session(args);
-  const hyper::AnalysisContext& ctx = session.context;
-  const hyper::OverlapTable& table = ctx.overlaps();
-  const index_t s_max = hyper::max_meaningful_s(table);
-  out << "max meaningful s: " << s_max
-      << "\n s  components  largest  edges\n";
-  for (index_t s = 1; s <= s_max; ++s) {
-    const hyper::SComponents comp = hyper::s_components(table, s);
-    index_t largest = 0;
-    if (comp.count > 0) largest = comp.sizes[comp.largest()];
-    out << ' ' << s << "  " << comp.count << "  " << largest << "  "
-        << hyper::s_intersection_graph(table, s).num_edges() << '\n';
-  }
-  maybe_context_stats(args, ctx, out);
-  return 0;
+  return run_one_shot_query("soverlap", args, out);
 }
 
 int cmd_smallworld(const Args& args, std::ostream& out) {
-  const Session session = open_session(args);
-  const hyper::AnalysisContext& ctx = session.context;
-  Rng rng{static_cast<std::uint64_t>(args.get_int("seed", 1))};
-  const hyper::SmallWorldReport r =
-      hyper::small_world_report(ctx.hypergraph(), ctx.paths(), rng);
-  out << "observed:   diameter " << r.observed.diameter
-      << ", average path length " << r.observed.average_length << '\n'
-      << "null model: diameter " << r.null_model.diameter
-      << ", average path length " << r.null_model.average_length << '\n'
-      << "ratio observed/null: " << r.path_ratio << '\n';
-  maybe_context_stats(args, ctx, out);
-  return 0;
+  return run_one_shot_query("smallworld", args, out);
 }
 
 int cmd_convert(const Args& args, std::ostream& out) {
@@ -355,7 +230,7 @@ int cmd_pajek(const Args& args, std::ostream& out) {
   HP_REQUIRE(args.positional().size() >= 3,
              "pajek needs an input file and an output prefix");
   Session session{load_dataset(args.positional()[1])};
-  const hyper::AnalysisContext& ctx = session.context;
+  const hyper::AnalysisContext& ctx = session.q.context;
   const std::string prefix = args.positional()[2];
   const hyper::Hypergraph& h = ctx.hypergraph();
   const hyper::HyperCoreResult& cores = ctx.cores();
@@ -363,8 +238,8 @@ int cmd_pajek(const Args& args, std::ostream& out) {
       args.get_int("k", static_cast<std::int64_t>(cores.max_core)));
 
   hyper::save_pajek(
-      hyper::to_pajek_bipartite(h, session.data.proteins.names(),
-                                session.data.complex_names),
+      hyper::to_pajek_bipartite(h, session.q.data.proteins.names(),
+                                session.q.data.complex_names),
       prefix + ".net");
   hyper::save_pajek(
       hyper::to_pajek_partition(hyper::fig3_classes(
@@ -377,24 +252,14 @@ int cmd_pajek(const Args& args, std::ostream& out) {
 }
 
 int cmd_report(const Args& args, std::ostream& out) {
-  const Session session = open_session(args);
-  // The report touches nearly every artifact; build the independent
-  // ones concurrently on the shared pool before the serial rendering.
-  session.context.prefetch();
-  const bio::PaperReport report = bio::analyze(session.context);
-  const bio::PaperReference reference = args.get_bool("no-paper", false)
-                                            ? bio::PaperReference{}
-                                            : bio::PaperReference::cellzome();
-  out << bio::render_report(report, reference);
-  maybe_context_stats(args, session.context, out);
-  return 0;
+  return run_one_shot_query("report", args, out);
 }
 
 int cmd_render(const Args& args, std::ostream& out) {
   HP_REQUIRE(args.positional().size() >= 3,
              "render needs an input file and an output .svg path");
   Session session{load_dataset(args.positional()[1])};
-  const hyper::AnalysisContext& ctx = session.context;
+  const hyper::AnalysisContext& ctx = session.q.context;
   const hyper::HyperCoreResult& cores = ctx.cores();
   const index_t k = static_cast<index_t>(
       args.get_int("k", static_cast<std::int64_t>(cores.max_core)));
@@ -639,8 +504,43 @@ int cmd_snapshot(const Args& args, std::ostream& out) {
                           "' (expected convert, info or verify)"};
 }
 
+namespace {
+
+/// Commands added by register_command(): the analysis server's `serve`
+/// and `query` live here. Kept separate from the constexpr built-in
+/// table; looked up after it.
+struct RegisteredCommand {
+  std::string name;
+  const char* span;
+  int (*fn)(const Args&, std::ostream&);
+  std::string blurb;
+};
+
+std::vector<RegisteredCommand>& registered_commands() {
+  static std::vector<RegisteredCommand> commands;
+  return commands;
+}
+
+}  // namespace
+
+void register_command(const std::string& name, const char* span,
+                      int (*fn)(const Args&, std::ostream&),
+                      const std::string& usage_blurb) {
+  HP_REQUIRE(!name.empty() && span != nullptr && fn != nullptr,
+             "register_command: name, span and fn are required");
+  for (RegisteredCommand& cmd : registered_commands()) {
+    if (cmd.name == name) {
+      cmd = RegisteredCommand{name, span, fn, usage_blurb};
+      return;
+    }
+  }
+  registered_commands().push_back(
+      RegisteredCommand{name, span, fn, usage_blurb});
+}
+
 std::string usage() {
-  return "usage: hp_cli <command> [args]\n"
+  std::string text =
+      "usage: hp_cli <command> [args]\n"
          "\n"
          "commands:\n"
          "  stats <file> [--paths]                 structural summary\n"
@@ -696,6 +596,10 @@ std::string usage() {
          "formats by extension: .hyper (native), .hgr (hMETIS),\n"
          "  .hpb (binary), .hps (mmap'd snapshot),\n"
          "  .mtx (MatrixMarket row-net), .tsv/.txt (complex table)\n";
+  for (const RegisteredCommand& cmd : registered_commands()) {
+    text += cmd.blurb;
+  }
+  return text;
 }
 
 namespace {
@@ -788,14 +692,25 @@ int run(const Args& args, std::ostream& out) {
     if (prom_path.empty()) prom_path = "hp_metrics.prom";
   }
 
-  const Command* matched = nullptr;
+  const char* span = nullptr;
+  int (*fn)(const Args&, std::ostream&) = nullptr;
   for (const Command& cmd : kCommands) {
     if (command == cmd.name) {
-      matched = &cmd;
+      span = cmd.span;
+      fn = cmd.fn;
       break;
     }
   }
-  if (matched == nullptr) {
+  if (fn == nullptr) {
+    for (const RegisteredCommand& cmd : registered_commands()) {
+      if (command == cmd.name) {
+        span = cmd.span;
+        fn = cmd.fn;
+        break;
+      }
+    }
+  }
+  if (fn == nullptr) {
     out << "unknown command '" << command << "'\n\n" << usage();
     return 2;
   }
@@ -816,8 +731,8 @@ int run(const Args& args, std::ostream& out) {
     }
     Timer timer;
     {
-      HP_TRACE_SPAN(matched->span);
-      code = matched->fn(args, out);
+      HP_TRACE_SPAN(span);
+      code = fn(args, out);
     }
     obs::latency("cli.command_ns").record_ns(timer.nanoseconds());
   } catch (const std::exception& error) {

@@ -48,8 +48,20 @@ int cmd_render(const Args& args, std::ostream& out);
 int cmd_mutate(const Args& args, std::ostream& out);
 int cmd_snapshot(const Args& args, std::ostream& out);
 
-/// Dispatch on the first positional argument; prints usage on
-/// unknown/missing commands and returns 2.
+/// Extension point for layers above the core CLI library. The analysis
+/// server (src/serve/) registers its `serve` and `query` subcommands
+/// through this hook from the binary's main(), so hp_cli never links
+/// hp_serve (the dependency goes the other way: hp_serve reuses the
+/// query layer). `span` must be a string literal ("cli.serve") -- the
+/// tracer stores the pointer. Registering an existing name replaces it.
+/// `usage_blurb` is appended to usage(); end it with a newline.
+void register_command(const std::string& name, const char* span,
+                      int (*fn)(const Args&, std::ostream&),
+                      const std::string& usage_blurb);
+
+/// Dispatch on the first positional argument (built-in commands first,
+/// then register_command() entries); prints usage on unknown/missing
+/// commands and returns 2.
 int run(const Args& args, std::ostream& out);
 
 /// The usage text.

@@ -1,9 +1,16 @@
-// Thin argv wrapper around the hp::cli command library.
+// Thin argv wrapper around the hp::cli command library. The analysis
+// server's subcommands (serve/query) are registered here, at the binary
+// boundary, so the hp_cli library itself never depends on hp_serve.
 #include <iostream>
 
 #include "cli/commands.hpp"
+#include "serve/serve_commands.hpp"
 
 int main(int argc, char** argv) {
+  hp::serve::register_cli_commands();
   const hp::Args args{argc, argv};
+  if (args.positional().size() > 0 && args.positional()[0] == "serve") {
+    hp::serve::stop_on_signals();
+  }
   return hp::cli::run(args, std::cout);
 }

@@ -1,0 +1,63 @@
+// The shared query layer between one-shot hp_cli invocations and the
+// long-lived analysis server (src/serve/).
+//
+// Every read-only analysis command (stats, report, core, cover, match,
+// soverlap, smallworld) is implemented once, against a QuerySession --
+// a loaded dataset plus its AnalysisContext artifact cache. The CLI
+// wraps each in a fresh per-process session; the server keeps sessions
+// alive in a keyed LRU pool (serve::ContextPool) and answers repeated
+// queries from the warm cache. Because both paths execute the same
+// run_query code, a server reply is byte-identical to the one-shot CLI
+// output for the same command and dataset (the golden test in
+// tests/serve/ pins this).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bio/complex_io.hpp"
+#include "core/context/analysis_context.hpp"
+#include "util/args.hpp"
+
+namespace hp::cli {
+
+/// One loaded dataset and its shared derived-artifact cache. The
+/// context owns the hypergraph (moved out of the dataset); protein and
+/// complex names stay behind in `data`. Non-copyable/movable: the
+/// AnalysisContext slot mutexes pin it, so sessions live on the heap
+/// when they must outlive a scope (the server pool holds
+/// shared_ptr<QuerySession>).
+struct QuerySession {
+  bio::ComplexDataset data;
+  hyper::AnalysisContext context;
+
+  explicit QuerySession(bio::ComplexDataset loaded)
+      : data(std::move(loaded)), context(std::move(data.hypergraph)) {}
+
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+};
+
+/// The commands servable from a shared session: read-only analyses
+/// that write nothing but their output stream. (convert/generate/
+/// mutate/pajek/render/snapshot touch the filesystem or mutate state
+/// and stay one-shot only.)
+const std::vector<std::string>& query_commands();
+bool is_query_command(const std::string& command);
+
+/// Execute one query command against the session. `args` supplies the
+/// command's flags (--k, --limit, --weights, ...); positional
+/// arguments are ignored (the session already carries the dataset).
+/// Returns the command's exit code; throws InvalidInputError on an
+/// unknown command or bad flag values.
+int run_query(QuerySession& session, const std::string& command,
+              const Args& args, std::ostream& out);
+
+/// Honor the global --context-stats flag: print the artifact counters
+/// of the session's shared context.
+void maybe_context_stats(const Args& args,
+                         const hyper::AnalysisContext& context,
+                         std::ostream& out);
+
+}  // namespace hp::cli

@@ -1,0 +1,97 @@
+// Structural validator for emitted Chrome traces, built on the obs
+// json_check module. CI runs it over the analysis server's request
+// trace to assert the causal span trees are well-formed:
+//
+//   hp_trace_check trace.json [--require-span serve.request]
+//                             [--min-spans N]
+//
+// Exit 0 when every thread is balanced/monotonic, every trace tree is
+// single-rooted and connected, parent integrity holds, and (when
+// requested) at least N spans with the given name are present.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/json_check.hpp"
+#include "util/args.hpp"
+#include "util/common.hpp"
+
+namespace {
+
+std::size_t count_spans(const hp::obs::json::Value& root,
+                        const std::string& name) {
+  const hp::obs::json::Value* events = root.find("traceEvents");
+  if (events == nullptr) return 0;
+  std::size_t count = 0;
+  for (const hp::obs::json::Value& event : events->array) {
+    const hp::obs::json::Value* ph = event.find("ph");
+    const hp::obs::json::Value* event_name = event.find("name");
+    if (ph != nullptr && ph->string == "B" && event_name != nullptr &&
+        event_name->string == name) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const hp::Args args{argc, argv};
+    if (args.positional().empty()) {
+      std::cout << "usage: hp_trace_check trace.json "
+                   "[--require-span NAME] [--min-spans N]\n";
+      return 2;
+    }
+    const std::string path = args.positional()[0];
+    std::ifstream in(path);
+    HP_REQUIRE(in.good(), "cannot open '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const hp::obs::json::Value root = hp::obs::json::parse(text.str());
+    const hp::obs::TraceSummary summary = hp::obs::summarize_trace(root);
+
+    std::cout << path << ": " << summary.events << " events, "
+              << summary.threads.size() << " threads, "
+              << summary.trees.size() << " span trees\n";
+
+    int failures = 0;
+    if (!summary.all_balanced()) {
+      std::cout << "FAIL: unbalanced begin/end events\n";
+      ++failures;
+    }
+    if (!summary.all_monotonic()) {
+      std::cout << "FAIL: non-monotonic timestamps\n";
+      ++failures;
+    }
+    if (!summary.all_single_rooted()) {
+      std::cout << "FAIL: a trace tree is not single-rooted/connected\n";
+      ++failures;
+    }
+    if (!summary.parent_integrity) {
+      std::cout << "FAIL: dangling span parent references\n";
+      ++failures;
+    }
+    if (args.has("require-span")) {
+      const std::string name = args.get("require-span", "");
+      const std::size_t count = count_spans(root, name);
+      const std::size_t min_spans =
+          static_cast<std::size_t>(args.get_int("min-spans", 1));
+      std::cout << "spans named '" << name << "': " << count << "\n";
+      if (count < min_spans) {
+        std::cout << "FAIL: expected at least " << min_spans << '\n';
+        ++failures;
+      }
+    }
+    if (failures == 0) {
+      std::cout << "trace ok\n";
+      return 0;
+    }
+    return 1;
+  } catch (const std::exception& error) {
+    std::cout << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -56,6 +56,14 @@ class Parser {
   }
 
   Value parse_value() {
+    if (depth_ >= kMaxDepth) fail("nesting deeper than 256 levels");
+    ++depth_;
+    Value v = parse_value_inner();
+    --depth_;
+    return v;
+  }
+
+  Value parse_value_inner() {
     skip_whitespace();
     switch (peek()) {
       case '{':
@@ -199,8 +207,17 @@ class Parser {
     return v;
   }
 
+  /// Recursion ceiling for nested arrays/objects: deep enough for any
+  /// trace or metrics document, shallow enough that a hostile
+  /// "[[[[..."-style input raises ParseError long before the parser
+  /// (or the Value destructor) can exhaust the stack. The analysis
+  /// server's request parser (src/serve/protocol.cpp) relies on this
+  /// bound holding for arbitrary network input.
+  static constexpr int kMaxDepth = 256;
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

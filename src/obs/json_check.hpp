@@ -33,7 +33,10 @@ struct Value {
 };
 
 /// Parse one JSON document (trailing whitespace allowed, trailing
-/// garbage rejected). Throws hp::ParseError with an offset on error.
+/// garbage rejected). Nesting is capped at 256 levels so hostile
+/// deeply-nested input fails with ParseError instead of exhausting the
+/// stack (the analysis-server request parser feeds this with untrusted
+/// network frames). Throws hp::ParseError with an offset on error.
 Value parse(const std::string& text);
 
 }  // namespace hp::obs::json

@@ -1,0 +1,60 @@
+#include "serve/client.hpp"
+
+#include "util/common.hpp"
+
+namespace hp::serve {
+
+Client::Client(const Endpoint& endpoint)
+    : socket_(connect_to(endpoint)), reader_(socket_.fd()) {}
+
+std::string Client::call_raw(const std::string& frame) {
+  HP_REQUIRE(frame.find('\n') == std::string::npos,
+             "client: frame contains a raw newline");
+  if (!write_all(socket_.fd(), frame + "\n")) {
+    throw SocketError{"client: connection lost while sending"};
+  }
+  std::string reply;
+  const LineReader::Status status = reader_.read_line(reply);
+  switch (status) {
+    case LineReader::Status::kLine:
+      return reply;
+    case LineReader::Status::kOverflow:
+      throw SocketError{"client: response frame exceeds the protocol cap"};
+    case LineReader::Status::kError:
+      throw SocketError{"client: recv failed: " + reply};
+    default:
+      throw SocketError{"client: connection closed before a response"};
+  }
+}
+
+proto::Response Client::call(proto::Request request) {
+  if (!request.has_id()) request.id = next_id_++;
+  const proto::Response response =
+      proto::parse_response(call_raw(proto::format_request(request)));
+  if (response.has_id() && response.id != request.id) {
+    throw SocketError{"client: response id " + std::to_string(response.id) +
+                      " does not match request id " +
+                      std::to_string(request.id)};
+  }
+  return response;
+}
+
+proto::Response Client::query(
+    const std::string& command, const std::string& path,
+    std::vector<std::pair<std::string, std::string>> args,
+    std::uint64_t timeout_ms) {
+  proto::Request request;
+  request.command = command;
+  request.path = path;
+  request.args = std::move(args);
+  request.timeout_ms = timeout_ms;
+  return call(std::move(request));
+}
+
+proto::Response Client::shutdown() {
+  proto::Request request;
+  request.command = "shutdown";
+  return call(std::move(request));
+}
+
+}  // namespace hp::serve

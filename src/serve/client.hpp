@@ -1,0 +1,50 @@
+// In-tree client of the analysis server: one connection, synchronous
+// request/response. Used by `hp_cli query`, the e2e tests, and the
+// bench_micro_serve load generator -- all protocol consumers go through
+// this one implementation, so wire-format drift shows up in-tree first.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+
+namespace hp::serve {
+
+class Client {
+ public:
+  /// Connect immediately. Throws SocketError.
+  explicit Client(const Endpoint& endpoint);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request and block for its response. A request without an
+  /// id is stamped with a connection-local sequence number, and the
+  /// response's echoed id is checked against it. Throws SocketError on
+  /// transport failure, hp::ParseError on a malformed response frame.
+  proto::Response call(proto::Request request);
+
+  /// Convenience: build + send a query request.
+  proto::Response query(
+      const std::string& command, const std::string& path,
+      std::vector<std::pair<std::string, std::string>> args = {},
+      std::uint64_t timeout_ms = 0);
+
+  /// Send one already-formatted frame verbatim and return the raw
+  /// response frame -- the replay path (`hp_cli query --script`), which
+  /// must not re-serialize recorded requests. Throws SocketError.
+  std::string call_raw(const std::string& frame);
+
+  /// Tell the server to stop. The server replies before shutting down.
+  proto::Response shutdown();
+
+ private:
+  Socket socket_;
+  LineReader reader_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace hp::serve

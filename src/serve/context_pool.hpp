@@ -1,0 +1,134 @@
+// Multi-tenant AnalysisContext cache for the long-lived server.
+//
+// The pool keys warm QuerySessions (dataset + AnalysisContext) by
+// canonical dataset path. A request acquires a Lease: on a hit the
+// session -- with every artifact it has already built -- is reused; on
+// a miss the dataset is loaded while other requests for the *same* key
+// wait on the loading entry instead of loading it again (cache-stampede
+// protection), and requests for other keys proceed untouched.
+//
+// Memory discipline: each entry is charged its real footprint --
+// ContextStats::total_bytes() (built artifacts) plus the base
+// hypergraph's owned and mapped bytes, the same accounting
+// --context-stats prints. Queries grow a context lazily, so the charge
+// is recomputed when a lease is released, and when the sum exceeds the
+// byte budget idle entries are evicted least-recently-used. Leased and
+// loading entries are never evicted, and the most recent entry survives
+// even over budget (a budget smaller than one context must not turn the
+// server into a load loop).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cli/query.hpp"
+
+namespace hp::serve {
+
+/// Counters mirrored into the server.cache.* metrics family.
+struct PoolStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t charged_bytes = 0;  ///< sum over resident entries
+  std::size_t entries = 0;
+};
+
+/// One resident entry's charge, for tests and the `cache` introspection
+/// command.
+struct ChargedEntry {
+  std::string key;
+  std::size_t bytes = 0;
+  bool leased = false;
+};
+
+class ContextPool {
+ public:
+  explicit ContextPool(std::size_t byte_budget);
+  ~ContextPool() = default;
+
+  ContextPool(const ContextPool&) = delete;
+  ContextPool& operator=(const ContextPool&) = delete;
+
+  /// Scoped hold on a pooled session. While any lease on a key is
+  /// outstanding the entry is pinned (never evicted). Destruction
+  /// recomputes the entry's byte charge -- artifacts built during the
+  /// query are charged back -- and runs eviction if over budget.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    cli::QuerySession& session() { return *session_; }
+    bool cache_hit() const { return hit_; }
+
+   private:
+    friend class ContextPool;
+    Lease(ContextPool* pool, std::string key,
+          std::shared_ptr<cli::QuerySession> session, bool hit)
+        : pool_(pool), key_(std::move(key)), session_(std::move(session)),
+          hit_(hit) {}
+
+    ContextPool* pool_;
+    std::string key_;
+    std::shared_ptr<cli::QuerySession> session_;
+    bool hit_;
+  };
+
+  /// Get-or-load the session for `path` (keyed by canonical path, so
+  /// "./d.hyper" and "d.hyper" share an entry). Loads run outside the
+  /// pool lock; concurrent acquires of the same key wait for the first
+  /// loader. Load failures propagate to every waiter and leave no
+  /// entry behind.
+  Lease acquire(const std::string& path);
+
+  /// Drop every idle entry regardless of budget (counts as evictions).
+  void clear();
+
+  PoolStats stats() const;
+  /// Resident entries with their current charges, insertion order.
+  std::vector<ChargedEntry> charged_entries() const;
+  std::size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<cli::QuerySession> session;
+    std::size_t charged_bytes = 0;
+    std::uint64_t last_used = 0;
+    int leases = 0;
+    bool loading = false;
+  };
+
+  void release(const std::string& key);
+  /// Evict idle LRU entries until within budget; pool lock held.
+  void evict_locked();
+  Entry* find_locked(const std::string& key);
+
+  const std::size_t byte_budget_;
+  mutable std::mutex mutex_;
+  std::condition_variable loaded_cv_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+/// The byte footprint the pool charges for a session: built artifacts
+/// plus owned and mapped hypergraph storage. Exposed so the accounting
+/// regression test asserts pool charges == summed session stats.
+std::size_t session_charge_bytes(cli::QuerySession& session);
+
+/// Canonicalize a dataset path for keying (realpath when the file
+/// exists, the verbatim path otherwise).
+std::string canonical_key(const std::string& path);
+
+}  // namespace hp::serve

@@ -1,0 +1,23 @@
+// Standalone analysis-server daemon: `hp_serve --socket SPEC [...]`.
+// Equivalent to `hyperproteome serve ...` (same cmd_serve code path)
+// but without the full CLI surface; SIGINT/SIGTERM stop it gracefully,
+// draining in-flight requests.
+#include <iostream>
+
+#include "serve/serve_commands.hpp"
+
+int main(int argc, char** argv) {
+  hp::serve::stop_on_signals();
+  try {
+    const hp::Args args{argc, argv};
+    if (!args.has("socket")) {
+      std::cout << "usage: hp_serve --socket unix:/path|tcp:host:port\n"
+                   "         [--cache-mb N] [--timeout-ms N] [--record f]\n";
+      return 2;
+    }
+    return hp::serve::cmd_serve(args, std::cout);
+  } catch (const std::exception& error) {
+    std::cout << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,149 @@
+#include "serve/serve_commands.hpp"
+
+#include <csignal>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "cli/commands.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/common.hpp"
+
+namespace hp::serve {
+
+namespace {
+
+/// The server cmd_serve is running, for the signal-stop thread.
+std::mutex g_active_mutex;
+Server* g_active_server = nullptr;
+bool g_signal_thread_started = false;
+
+void set_active_server(Server* server) {
+  std::lock_guard<std::mutex> lock(g_active_mutex);
+  g_active_server = server;
+}
+
+/// Flags consumed by the client itself or by the hp_cli global
+/// observability layer; everything else is forwarded onto the wire.
+bool client_side_flag(const std::string& name) {
+  static const char* kLocal[] = {
+      "socket", "script", "timeout-ms", "verbose",
+      "trace", "metrics", "profile", "metrics-interval",
+      "metrics-jsonl", "metrics-prom", "slow-span-ms",
+  };
+  for (const char* local : kLocal) {
+    if (name == local) return true;
+  }
+  return false;
+}
+
+int replay_script(Client& client, const std::string& path,
+                  std::ostream& out) {
+  std::ifstream in(path);
+  HP_REQUIRE(in.good(), "query: cannot open script '" + path + "'");
+  std::string line;
+  int failures = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::string reply = client.call_raw(line);
+    out << reply << '\n';
+    if (!proto::parse_response(reply).ok) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int cmd_serve(const Args& args, std::ostream& out) {
+  ServerOptions options;
+  options.endpoint = parse_endpoint(args.get("socket", ""));
+  const std::int64_t cache_mb = args.get_int("cache-mb", 1024);
+  HP_REQUIRE(cache_mb > 0, "serve: --cache-mb must be positive");
+  options.cache_budget_bytes =
+      static_cast<std::size_t>(cache_mb) * 1024u * 1024u;
+  const std::int64_t timeout_ms = args.get_int("timeout-ms", 0);
+  HP_REQUIRE(timeout_ms >= 0, "serve: --timeout-ms must be >= 0");
+  options.default_timeout_ms = static_cast<std::uint64_t>(timeout_ms);
+  options.record_path = args.get("record", "");
+
+  Server server{std::move(options)};
+  server.start();
+  set_active_server(&server);
+  out << "listening on " << server.endpoint().to_string() << std::endl;
+  server.wait();
+  set_active_server(nullptr);
+  const PoolStats stats = server.pool().stats();
+  out << "server stopped (cache hits " << stats.hits << ", misses "
+      << stats.misses << ", evictions " << stats.evictions << ")\n";
+  return 0;
+}
+
+int cmd_query(const Args& args, std::ostream& out) {
+  const Endpoint endpoint = parse_endpoint(args.get("socket", ""));
+  Client client{endpoint};
+
+  if (args.has("script")) {
+    return replay_script(client, args.get("script", ""), out);
+  }
+
+  HP_REQUIRE(args.positional().size() >= 2,
+             "query needs a command (and its dataset file, if any)");
+  proto::Request request;
+  request.command = args.positional()[1];
+  if (args.positional().size() >= 3) request.path = args.positional()[2];
+  for (const auto& [key, value] : args.flags()) {
+    if (!client_side_flag(key)) request.args.emplace_back(key, value);
+  }
+  request.timeout_ms =
+      static_cast<std::uint64_t>(args.get_int("timeout-ms", 0));
+
+  const proto::Response response = client.call(std::move(request));
+  if (!response.ok) {
+    out << "error: " << response.error << '\n';
+    return 1;
+  }
+  if (args.get_bool("verbose", false)) {
+    out << "# cache=" << (response.cache.empty() ? "-" : response.cache)
+        << " micros=" << response.micros << '\n';
+  }
+  out << response.output;
+  return 0;
+}
+
+void register_cli_commands() {
+  cli::register_command(
+      "serve", "cli.serve", &cmd_serve,
+      "  serve --socket unix:/tmp/hp.sock|tcp:host:port\n"
+      "        [--cache-mb N] [--timeout-ms N] [--record f]\n"
+      "                                         long-lived analysis "
+      "server\n");
+  cli::register_command(
+      "query", "cli.query", &cmd_query,
+      "  query --socket SPEC <command> [file] [--flag=value ...]\n"
+      "        [--timeout-ms N] [--verbose] | --script session.txt\n"
+      "                                         one request against a "
+      "running server\n");
+}
+
+void stop_on_signals() {
+  if (g_signal_thread_started) return;
+  g_signal_thread_started = true;
+  // Block the stop signals in every future thread (workers inherit this
+  // mask), then take them synchronously on a dedicated thread: nothing
+  // runs in async-signal context.
+  static sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  std::thread([] {
+    int signal = 0;
+    sigwait(&set, &signal);
+    std::lock_guard<std::mutex> lock(g_active_mutex);
+    if (g_active_server != nullptr) g_active_server->request_stop();
+  }).detach();
+}
+
+}  // namespace hp::serve

@@ -1,0 +1,34 @@
+// CLI surface of the analysis server: the `serve` and `query`
+// subcommands, plugged into the hp_cli dispatch table through
+// cli::register_command (the library dependency runs serve -> cli, so
+// the binary's main() wires these in; hp_cli itself stays server-free).
+#pragma once
+
+#include <iosfwd>
+
+#include "util/args.hpp"
+
+namespace hp::serve {
+
+/// `serve --socket SPEC [--cache-mb N] [--timeout-ms N] [--record f]`:
+/// run the analysis server in the foreground until a protocol
+/// `shutdown` request (or stop_on_signals() fires). Prints one
+/// "listening on <endpoint>" line once accepting.
+int cmd_serve(const Args& args, std::ostream& out);
+
+/// `query --socket SPEC <command> [file] [--flag=value ...]`: connect,
+/// send one request, print the server's output verbatim (exit 1 with
+/// the error message on a failed request). With `--script f` instead,
+/// replay recorded request frames line-by-line and print one response
+/// frame per line.
+int cmd_query(const Args& args, std::ostream& out);
+
+/// Register both subcommands with the hp_cli dispatcher.
+void register_cli_commands();
+
+/// Arrange for SIGINT/SIGTERM to stop the server cmd_serve is about to
+/// run (sigwait on a dedicated thread; nothing runs in signal context).
+/// Call once, before cmd_serve, from a binary's main().
+void stop_on_signals();
+
+}  // namespace hp::serve

@@ -1,0 +1,306 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "par/thread_pool.hpp"
+#include "util/args.hpp"
+#include "util/common.hpp"
+
+namespace hp::serve {
+
+namespace {
+
+/// Raised by command bodies when the request deadline passes.
+class TimeoutError : public std::runtime_error {
+ public:
+  explicit TimeoutError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void check_deadline(std::uint64_t deadline_ns, const char* stage) {
+  if (deadline_ns != 0 && now_ns() > deadline_ns) {
+    throw TimeoutError{std::string{"deadline exceeded "} + stage};
+  }
+}
+
+/// Rebuild an Args view from the validated wire args. Every value rides
+/// in --key=value form, which the parser treats identically to the
+/// two-token CLI form, so query code sees exactly what a one-shot
+/// invocation would.
+Args wire_args(const proto::Request& request) {
+  std::vector<std::string> argv_storage;
+  argv_storage.reserve(request.args.size() + 2);
+  argv_storage.push_back("hp_serve");
+  argv_storage.push_back(request.command);
+  for (const auto& [key, value] : request.args) {
+    argv_storage.push_back("--" + key + "=" + value);
+  }
+  std::vector<const char*> argv;
+  argv.reserve(argv_storage.size());
+  for (const std::string& token : argv_storage) {
+    argv.push_back(token.c_str());
+  }
+  return Args{static_cast<int>(argv.size()), argv.data()};
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      pool_(std::make_unique<ContextPool>(options_.cache_budget_bytes)) {}
+
+Server::~Server() {
+  request_stop();
+  wait();
+}
+
+void Server::start() {
+  HP_REQUIRE(!started_, "Server::start called twice");
+  listener_ = listen_on(options_.endpoint);
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_main(); });
+}
+
+void Server::request_stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  listener_.shutdown_both();
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const std::unique_ptr<Connection>& connection : connections_) {
+    // Half-close: the connection thread's next read sees EOF, but the
+    // reply to any request it is still executing goes out first.
+    connection->socket.shutdown_read();
+  }
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // After the accept thread exits no new connections appear, so the
+  // vector is stable from here on.
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (const std::unique_ptr<Connection>& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  listener_.close();
+}
+
+void Server::accept_main() {
+  while (!stopping()) {
+    Socket accepted = accept_on(listener_);
+    if (!accepted.valid()) break;  // listener closed by request_stop
+    if (stopping()) break;
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(std::make_unique<Connection>());
+    Connection* connection = connections_.back().get();
+    connection->socket = std::move(accepted);
+    obs::gauge("server.connections")
+        .set(static_cast<double>(connections_.size()));
+    const std::size_t slot = connections_.size() - 1;
+    connection->thread = std::thread([this, slot] { connection_main(slot); });
+  }
+}
+
+void Server::connection_main(std::size_t slot) {
+  Socket* socket = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    socket = &connections_[slot]->socket;
+  }
+  LineReader reader{socket->fd()};
+  std::string frame;
+  while (true) {
+    const LineReader::Status status = reader.read_line(frame);
+    if (status == LineReader::Status::kEof ||
+        status == LineReader::Status::kTruncated ||
+        status == LineReader::Status::kError) {
+      break;
+    }
+    if (status == LineReader::Status::kOverflow) {
+      // The stream cannot be resynchronized mid-frame; report and drop.
+      proto::Response response;
+      response.ok = false;
+      response.error = "protocol: request frame larger than " +
+                       std::to_string(proto::kMaxFrameBytes) + " bytes";
+      obs::counter("server.errors").add(1);
+      write_all(socket->fd(), proto::format_response(response) + "\n");
+      break;
+    }
+    if (frame.empty()) continue;  // blank keep-alive line
+    record_frame(frame);
+
+    proto::Response response;
+    try {
+      response = handle(proto::parse_request(frame));
+    } catch (const std::exception& error) {
+      // Frame-level failure (malformed JSON, bad fields): the framing
+      // itself is intact, so reply and keep the connection.
+      response.ok = false;
+      response.error = error.what();
+      obs::counter("server.errors").add(1);
+    }
+    if (!write_all(socket->fd(), proto::format_response(response) + "\n")) {
+      break;
+    }
+  }
+  socket->close();
+}
+
+proto::Response Server::handle(const proto::Request& request) {
+  const std::uint64_t start_ns = now_ns();
+  const std::uint64_t timeout_ms = request.timeout_ms != 0
+                                       ? request.timeout_ms
+                                       : options_.default_timeout_ms;
+  const std::uint64_t deadline_ns =
+      timeout_ms != 0 ? start_ns + timeout_ms * 1000000u : 0;
+
+  obs::counter("server.requests").add(1);
+  obs::gauge("server.queue_depth")
+      .set(static_cast<double>(par::ThreadPool::global().queue_depth()));
+
+  proto::Response response;
+  response.id = request.id;
+  try {
+    // The request body runs as a pool task: query work (and the
+    // artifact builds it triggers) shares the work-stealing lanes with
+    // every other request; wait() helps, so at HP_THREADS=1 this is
+    // plain inline execution. TaskGroup also re-parents the task's
+    // spans under our serve.request span on whichever lane runs it.
+    HP_TRACE_SPAN("serve.request");
+    check_deadline(deadline_ns, "before execution");
+    proto::Response inner;
+    inner.id = request.id;
+    par::TaskGroup group;
+    group.run([&] { inner = dispatch(request, deadline_ns); });
+    group.wait();
+    check_deadline(deadline_ns, "during execution");
+    response = std::move(inner);
+  } catch (const TimeoutError& error) {
+    response.ok = false;
+    response.output.clear();
+    response.error = std::string{"timeout after "} +
+                     std::to_string(timeout_ms) + "ms (" + error.what() + ")";
+    obs::counter("server.timeouts").add(1);
+    obs::counter("server.errors").add(1);
+  } catch (const std::exception& error) {
+    response.ok = false;
+    response.output.clear();
+    response.error = error.what();
+    obs::counter("server.errors").add(1);
+  }
+
+  const std::uint64_t elapsed_ns = now_ns() - start_ns;
+  response.micros = elapsed_ns / 1000u;
+  obs::latency("server.request_ns").record_ns(elapsed_ns);
+  obs::latency("server.cmd." + request.command + "_ns")
+      .record_ns(elapsed_ns);
+  return response;
+}
+
+proto::Response Server::dispatch(const proto::Request& request,
+                                 std::uint64_t deadline_ns) {
+  proto::Response response;
+  response.id = request.id;
+  response.ok = true;
+  const std::string& command = request.command;
+
+  if (cli::is_query_command(command)) {
+    if (request.path.empty()) {
+      throw InvalidInputError{"query command '" + command +
+                              "' needs a path field"};
+    }
+    ContextPool::Lease lease = pool_->acquire(request.path);
+    response.cache = lease.cache_hit() ? "hit" : "miss";
+    const Args args = wire_args(request);
+    std::ostringstream out;
+    const int code = cli::run_query(lease.session(), command, args, out);
+    if (code != 0) {
+      throw InvalidInputError{command + " returned exit code " +
+                              std::to_string(code)};
+    }
+    response.output = out.str();
+    return response;
+  }
+
+  if (command == "ping") {
+    response.output = "pong\n";
+    return response;
+  }
+  if (command == "commands") {
+    std::ostringstream out;
+    for (const std::string& name : cli::query_commands()) out << name << '\n';
+    out << "ping\ncommands\ncache\ncache_clear\nmetrics\nsleep\nshutdown\n";
+    response.output = out.str();
+    return response;
+  }
+  if (command == "cache") {
+    const PoolStats stats = pool_->stats();
+    std::ostringstream out;
+    out << "entries: " << stats.entries << '\n'
+        << "charged bytes: " << stats.charged_bytes << " (budget "
+        << pool_->byte_budget() << ")\n"
+        << "hits: " << stats.hits << "  misses: " << stats.misses
+        << "  evictions: " << stats.evictions << '\n';
+    for (const ChargedEntry& entry : pool_->charged_entries()) {
+      out << "  " << entry.bytes << "  " << (entry.leased ? "leased  " : "idle    ")
+          << entry.key << '\n';
+    }
+    response.output = out.str();
+    return response;
+  }
+  if (command == "cache_clear") {
+    pool_->clear();
+    response.output = "cache cleared\n";
+    return response;
+  }
+  if (command == "metrics") {
+    response.output =
+        obs::render_table(obs::Registry::global().snapshot());
+    return response;
+  }
+  if (command == "sleep") {
+    // Debug command for deadline tests: burns wall clock in 1 ms slices
+    // with a cooperative deadline check each slice, so timeouts fire
+    // deterministically even under HP_THREADS=1 inline execution.
+    const Args args = wire_args(request);
+    const std::int64_t ms = args.get_int("ms", 10);
+    const std::uint64_t until = now_ns() +
+                                static_cast<std::uint64_t>(ms) * 1000000u;
+    while (now_ns() < until) {
+      check_deadline(deadline_ns, "during sleep");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    response.output = "slept " + std::to_string(ms) + "ms\n";
+    return response;
+  }
+  if (command == "shutdown") {
+    request_stop();
+    response.output = "stopping\n";
+    return response;
+  }
+  throw InvalidInputError{"unknown command '" + command +
+                          "' (try 'commands')"};
+}
+
+void Server::record_frame(const std::string& frame) {
+  if (options_.record_path.empty()) return;
+  std::lock_guard<std::mutex> lock(record_mutex_);
+  std::ofstream out(options_.record_path, std::ios::app);
+  out << frame << '\n';
+}
+
+}  // namespace hp::serve

@@ -1,0 +1,216 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/common.hpp"
+
+namespace hp::serve {
+
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw SocketError{what + ": " + std::strerror(errno)};
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  HP_REQUIRE(path.size() < sizeof addr.sun_path,
+             "unix socket path longer than sockaddr_un allows (~107 bytes)");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_address(const Endpoint& endpoint, bool for_listen) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (endpoint.host.empty()) {
+    addr.sin_addr.s_addr = for_listen ? htonl(INADDR_ANY)
+                                      : htonl(INADDR_LOOPBACK);
+  } else if (inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    throw InvalidInputError{"endpoint host '" + endpoint.host +
+                            "' is not a numeric IPv4 address"};
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_.store(other.release(), std::memory_order_release);
+  }
+  return *this;
+}
+
+void Socket::close() {
+  const int fd = release();
+  if (fd >= 0) ::close(fd);
+}
+
+void Socket::shutdown_read() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RD);
+}
+
+void Socket::shutdown_both() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+  HP_REQUIRE(!spec.empty(), "empty endpoint spec");
+  Endpoint endpoint;
+  if (spec.rfind("tcp:", 0) == 0) {
+    endpoint.kind = Endpoint::Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    HP_REQUIRE(colon != std::string::npos,
+               "tcp endpoint needs 'tcp:host:port' (host may be empty)");
+    endpoint.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    HP_REQUIRE(!port_text.empty(), "tcp endpoint is missing a port");
+    std::uint32_t port = 0;
+    for (char c : port_text) {
+      HP_REQUIRE(c >= '0' && c <= '9', "tcp port is not a number");
+      port = port * 10 + static_cast<std::uint32_t>(c - '0');
+      HP_REQUIRE(port <= 65535, "tcp port out of range");
+    }
+    endpoint.port = static_cast<std::uint16_t>(port);
+    return endpoint;
+  }
+  endpoint.kind = Endpoint::Kind::kUnix;
+  endpoint.path = spec.rfind("unix:", 0) == 0 ? spec.substr(5) : spec;
+  HP_REQUIRE(!endpoint.path.empty(), "unix endpoint is missing a path");
+  // Fail early with the named limit instead of a bind() errno later.
+  (void)unix_address(endpoint.path);
+  return endpoint;
+}
+
+Socket listen_on(Endpoint& endpoint, int backlog) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    Socket s{::socket(AF_UNIX, SOCK_STREAM, 0)};
+    if (!s.valid()) raise_errno("socket(AF_UNIX)");
+    const sockaddr_un addr = unix_address(endpoint.path);
+    ::unlink(endpoint.path.c_str());  // stale socket from a dead server
+    if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      raise_errno("bind(" + endpoint.path + ")");
+    }
+    if (::listen(s.fd(), backlog) != 0) raise_errno("listen");
+    return s;
+  }
+
+  Socket s{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!s.valid()) raise_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = tcp_address(endpoint, /*for_listen=*/true);
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    raise_errno("bind(" + endpoint.to_string() + ")");
+  }
+  if (::listen(s.fd(), backlog) != 0) raise_errno("listen");
+  if (endpoint.port == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      raise_errno("getsockname");
+    }
+    endpoint.port = ntohs(bound.sin_port);
+  }
+  return s;
+}
+
+Socket connect_to(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    Socket s{::socket(AF_UNIX, SOCK_STREAM, 0)};
+    if (!s.valid()) raise_errno("socket(AF_UNIX)");
+    const sockaddr_un addr = unix_address(endpoint.path);
+    if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      raise_errno("connect(" + endpoint.path + ")");
+    }
+    return s;
+  }
+  Socket s{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!s.valid()) raise_errno("socket(AF_INET)");
+  const sockaddr_in addr = tcp_address(endpoint, /*for_listen=*/false);
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    raise_errno("connect(" + endpoint.to_string() + ")");
+  }
+  return s;
+}
+
+Socket accept_on(Socket& listener) {
+  while (true) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket{fd};
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL: the stop path closed or shut down the listener under
+    // us. ECONNABORTED: the peer gave up; keep serving others.
+    if (errno == ECONNABORTED) continue;
+    if (errno == EBADF || errno == EINVAL) return Socket{};
+    raise_errno("accept");
+  }
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+LineReader::Status LineReader::read_line(std::string& out) {
+  out.clear();
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      if (newline > max_line_) return Status::kOverflow;
+      out.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return Status::kLine;
+    }
+    if (buffer_.size() > max_line_) return Status::kOverflow;
+    if (eof_) return buffer_.empty() ? Status::kEof : Status::kTruncated;
+
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      out = std::strerror(errno);
+      return Status::kError;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace hp::serve

@@ -1,0 +1,126 @@
+// Thin POSIX socket layer for the analysis server: RAII fds, endpoint
+// parsing (Unix-domain and TCP), and a bounded line reader implementing
+// the newline-delimited framing of serve/protocol.hpp.
+//
+// Everything here is transport only -- no protocol knowledge beyond the
+// frame-size cap the reader enforces, so oversized lines are rejected
+// in O(cap) bytes before a parser ever sees them.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace hp::serve {
+
+/// Error thrown on socket-level failures (bind, connect, accept, short
+/// writes). Protocol violations use hp::ParseError instead.
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Move-only owner of one file descriptor.
+///
+/// The fd is atomic because the server's stop path calls
+/// shutdown_read()/shutdown_both() from another thread while the owning
+/// connection thread may be close()ing concurrently: close() publishes
+/// -1 before releasing the fd, so a racing shutdown either reaches the
+/// still-open fd (the half-close we want) or no-ops. Moves are NOT
+/// thread-safe; only close-vs-shutdown is.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_.load(std::memory_order_acquire); }
+  bool valid() const { return fd() >= 0; }
+  void close();
+
+  /// shutdown(SHUT_RD): the peer's reads of us still work, our reader
+  /// sees EOF. The server's graceful drain uses this -- in-flight
+  /// requests finish and their replies still go out.
+  void shutdown_read();
+  /// shutdown(SHUT_RDWR): unblock any thread sitting in accept/recv.
+  void shutdown_both();
+
+ private:
+  /// Detach and return the fd (-1 if already closed/moved-from).
+  int release() { return fd_.exchange(-1, std::memory_order_acq_rel); }
+
+  std::atomic<int> fd_{-1};
+};
+
+/// Where a server listens / a client connects.
+///
+/// Text form (CLI --socket flag, recorded sessions):
+///   unix:/tmp/hp.sock   Unix-domain stream socket (also bare "/path")
+///   tcp:127.0.0.1:7077  IPv4 TCP; host may be empty for "any" (listen)
+///                       or loopback (connect); port 0 = ephemeral
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;            ///< Unix socket path
+  std::string host;            ///< TCP numeric IPv4 host, may be empty
+  std::uint16_t port = 0;      ///< TCP port
+
+  std::string to_string() const;
+};
+
+/// Parse the text form above. Throws hp::InvalidInputError on a bad
+/// spec (empty, over-long Unix path, non-numeric port, ...).
+Endpoint parse_endpoint(const std::string& spec);
+
+/// Bind + listen. For Unix endpoints a stale socket file is unlinked
+/// first. Returns the listening socket; for tcp port 0 the chosen
+/// ephemeral port is written back into `endpoint`. Throws SocketError.
+Socket listen_on(Endpoint& endpoint, int backlog = 64);
+
+/// Connect to a listening endpoint. Throws SocketError.
+Socket connect_to(const Endpoint& endpoint);
+
+/// Accept one connection. Returns an invalid Socket when the listener
+/// was closed/shut down (the server's stop path); throws SocketError on
+/// other failures.
+Socket accept_on(Socket& listener);
+
+/// Write the whole buffer (MSG_NOSIGNAL; EINTR retried). Returns false
+/// if the peer vanished mid-write.
+bool write_all(int fd, const std::string& data);
+
+/// Buffered reader of newline-terminated frames with a hard per-line
+/// byte cap. Never blocks longer than the underlying fd does.
+class LineReader {
+ public:
+  explicit LineReader(int fd, std::size_t max_line = proto::kMaxFrameBytes)
+      : fd_(fd), max_line_(max_line) {}
+
+  enum class Status {
+    kLine,       ///< `out` holds one frame (newline stripped)
+    kEof,        ///< clean close at a frame boundary
+    kTruncated,  ///< close mid-frame (partial line discarded)
+    kOverflow,   ///< frame exceeded max_line; connection unusable
+    kError,      ///< recv failed (errno message in `out`)
+  };
+
+  Status read_line(std::string& out);
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace hp::serve

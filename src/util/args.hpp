@@ -26,6 +26,11 @@ class Args {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Every parsed flag (name -> raw value). For forwarding layers: the
+  /// analysis-server query client relays unconsumed CLI flags onto the
+  /// wire as request args.
+  const std::map<std::string, std::string>& flags() const { return flags_; }
+
   /// Name of the executable (argv[0]).
   const std::string& program() const { return program_; }
 
