@@ -15,8 +15,17 @@
 // (overlap decrements, containment probes, peel rounds) are exported on
 // the Cellzome runs so the paper's O(|E| (Delta_2,F + Delta_V log
 // Delta_2,F)) bound is empirically visible.
+// Frontier ablation mode (scripts/ci.sh): invoked with --quick/--json,
+// the binary skips google-benchmark and instead times the frontier
+// peeling engine against the legacy scan-and-stamp engine on a scaled
+// Cellzome surrogate (--proteins, >= 10^6 in CI), self-checking that
+// both engines produce bit-identical decompositions before any timing,
+// and writes BENCH_kcore.json for the >= 2x speedup gate at 16 threads.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -24,7 +33,10 @@
 #include "core/kcore.hpp"
 #include "core/kcore_naive.hpp"
 #include "core/kcore_parallel.hpp"
+#include "par/thread_pool.hpp"
+#include "util/args.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -276,6 +288,133 @@ void BM_KCoreCellzomeParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_KCoreCellzomeParallel);
 
+// --- Frontier-vs-stamp ablation (scripts/ci.sh mode) -----------------
+
+bool bit_identical(const hp::hyper::HyperCoreResult& a,
+                   const hp::hyper::HyperCoreResult& b) {
+  return a.max_core == b.max_core && a.vertex_core == b.vertex_core &&
+         a.edge_core == b.edge_core && a.in_reduced == b.in_reduced &&
+         a.level_vertices == b.level_vertices &&
+         a.level_edges == b.level_edges;
+}
+
+template <typename Fn>
+double best_seconds(int reps, const Fn& fn) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    hp::Timer timer;
+    benchmark::DoNotOptimize(fn());
+    const double s = timer.seconds();
+    if (i == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+int run_frontier_ablation(const hp::Args& args) {
+  const hp::index_t proteins =
+      static_cast<hp::index_t>(args.get_int("proteins", 1000000));
+  const bool quick = args.get_bool("quick", false);
+  const std::string json_path = args.get("json", "");
+  const int reps = quick ? 2 : 3;
+
+  std::printf("=== k-core frontier ablation: %d pool lanes, %d hardware ===\n",
+              hp::par::ThreadPool::global().thread_count(),
+              hp::par::hardware_threads());
+
+  // Self-check 1 (paper scale, both disciplines): sequential and
+  // parallel frontier engines must be bit-identical to their scan
+  // twins before any timing is trusted.
+  {
+    const auto& h = cellzome();
+    if (!bit_identical(hp::hyper::core_decomposition(h),
+                       hp::hyper::core_decomposition_scan(h))) {
+      std::fprintf(stderr, "frontier ablation: sequential frontier and scan "
+                           "engines disagree on the Cellzome surrogate\n");
+      return 1;
+    }
+    if (!bit_identical(hp::hyper::core_decomposition_parallel(h),
+                       hp::hyper::core_decomposition_parallel_scan(h))) {
+      std::fprintf(stderr, "frontier ablation: parallel frontier and scan "
+                           "engines disagree on the Cellzome surrogate\n");
+      return 1;
+    }
+  }
+
+  // The gate workload: a scaled surrogate where per-round |V| rescans
+  // dominate the legacy engine.
+  hp::bio::CellzomeParams params = hp::bio::scaled_cellzome_params(proteins);
+  const hp::hyper::Hypergraph big =
+      hp::bio::cellzome_surrogate(params).hypergraph;
+  std::printf("scaled surrogate: |V| = %llu, |F| = %llu, |pins| = %llu\n",
+              static_cast<unsigned long long>(big.num_vertices()),
+              static_cast<unsigned long long>(big.num_edges()),
+              static_cast<unsigned long long>(big.num_pins()));
+
+  // Self-check 2 (gate scale): one full run per engine, compared
+  // bit-for-bit.
+  {
+    const auto frontier = hp::hyper::core_decomposition_parallel(big);
+    const auto scan = hp::hyper::core_decomposition_parallel_scan(big);
+    if (!bit_identical(frontier, scan)) {
+      std::fprintf(stderr, "frontier ablation: engines disagree on the "
+                           "scaled surrogate -- refusing to time\n");
+      return 1;
+    }
+    std::printf("self-check ok: engines bit-identical (max_core = %u)\n",
+                static_cast<unsigned>(frontier.max_core));
+  }
+
+  hp::hyper::PeelStats frontier_stats;
+  const double frontier_seconds = best_seconds(reps, [&] {
+    return hp::hyper::core_decomposition_parallel(big, 0, &frontier_stats);
+  });
+  hp::hyper::PeelStats scan_stats;
+  const double scan_seconds = best_seconds(reps, [&] {
+    return hp::hyper::core_decomposition_parallel_scan(big, 0, &scan_stats);
+  });
+  const double speedup =
+      frontier_seconds > 0.0 ? scan_seconds / frontier_seconds : 0.0;
+
+  std::printf("scan-and-stamp: %.3fs   frontier: %.3fs   speedup: %.2fx\n",
+              scan_seconds, frontier_seconds, speedup);
+  std::printf("frontier pushes: %llu   wasted: %llu\n",
+              static_cast<unsigned long long>(frontier_stats.frontier_pushes),
+              static_cast<unsigned long long>(frontier_stats.frontier_wasted));
+
+  if (!json_path.empty()) {
+    std::ofstream out{json_path};
+    out << "{\n  \"benchmark\": \"bench_micro_kcore\",\n"
+        << "  \"hardware_threads\": " << hp::par::hardware_threads() << ",\n"
+        << "  \"pool_lanes\": "
+        << hp::par::ThreadPool::global().thread_count() << ",\n"
+        << "  \"proteins\": " << proteins << ",\n"
+        << "  \"num_vertices\": " << big.num_vertices() << ",\n"
+        << "  \"num_edges\": " << big.num_edges() << ",\n"
+        << "  \"self_check\": true,\n"
+        << "  \"scan_seconds\": " << scan_seconds << ",\n"
+        << "  \"frontier_seconds\": " << frontier_seconds << ",\n"
+        << "  \"frontier_speedup\": " << speedup << ",\n"
+        << "  \"frontier_pushes\": " << frontier_stats.frontier_pushes
+        << ",\n"
+        << "  \"frontier_wasted\": " << frontier_stats.frontier_wasted
+        << "\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --quick/--json select the ablation mode used by scripts/ci.sh;
+  // without them this is a normal google-benchmark binary.
+  const hp::Args args{argc, argv};
+  if (args.get_bool("quick", false) || !args.get("json", "").empty()) {
+    return run_frontier_ablation(args);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -42,6 +42,32 @@ else:
           f"(< 8 threads, 3x gate skipped)")
 EOF
 
+echo "=== frontier peeling ablation bench (quick) ==="
+HP_THREADS=16 "${prefix}/bench/bench_micro_kcore" --quick --proteins 1000000 \
+  --json "${root}/BENCH_kcore.json"
+python3 - "${root}/BENCH_kcore.json" <<'EOF'
+import json, sys
+
+bench = json.load(open(sys.argv[1]))
+hw = bench["hardware_threads"]
+speedup = bench["frontier_speedup"]
+# The binary exits nonzero before timing if the engines disagree; the
+# flag is recorded so a stale JSON can never pass the gate.
+assert bench["self_check"], "frontier/scan engines disagreed before timing"
+assert bench["num_vertices"] >= 1000000, "surrogate below gate scale"
+# Like the BFS gate: only gate the speedup when real hardware threads
+# back the 16 lanes; on the 1-2 core CI fallback record but don't gate.
+if hw >= 8:
+    assert speedup >= 2.0, \
+        f"frontier peel speedup {speedup:.2f}x < 2x over scan-and-stamp " \
+        f"on {hw} threads"
+    print(f"kcore bench ok: {speedup:.2f}x frontier speedup on {hw} threads "
+          f"(gate: >= 2x)")
+else:
+    print(f"kcore bench ok: {speedup:.2f}x frontier speedup on {hw} threads "
+          f"(< 8 threads, 2x gate skipped)")
+EOF
+
 echo "=== mutable pipeline ablation bench (quick) ==="
 "${prefix}/bench/bench_micro_mutate" --quick --json "${root}/BENCH_mutate.json"
 python3 - "${root}/BENCH_mutate.json" <<'EOF'
@@ -335,7 +361,7 @@ cmake --build "${prefix}-tsan" -j
 # HP_THREADS=4 forces a real multi-worker pool even on 1-2 core CI
 # machines, so TSan sees genuine cross-thread interleavings in the
 # deques, the parallel kcore/BFS/fuzz paths, and the prefetch fan-out.
-HP_THREADS=4 "${prefix}-tsan/tests/unit_tests" --gtest_filter='*Par*:*par*:TaskGroup*:ThreadPool*:LaneLimit*:Oversubscription*:Determinism*:ParallelKCore*:KCoreEquivalence*:Invariants*:Mutate*:ServeTest*:ContextPool*'
+HP_THREADS=4 "${prefix}-tsan/tests/unit_tests" --gtest_filter='*Par*:*par*:TaskGroup*:ThreadPool*:LaneLimit*:Oversubscription*:Determinism*:ParallelKCore*:KCoreEquivalence*:FrontierPeel*:Seeds/FrontierPeel*:Invariants*:Mutate*:ServeTest*:ContextPool*'
 # The fuzz smoke again runs the 1000-sequence mutation differential,
 # here with a real multi-worker pool under the rebuild tier's builds.
 HP_THREADS=4 "${prefix}-tsan/src/cli/hp_fuzz" --seed-range 0:1000 \

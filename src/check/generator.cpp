@@ -250,6 +250,37 @@ Hypergraph sparse_instance(Rng& rng, const GenOptions& o) {
   return builder.build();
 }
 
+Hypergraph duplicate_chain_instance(Rng& rng, const GenOptions& o) {
+  // Worst case for the reduction fixpoint: a nested prefix chain where
+  // every prefix is additionally repeated verbatim several times, so
+  // almost every edge is non-maximal and the doomed set is nearly |F|.
+  // A fixpoint that re-derives its candidates by rescanning all live
+  // edges goes quadratic here; the neighborhood-seeded one stays linear
+  // in the doomed edges' incidence. Also leans hard on the
+  // lowest-id-representative rule across duplicate classes.
+  const index_t nv = std::min<index_t>(
+      2 + pick_count(rng, o.max_vertices > 2 ? o.max_vertices - 2
+                                             : index_t{1}),
+      std::max<index_t>(o.max_vertices, 1));
+  std::vector<index_t> chain(nv);
+  for (index_t v = 0; v < nv; ++v) chain[v] = v;
+  rng.shuffle(chain);
+  const index_t depth_cap = std::max<index_t>(
+      1, std::min({nv, index_t{8}, o.max_edge_size, o.max_edges}));
+  const index_t depth = 1 + pick_count(rng, depth_cap - 1);
+  HypergraphBuilder builder{nv};
+  index_t budget = std::max<index_t>(o.max_edges, 1);
+  for (index_t take = 1; take <= depth && budget > 0; ++take) {
+    const index_t copies = std::min<index_t>(
+        1 + static_cast<index_t>(rng.uniform(4)), budget);
+    for (index_t c = 0; c < copies; ++c) {
+      builder.add_edge(std::span<const index_t>{chain.data(), take});
+    }
+    budget -= copies;
+  }
+  return builder.build();
+}
+
 }  // namespace
 
 Hypergraph generate_shape(Shape shape, Rng& rng, const GenOptions& options) {
@@ -270,6 +301,8 @@ Hypergraph generate_shape(Shape shape, Rng& rng, const GenOptions& options) {
       return singletons_instance(rng, options);
     case Shape::kSparse:
       return sparse_instance(rng, options);
+    case Shape::kDuplicateChain:
+      return duplicate_chain_instance(rng, options);
   }
   return Hypergraph{};
 }
@@ -296,6 +329,8 @@ const char* shape_name(Shape shape) {
       return "singletons";
     case Shape::kSparse:
       return "sparse";
+    case Shape::kDuplicateChain:
+      return "duplicate_chain";
   }
   return "unknown";
 }

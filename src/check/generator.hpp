@@ -33,9 +33,12 @@ enum class Shape {
   kPowerLaw,        ///< zipf member choice: heavy-degree hubs
   kSingletons,      ///< size-1 edges and isolated vertices
   kSparse,          ///< |F| << |V|: mostly isolated vertices
+  kDuplicateChain,  ///< long runs of duplicates of nested prefixes --
+                    ///< the adversarial regime for the reduction
+                    ///< fixpoint (quadratic if it rescans all edges)
 };
 
-inline constexpr int kNumShapes = 8;
+inline constexpr int kNumShapes = 9;
 
 /// Size envelope for generated instances. The defaults keep the
 /// O(|F|^2) naive oracle affordable at thousands of cases per second.

@@ -65,6 +65,23 @@ void diff_cores(const hyper::HyperCoreResult& a,
   }
 }
 
+/// Stricter comparison for same-discipline engine pairs (frontier vs
+/// legacy scan seeding): those are required to be fully bit-identical,
+/// including the edge representative choice and the reduction mask.
+void diff_cores_exact(const hyper::HyperCoreResult& a,
+                      const hyper::HyperCoreResult& b, const char* label,
+                      std::vector<CheckFailure>& failures) {
+  diff_cores(a, b, label, failures);
+  if (a.edge_core != b.edge_core) {
+    fail(failures, "core_agreement",
+         std::string{label} + ": edge core numbers differ");
+  }
+  if (a.in_reduced != b.in_reduced) {
+    fail(failures, "core_agreement",
+         std::string{label} + ": reduction masks differ");
+  }
+}
+
 }  // namespace
 
 bool same_structure(const Hypergraph& a, const Hypergraph& b) {
@@ -92,8 +109,14 @@ void check_core_agreement(const Hypergraph& h, bool with_naive,
   if (with_naive) {
     diff_cores(fast, hyper::core_decomposition_naive(h), "naive", failures);
   }
-  diff_cores(fast, hyper::core_decomposition_parallel(h), "parallel",
-             failures);
+  const hyper::HyperCoreResult parallel = hyper::core_decomposition_parallel(h);
+  diff_cores(fast, parallel, "parallel", failures);
+  // Frontier engines vs their legacy scan-seeded twins: these share the
+  // cascade code and must agree on every byte of the result.
+  diff_cores_exact(fast, hyper::core_decomposition_scan(h), "frontier-vs-scan",
+                   failures);
+  diff_cores_exact(parallel, hyper::core_decomposition_parallel_scan(h),
+                   "par-frontier-vs-scan", failures);
 
   // Level counts must match the per-vertex representation, and cores
   // are nested, so the counts are non-increasing in k.

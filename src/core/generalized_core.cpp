@@ -1,8 +1,8 @@
 #include "core/generalized_core.hpp"
 
 #include <algorithm>
-#include <queue>
 
+#include "core/peel/frontier.hpp"
 #include "core/peel/residual.hpp"
 
 namespace hp::hyper {
@@ -57,15 +57,6 @@ struct MeasurePolicy {
   }
 };
 
-struct HeapEntry {
-  double key;
-  index_t vertex;
-  bool operator>(const HeapEntry& other) const {
-    if (key != other.key) return key > other.key;
-    return vertex > other.vertex;
-  }
-};
-
 /// Remove v on the substrate and return the live vertices whose measure
 /// may have changed (the live co-members of v's edges).
 std::vector<index_t> remove_vertex(ResidualHypergraph& residual,
@@ -98,44 +89,54 @@ std::vector<double> measure_values(const Hypergraph& h,
 }
 
 GeneralizedCoreResult generalized_core(const Hypergraph& h,
-                                       CoreMeasure measure) {
+                                       CoreMeasure measure,
+                                       PeelStats* stats) {
   GeneralizedCoreResult result;
   const index_t n = h.num_vertices();
   result.value.assign(n, 0.0);
   if (n == 0) return result;
 
+  PeelStats local;
   ResidualHypergraph residual{h};
+  residual.bind_stats(&local);
   const MeasurePolicy policy{h, residual, measure};
   std::vector<double> current(n);
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                      std::greater<HeapEntry>>
-      heap;
+  // Same frontier discipline as the k-core engine, in measure space:
+  // the shared lazy-deletion heap skips stale snapshots at pop time
+  // (counted as frontier_wasted) instead of locating entries to update,
+  // and pushes only vertices whose measure actually changed. Selection
+  // order is bit-identical to the historical hand-rolled heap -- same
+  // comparator, same tie-break, same staleness rule.
+  LazyPeelHeap heap{&local};
   for (index_t v = 0; v < n; ++v) {
     current[v] = policy.evaluate(v);
-    heap.push({current[v], v});
+    heap.push(v, current[v]);
   }
 
   double running_max = 0.0;
   while (residual.live_vertices() > 0) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    if (!residual.vertex_alive(top.vertex) ||
-        top.key != current[top.vertex]) {
-      continue;  // stale entry; a fresher one is in the heap
-    }
-    const index_t v = top.vertex;
+    const index_t v = heap.pop_min(
+        [&](index_t w) { return current[w]; },
+        [&](index_t w) { return residual.vertex_alive(w); });
+    if (v == kInvalidIndex) break;  // unreachable: live vertices remain
     running_max = std::max(running_max, current[v]);
     result.value[v] = running_max;
     for (index_t w : remove_vertex(residual, v)) {
       const double fresh = policy.evaluate(w);
       if (fresh != current[w]) {
         current[w] = fresh;
-        heap.push({fresh, w});
+        heap.push(w, fresh);
       }
     }
   }
   result.max_value = running_max;
+  if (stats != nullptr) *stats += local;
   return result;
+}
+
+GeneralizedCoreResult generalized_core(const Hypergraph& h,
+                                       CoreMeasure measure) {
+  return generalized_core(h, measure, nullptr);
 }
 
 std::vector<index_t> GeneralizedCoreResult::core_vertices(double t) const {

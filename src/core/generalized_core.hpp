@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/hypergraph.hpp"
+#include "core/peel/peel_stats.hpp"
 
 namespace hp::hyper {
 
@@ -45,9 +46,16 @@ struct GeneralizedCoreResult {
 /// Min-first generalized peeling: repeatedly remove the vertex with the
 /// smallest current measure; the running maximum of removal measures is
 /// each vertex's core value (the standard generalized-core algorithm).
-/// O(|E| * Delta_V + |V| log |V|)-ish with a lazy heap.
+/// O(|E| * Delta_V + |V| log |V|)-ish with a lazy heap (the shared
+/// instrumented LazyPeelHeap from core/peel/frontier.hpp).
 GeneralizedCoreResult generalized_core(const Hypergraph& h,
                                        CoreMeasure measure);
+
+/// Instrumented variant: substrate deletions plus the lazy heap's
+/// frontier_pushes / frontier_wasted accumulate into `*stats`.
+GeneralizedCoreResult generalized_core(const Hypergraph& h,
+                                       CoreMeasure measure,
+                                       PeelStats* stats);
 
 /// Evaluate the measure of every vertex on the intact hypergraph
 /// (exposed for tests and for ranking reports).

@@ -1,7 +1,9 @@
 #include "core/kcore.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "core/peel/frontier.hpp"
 #include "core/peel/peel.hpp"
 #include "obs/trace.hpp"
 
@@ -29,14 +31,29 @@ namespace {
 /// top of the shared substrate: the substrate owns alive masks, residual
 /// degrees/sizes and core stamping; this class owns only the work queue
 /// and the threshold rule.
+///
+/// Two frontier disciplines share the cascade:
+///   * kFrontier (default) -- level seeds come from lazy degree buckets
+///     (FrontierBuckets): every degree drop during the peel pushes a
+///     (vertex, new-degree) hint, and entering level k drains buckets
+///     0..k-1, so seeding costs O(degree drops) over the whole run.
+///   * kScan (legacy, kept as the differential-testing oracle) -- each
+///     level rescans all |V| vertices for degree < k.
+/// Both produce bit-identical results: after level k-1 every live
+/// vertex has degree >= k-1, so a level-k seed has degree exactly k-1
+/// and therefore an undrained entry in bucket k-1 (its last drop, or
+/// its initial fill); draining, filtering stale entries and sorting
+/// ascending reproduces the scan's seed order, and the in-level LIFO
+/// cascade is byte-for-byte the same code.
 class OverlapPeeler {
  public:
   OverlapPeeler(const Hypergraph& h, HyperCoreResult& result,
-                PeelStats& stats)
+                PeelStats& stats, PeelEngine engine)
       : h_(h),
         residual_(h),
         overlaps_(h),
         stats_(stats),
+        engine_(engine),
         in_queue_(h.num_vertices(), false) {
     residual_.bind_stats(&stats);
     residual_.bind_cores(&result.vertex_core, &result.edge_core);
@@ -59,16 +76,53 @@ class OverlapPeeler {
     }
   }
 
+  /// Build the frontier bucket queue from post-reduction degrees (one
+  /// initial-fill push per vertex; every later degree drop adds one
+  /// more). Reduction only deletes edges, so all vertices are live.
+  /// No-op for the scan engine.
+  void prepare_frontier() {
+    if (engine_ != PeelEngine::kFrontier) return;
+    index_t max_degree = 0;
+    for (index_t v = 0; v < h_.num_vertices(); ++v) {
+      max_degree = std::max(max_degree, residual_.vertex_degree(v));
+    }
+    buckets_.emplace(max_degree, &stats_);
+    for (index_t v = 0; v < h_.num_vertices(); ++v) {
+      buckets_->push(v, residual_.vertex_degree(v));
+    }
+  }
+
   /// Peel at level k: repeatedly remove vertices of residual degree < k,
   /// cascading edge deletions, until every live vertex has degree >= k.
   /// Removed items are stamped with core number k - 1 by the substrate.
   void peel(index_t k) {
     residual_.set_peel_level(k);
     ++stats_.peel_rounds;
-    // Seed the work queue with all sub-threshold live vertices.
-    for (index_t v = 0; v < h_.num_vertices(); ++v) {
-      if (residual_.vertex_alive(v) && residual_.vertex_degree(v) < k) {
-        enqueue(v);
+    if (engine_ == PeelEngine::kFrontier) {
+      // Seeds = stale-filtered drain of buckets 0..k-1, sorted ascending
+      // to reproduce the scan's seed order exactly (the LIFO cascade
+      // then processes the highest-id seed first, as before).
+      HP_TRACE_SPAN("peel.frontier", k);
+      seeds_.clear();
+      buckets_->drain_below(
+          k,
+          [&](index_t v) {
+            if (!residual_.vertex_alive(v) || in_queue_[v]) return false;
+            in_queue_[v] = true;
+            return true;
+          },
+          seeds_);
+      std::sort(seeds_.begin(), seeds_.end());
+      for (index_t v : seeds_) {
+        queue_.push_back(v);
+        stats_.note_queue_length(queue_.size());
+      }
+    } else {
+      // Legacy discipline: full vertex scan for sub-threshold seeds.
+      for (index_t v = 0; v < h_.num_vertices(); ++v) {
+        if (residual_.vertex_alive(v) && residual_.vertex_degree(v) < k) {
+          enqueue(v);
+        }
       }
     }
     while (!queue_.empty()) {
@@ -106,7 +160,13 @@ class OverlapPeeler {
       if (!residual_.edge_alive(f)) continue;  // deleted earlier here
       if (find_container(residual_, overlaps_, f, &stats_) != kInvalidIndex) {
         residual_.erase_edge(f, [&](index_t w, index_t degree) {
-          if (degree < k) enqueue(w);
+          if (degree < k) {
+            enqueue(w);
+          } else if (engine_ == PeelEngine::kFrontier) {
+            // Still above threshold: remember the drop as a lazy hint
+            // for the level that will eventually reach this degree.
+            buckets_->push(w, degree);
+          }
         });
       }
     }
@@ -116,25 +176,31 @@ class OverlapPeeler {
   ResidualHypergraph residual_;
   FlatOverlapTracker overlaps_;
   PeelStats& stats_;
+  PeelEngine engine_;
+  std::optional<FrontierBuckets> buckets_;
   std::vector<bool> in_queue_;
   std::vector<index_t> queue_;
+  std::vector<index_t> seeds_;
   std::vector<index_t> touched_;
 };
 
-}  // namespace
-
-HyperCoreResult core_decomposition(const Hypergraph& h, PeelStats* stats) {
+/// Shared driver for both sequential engines; only the seed discipline
+/// differs inside OverlapPeeler.
+HyperCoreResult core_decomposition_impl(const Hypergraph& h,
+                                        PeelStats* stats,
+                                        PeelEngine engine) {
   HP_TRACE_SPAN("kcore.decomposition");
   HyperCoreResult result;
   result.vertex_core.assign(h.num_vertices(), 0);
   result.edge_core.assign(h.num_edges(), 0);
 
   PeelStats local;
-  OverlapPeeler peeler{h, result, local};
+  OverlapPeeler peeler{h, result, local, engine};
   {
     HP_TRACE_SPAN("kcore.initial_reduction");
     peeler.initial_reduction();
   }
+  peeler.prepare_frontier();
 
   // level 0 = reduced input.
   result.level_vertices.push_back(peeler.residual().live_vertices());
@@ -171,8 +237,19 @@ HyperCoreResult core_decomposition(const Hypergraph& h, PeelStats* stats) {
   return result;
 }
 
+}  // namespace
+
+HyperCoreResult core_decomposition(const Hypergraph& h, PeelStats* stats) {
+  return core_decomposition_impl(h, stats, PeelEngine::kFrontier);
+}
+
 HyperCoreResult core_decomposition(const Hypergraph& h) {
   return core_decomposition(h, nullptr);
+}
+
+HyperCoreResult core_decomposition_scan(const Hypergraph& h,
+                                        PeelStats* stats) {
+  return core_decomposition_impl(h, stats, PeelEngine::kScan);
 }
 
 SubHypergraph extract_core(const Hypergraph& h, const HyperCoreResult& d,

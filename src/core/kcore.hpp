@@ -55,13 +55,24 @@ struct HyperCoreResult {
   std::vector<index_t> core_edges(index_t k) const;
 };
 
-/// Full core decomposition via the overlap-maintaining peel.
+/// Full core decomposition via the overlap-maintaining peel. Level
+/// seeds come from the lazy degree-bucket frontier engine
+/// (core/peel/frontier.hpp), so each level costs O(degree drops)
+/// instead of an O(|V|) rescan.
 HyperCoreResult core_decomposition(const Hypergraph& h);
 
 /// Instrumented variant: substrate counters (overlap decrements,
-/// containment probes, cascades, rounds, peak queue) are accumulated
-/// into `*stats` when non-null.
+/// containment probes, cascades, rounds, peak queue, frontier
+/// pushes/wasted) are accumulated into `*stats` when non-null.
 HyperCoreResult core_decomposition(const Hypergraph& h, PeelStats* stats);
+
+/// Legacy scan-and-stamp engine: identical cascade, but every level
+/// rescans all |V| vertices for sub-threshold seeds. Kept as the
+/// differential-testing oracle for the frontier engine -- results are
+/// bit-identical (vertex_core, edge_core, levels, in_reduced) on every
+/// input; only the seeding cost differs.
+HyperCoreResult core_decomposition_scan(const Hypergraph& h,
+                                        PeelStats* stats = nullptr);
 
 /// Extract the k-core as a standalone hypergraph (residual hyperedges
 /// restricted to core vertices), with id maps back to the input.

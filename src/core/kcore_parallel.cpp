@@ -1,8 +1,10 @@
 #include "core/kcore_parallel.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
+#include "core/peel/frontier.hpp"
 #include "core/peel/peel.hpp"
 #include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
@@ -10,6 +12,10 @@
 namespace hp::hyper {
 
 namespace {
+
+/// Chunk size for the bulk erase phases: each item does degree(v) /
+/// size(f) work, so a few dozen amortize the chunk-claim fetch_add.
+constexpr index_t kEraseGrain = 32;
 
 /// Delete a batch of doomed edges on the substrate (stamping and degree
 /// maintenance are the substrate's job; this is pure policy glue).
@@ -20,11 +26,30 @@ void delete_edges(ResidualHypergraph& residual,
   }
 }
 
-}  // namespace
+/// Sort + unique a frontier candidate list in place, charging dropped
+/// duplicates to frontier_wasted. Determinism: the surviving order is
+/// ascending regardless of which lane produced which entry.
+void sort_unique_frontier(std::vector<index_t>& frontier, PeelStats& stats) {
+  std::sort(frontier.begin(), frontier.end());
+  const auto last = std::unique(frontier.begin(), frontier.end());
+  stats.frontier_wasted +=
+      static_cast<count_t>(frontier.end() - last);
+  frontier.erase(last, frontier.end());
+}
 
-HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
-                                            int num_threads,
-                                            PeelStats* stats) {
+/// Shared driver for both bulk-synchronous engines. The scan engine
+/// re-derives every round's frontier with an O(|V|) pass; the frontier
+/// engine maintains it from per-lane degree-drop bags (in-level) and
+/// lazy degree buckets (across levels), and erases frontiers/doomed
+/// batches in parallel with atomic counter decrements. Both are
+/// bit-identical in every output field: the round-1 frontier of level k
+/// is exactly {live v : degree < k} either way (every live vertex keeps
+/// a bucket entry at its current degree), later rounds' frontiers are
+/// exactly the vertices dropped below k by the previous round's edge
+/// deletions, and find_non_maximal is order-independent with a
+/// deterministic lowest-id tie-break.
+HyperCoreResult parallel_impl(const Hypergraph& h, int num_threads,
+                              PeelStats* stats, PeelEngine engine) {
   // Scoped lane cap instead of the old omp_set_num_threads, which
   // mutated process-wide state and oversubscribed under nesting; the
   // shared pool never spawns threads per call (DESIGN.md section 11).
@@ -40,26 +65,13 @@ HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
   residual.bind_stats(&local);
   residual.bind_cores(&result.vertex_core, &result.edge_core);
 
-  // Initial reduction: every edge is a containment candidate.
+  // Initial reduction: delete every non-maximal edge, re-seeding the
+  // verification sweep from doomed-edge neighborhoods (not a full
+  // rescan -- see erase_non_maximal for the fixpoint argument).
   {
     HP_TRACE_SPAN("kcore.initial_reduction");
     residual.set_peel_level(0);
-    std::vector<index_t> all_edges(h.num_edges());
-    for (index_t e = 0; e < h.num_edges(); ++e) all_edges[e] = e;
-    // Iterate to a fixpoint: deleting one duplicate representative can
-    // expose another containment only among remaining duplicates, and
-    // the id-tiebreak resolves whole equality classes in one pass, so a
-    // single pass suffices; we still loop defensively.
-    for (;;) {
-      const std::vector<index_t> doomed =
-          find_non_maximal(residual, all_edges, &local);
-      if (doomed.empty()) break;
-      delete_edges(residual, doomed);
-      all_edges.clear();
-      for (index_t e = 0; e < h.num_edges(); ++e) {
-        if (residual.edge_alive(e)) all_edges.push_back(e);
-      }
-    }
+    erase_non_maximal(residual, &local);
   }
 
   result.level_vertices.push_back(residual.live_vertices());
@@ -69,6 +81,29 @@ HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
     result.in_reduced[e] = residual.edge_alive(e) ? 1 : 0;
   }
 
+  // Frontier-engine state. Buckets are filled with post-reduction
+  // degrees (all vertices are live -- reduction deletes only edges);
+  // every subsequent drop to a still-above-threshold degree re-enters
+  // the buckets, so each level's seed drain is O(drops), not O(|V|).
+  const int lanes = par::ThreadPool::global().thread_count();
+  std::optional<FrontierBuckets> buckets;
+  std::optional<EpochStamps> edge_stamps;
+  std::optional<LaneDropBags> drop_bags;
+  std::vector<std::vector<index_t>> touched_bags;
+  if (engine == PeelEngine::kFrontier) {
+    index_t max_degree = 0;
+    for (index_t v = 0; v < h.num_vertices(); ++v) {
+      max_degree = std::max(max_degree, residual.vertex_degree(v));
+    }
+    buckets.emplace(max_degree, &local);
+    for (index_t v = 0; v < h.num_vertices(); ++v) {
+      buckets->push(v, residual.vertex_degree(v));
+    }
+    edge_stamps.emplace(h.num_edges());
+    drop_bags.emplace(lanes);
+    touched_bags.resize(static_cast<std::size_t>(lanes));
+  }
+
   // Core numbers are stamped by the substrate at deletion time; the
   // level loop only records populations (no survivor sweeps).
   std::vector<index_t> frontier;
@@ -76,23 +111,100 @@ HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
   for (index_t k = 1;; ++k) {
     HP_TRACE_SPAN("kcore.peel_level", k);
     residual.set_peel_level(k);
+    if (engine == PeelEngine::kFrontier) {
+      // Level seeds: drain buckets 0..k-1 and drop stale entries (dead
+      // vertices, duplicate hints). A live entry below k is genuinely
+      // sub-threshold -- degrees only shrink after the push.
+      HP_TRACE_SPAN("peel.frontier", k);
+      frontier.clear();
+      buckets->drain_below(
+          k, [&](index_t v) { return residual.vertex_alive(v); }, frontier);
+      sort_unique_frontier(frontier, local);
+    }
     // Cascade rounds within this level.
     for (;;) {
-      frontier.clear();
-      for (index_t v = 0; v < h.num_vertices(); ++v) {
-        if (residual.vertex_alive(v) && residual.vertex_degree(v) < k) {
-          frontier.push_back(v);
+      if (engine == PeelEngine::kScan) {
+        frontier.clear();
+        for (index_t v = 0; v < h.num_vertices(); ++v) {
+          if (residual.vertex_alive(v) && residual.vertex_degree(v) < k) {
+            frontier.push_back(v);
+          }
         }
       }
       if (frontier.empty()) break;
       ++local.peel_rounds;
       local.note_queue_length(frontier.size());
 
+      if (engine == PeelEngine::kScan) {
+        touched.clear();
+        for (index_t v : frontier) residual.erase_vertex(v, touched);
+        const std::vector<index_t> doomed =
+            find_non_maximal(residual, touched, &local);
+        delete_edges(residual, doomed);
+        continue;
+      }
+
+      // Phase A: erase the whole frontier in parallel. Vertices are
+      // disjoint per lane; edge sizes shrink atomically; the touched
+      // set is deduplicated via epoch stamps into per-lane bags (no
+      // edge-alive flag changes happen in this phase, so the alive
+      // reads are stable).
+      edge_stamps->next_epoch();
+      par::parallel_for(
+          0, static_cast<index_t>(frontier.size()), kEraseGrain,
+          [&](index_t chunk_begin, index_t chunk_end, int lane) {
+            std::vector<index_t>& bag =
+                touched_bags[static_cast<std::size_t>(lane)];
+            for (index_t i = chunk_begin; i < chunk_end; ++i) {
+              const index_t v = frontier[i];
+              residual.mark_vertex_dead_bulk(v);
+              for (index_t f : h.edges_of(v)) {
+                if (!residual.edge_alive(f)) continue;
+                residual.shrink_edge_atomic(f);
+                if (edge_stamps->claim(f)) bag.push_back(f);
+              }
+            }
+          });
+      residual.note_bulk_erase(static_cast<index_t>(frontier.size()), 0);
       touched.clear();
-      for (index_t v : frontier) residual.erase_vertex(v, touched);
+      for (std::vector<index_t>& bag : touched_bags) {
+        touched.insert(touched.end(), bag.begin(), bag.end());
+        bag.clear();
+      }
+
       const std::vector<index_t> doomed =
           find_non_maximal(residual, touched, &local);
-      delete_edges(residual, doomed);
+
+      // Phase B: delete the doomed edges in parallel, recording every
+      // degree drop in per-lane bags (vertex-alive flags are stable in
+      // this phase; degree decrements are atomic, and each decrement
+      // observes a distinct new value).
+      par::parallel_for(
+          0, static_cast<index_t>(doomed.size()), kEraseGrain,
+          [&](index_t chunk_begin, index_t chunk_end, int lane) {
+            for (index_t i = chunk_begin; i < chunk_end; ++i) {
+              const index_t f = doomed[i];
+              residual.mark_edge_dead_bulk(f);
+              for (index_t w : h.vertices_of(f)) {
+                if (!residual.vertex_alive(w)) continue;
+                drop_bags->record(lane, w, residual.drop_degree_atomic(w));
+              }
+            }
+          });
+      residual.note_bulk_erase(0, static_cast<index_t>(doomed.size()));
+
+      // Route the drops: below threshold feeds the next cascade round,
+      // everything else becomes a lazy bucket hint for future levels.
+      frontier.clear();
+      drop_bags->drain([&](index_t w, index_t degree) {
+        if (degree < k) {
+          ++local.frontier_pushes;
+          frontier.push_back(w);
+        } else {
+          buckets->push(w, degree);
+        }
+      });
+      sort_unique_frontier(frontier, local);
     }
     if (residual.live_vertices() == 0) {
       result.max_core = k - 1;
@@ -106,9 +218,23 @@ HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
   return result;
 }
 
+}  // namespace
+
+HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
+                                            int num_threads,
+                                            PeelStats* stats) {
+  return parallel_impl(h, num_threads, stats, PeelEngine::kFrontier);
+}
+
 HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
                                             int num_threads) {
   return core_decomposition_parallel(h, num_threads, nullptr);
+}
+
+HyperCoreResult core_decomposition_parallel_scan(const Hypergraph& h,
+                                                 int num_threads,
+                                                 PeelStats* stats) {
+  return parallel_impl(h, num_threads, stats, PeelEngine::kScan);
 }
 
 }  // namespace hp::hyper

@@ -10,6 +10,14 @@
 // (parallel over touched edges). Deterministic: for hyperedges whose
 // residual sets become identical within a round, the lowest id survives.
 //
+// Frontier maintenance: rounds no longer rescan |V| vertices. Level
+// seeds drain from lazy degree buckets, in-level rounds consume the
+// per-lane degree-drop bags the previous round's edge deletions
+// produced, and the bulk erase phases run on the pool with atomic
+// counter decrements plus epoch-stamped touched-edge dedupe
+// (core/peel/frontier.hpp). The legacy rescan loop survives as
+// core_decomposition_parallel_scan, the differential-testing oracle.
+//
 // The result is bit-identical to core_decomposition() in vertex core
 // numbers, maximum core, and per-level sizes; edge representative choice
 // among equal residual sets may differ (see kcore.hpp).
@@ -32,5 +40,13 @@ HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
 HyperCoreResult core_decomposition_parallel(const Hypergraph& h,
                                             int num_threads,
                                             PeelStats* stats);
+
+/// Legacy scan-and-stamp bulk-synchronous engine: every cascade round
+/// re-derives the frontier with an O(|V|) scan. Kept as the
+/// differential-testing oracle for the frontier engine; outputs are
+/// fully bit-identical (including edge_core and in_reduced).
+HyperCoreResult core_decomposition_parallel_scan(const Hypergraph& h,
+                                                 int num_threads = 0,
+                                                 PeelStats* stats = nullptr);
 
 }  // namespace hp::hyper

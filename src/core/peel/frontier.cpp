@@ -1,0 +1,62 @@
+#include "core/peel/frontier.hpp"
+
+#include <atomic>
+
+#include "core/peel/containment.hpp"
+
+namespace hp::hyper {
+
+EpochStamps::EpochStamps(index_t size)
+    : stamps_(static_cast<std::size_t>(size), 0) {
+  // Epoch 0 is the initial stamp value; start handing out epoch 1 so the
+  // first round's claims are distinguishable without clearing.
+  epoch_ = 1;
+}
+
+bool EpochStamps::claim(index_t item) {
+  std::atomic_ref<std::uint64_t> stamp{stamps_[item]};
+  return stamp.exchange(epoch_, std::memory_order_relaxed) != epoch_;
+}
+
+index_t erase_non_maximal(ResidualHypergraph& residual, PeelStats* stats) {
+  const Hypergraph& h = residual.base();
+  std::vector<index_t> candidates(h.num_edges());
+  for (index_t e = 0; e < h.num_edges(); ++e) candidates[e] = e;
+
+  index_t erased = 0;
+  std::vector<char> queued;  // sized lazily: most inputs finish in one pass
+  for (;;) {
+    const std::vector<index_t> doomed =
+        find_non_maximal(residual, candidates, stats);
+    if (doomed.empty()) break;
+    for (index_t f : doomed) {
+      if (!residual.edge_alive(f)) continue;
+      residual.erase_edge(f);
+      ++erased;
+    }
+    // Deleting edges leaves every residual vertex set untouched, so no
+    // containment can newly appear and the next sweep is a self-check
+    // expected to come back empty. Seed it from the overlap
+    // neighborhoods of the edges just doomed -- the only candidates a
+    // hypothetical substrate bug could affect -- rather than rescanning
+    // all live edges, which made adversarial duplicate chains quadratic.
+    if (queued.empty()) queued.assign(h.num_edges(), 0);
+    candidates.clear();
+    for (index_t f : doomed) {
+      for (index_t w : h.vertices_of(f)) {
+        if (!residual.vertex_alive(w)) continue;
+        for (index_t g : h.edges_of(w)) {
+          if (residual.edge_alive(g) && queued[g] == 0) {
+            queued[g] = 1;
+            candidates.push_back(g);
+          }
+        }
+      }
+    }
+    for (index_t g : candidates) queued[g] = 0;  // marks dedupe one build
+    if (candidates.empty()) break;
+  }
+  return erased;
+}
+
+}  // namespace hp::hyper

@@ -12,6 +12,8 @@ obs::MetricsSnapshot to_metrics(const PeelStats& stats) {
       {"peel.cascaded_edge_deletions", stats.cascaded_edge_deletions},
       {"peel.rounds", stats.peel_rounds},
       {"peel.peak_queue_length", stats.peak_queue_length},
+      {"peel.frontier_pushes", stats.frontier_pushes},
+      {"peel.frontier_wasted", stats.frontier_wasted},
       {"peel.repairs", stats.repairs},
       {"peel.repair_fallbacks", stats.repair_fallbacks},
       {"peel.repaired_vertices", stats.repaired_vertices},
@@ -28,6 +30,8 @@ void publish_metrics(const PeelStats& stats) {
   obs::counter("peel.cascaded_edge_deletions")
       .add(stats.cascaded_edge_deletions);
   obs::counter("peel.rounds").add(stats.peel_rounds);
+  obs::counter("peel.frontier_pushes").add(stats.frontier_pushes);
+  obs::counter("peel.frontier_wasted").add(stats.frontier_wasted);
   obs::counter("peel.repairs").add(stats.repairs);
   obs::counter("peel.repair_fallbacks").add(stats.repair_fallbacks);
   obs::counter("peel.repaired_vertices").add(stats.repaired_vertices);

@@ -44,6 +44,14 @@ struct PeelStats {
   count_t peel_rounds = 0;
   /// Largest work-queue (or frontier) population observed.
   count_t peak_queue_length = 0;
+  /// Frontier-engine entries pushed: lazy bucket inserts (one per degree
+  /// drop plus the initial fill), per-lane bag appends, and heap pushes
+  /// by the measure-driven peel. Bounded by |pins| + |V| per run.
+  count_t frontier_pushes = 0;
+  /// Frontier entries discarded as stale at drain/pop time (vertex
+  /// already dead, duplicate of an entry seen this level, or a lazy
+  /// heap key that no longer matches). wasted <= pushes always.
+  count_t frontier_wasted = 0;
   /// Bounded subcore repairs performed by incremental core maintenance
   /// (core/mutate/): each repair re-peels only the components reachable
   /// from the dirty region.
@@ -68,6 +76,8 @@ struct PeelStats {
     cascaded_edge_deletions += other.cascaded_edge_deletions;
     peel_rounds += other.peel_rounds;
     note_queue_length(other.peak_queue_length);
+    frontier_pushes += other.frontier_pushes;
+    frontier_wasted += other.frontier_wasted;
     repairs += other.repairs;
     repair_fallbacks += other.repair_fallbacks;
     repaired_vertices += other.repaired_vertices;

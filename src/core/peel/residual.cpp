@@ -1,5 +1,7 @@
 #include "core/peel/residual.hpp"
 
+#include <atomic>
+
 namespace hp::hyper {
 
 ResidualHypergraph::ResidualHypergraph(const Hypergraph& h)
@@ -60,6 +62,26 @@ void ResidualHypergraph::erase_edge(index_t f) {
   mark_edge_dead(f);
   for (index_t w : h_->vertices_of(f)) {
     if (vertex_alive_[w] != 0) --vertex_degree_[w];
+  }
+}
+
+void ResidualHypergraph::shrink_edge_atomic(index_t e) {
+  std::atomic_ref<index_t> size{edge_size_[e]};
+  size.fetch_sub(1, std::memory_order_relaxed);
+}
+
+index_t ResidualHypergraph::drop_degree_atomic(index_t w) {
+  std::atomic_ref<index_t> degree{vertex_degree_[w]};
+  return degree.fetch_sub(1, std::memory_order_relaxed) - 1;
+}
+
+void ResidualHypergraph::note_bulk_erase(index_t vertices, index_t edges) {
+  live_vertices_ -= vertices;
+  live_edges_ -= edges;
+  if (stats_ != nullptr) {
+    stats_->vertex_deletions += vertices;
+    stats_->edge_deletions += edges;
+    if (level_ >= 1) stats_->cascaded_edge_deletions += edges;
   }
 }
 

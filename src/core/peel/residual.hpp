@@ -79,6 +79,48 @@ class ResidualHypergraph {
   /// Same, without a degree-drop hook.
   void erase_edge(index_t f);
 
+  // --- Bulk-parallel primitives (frontier engine) -------------------
+  //
+  // The bulk-synchronous peel erases a whole frontier of vertices (then
+  // a whole batch of doomed edges) from concurrent pool lanes. Item
+  // ownership is disjoint -- each vertex/edge is erased by exactly one
+  // lane -- so alive flags and core stamps are plain disjoint writes,
+  // while the shared degree/size counters use atomic decrements. Live
+  // counts and stats are settled once per phase via note_bulk_erase
+  // (calling it is the caller's obligation; the mark_*_bulk primitives
+  // deliberately touch neither). Phase discipline keeps the reads safe:
+  // a vertex phase never writes edge-alive flags and vice versa.
+
+  /// Mark v dead and stamp its core (level-1) if bound. No counters.
+  void mark_vertex_dead_bulk(index_t v) {
+    vertex_alive_[v] = 0;
+    if (vertex_core_ != nullptr && level_ >= 1) {
+      (*vertex_core_)[v] = level_ - 1;
+    }
+  }
+
+  /// Mark f dead and stamp its core (level-1) if bound. No counters.
+  void mark_edge_dead_bulk(index_t f) {
+    edge_alive_[f] = 0;
+    if (edge_core_ != nullptr && level_ >= 1) {
+      (*edge_core_)[f] = level_ - 1;
+    }
+  }
+
+  /// Atomically shrink edge e's residual size by one (a member vertex
+  /// died). Safe from any lane while no lane writes edge-alive flags.
+  void shrink_edge_atomic(index_t e);
+
+  /// Atomically drop vertex w's residual degree by one (an incident
+  /// edge died); returns the new degree. Each concurrent decrement
+  /// observes a distinct value, so (w, new_degree) records are unique.
+  index_t drop_degree_atomic(index_t w);
+
+  /// Settle live counts and deletion stats after bulk phases erased
+  /// `vertices` vertices and `edges` edges via the mark_*_bulk
+  /// primitives. Serial (driver) code only.
+  void note_bulk_erase(index_t vertices, index_t edges);
+
  private:
   void mark_vertex_dead(index_t v);
   void mark_edge_dead(index_t f);

@@ -1,25 +1,26 @@
 #include "core/reduce.hpp"
 
-#include "core/peel/containment.hpp"
+#include "core/peel/frontier.hpp"
 #include "obs/trace.hpp"
 
 namespace hp::hyper {
 
 ReduceResult find_non_maximal(const Hypergraph& h) {
   HP_TRACE_SPAN("reduce.find_non_maximal");
-  // Fresh residual = the input itself; one bulk containment sweep over
-  // all edges decides maximality (deleting an edge cannot create new
-  // containments, so no fixpoint is needed).
-  const ResidualHypergraph residual{h};
-  std::vector<index_t> all_edges(h.num_edges());
-  for (index_t e = 0; e < h.num_edges(); ++e) all_edges[e] = e;
-  const std::vector<index_t> doomed =
-      find_non_maximal(residual, all_edges, nullptr);
+  // Same shared reduction as the peelers' level 0: one bulk containment
+  // sweep decides maximality (deleting an edge cannot create new
+  // containments), and the neighborhood-seeded verification sweep
+  // inside erase_non_maximal self-checks that at no extra asymptotic
+  // cost.
+  ResidualHypergraph residual{h};
+  const index_t removed = erase_non_maximal(residual, nullptr);
 
   ReduceResult result;
   result.keep.assign(h.num_edges(), true);
-  for (index_t f : doomed) result.keep[f] = false;
-  result.num_removed = static_cast<index_t>(doomed.size());
+  for (index_t f = 0; f < h.num_edges(); ++f) {
+    if (!residual.edge_alive(f)) result.keep[f] = false;
+  }
+  result.num_removed = removed;
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -165,8 +166,20 @@ proto::Response Server::handle(const proto::Request& request) {
   const std::uint64_t timeout_ms = request.timeout_ms != 0
                                        ? request.timeout_ms
                                        : options_.default_timeout_ms;
-  const std::uint64_t deadline_ns =
-      timeout_ms != 0 ? start_ns + timeout_ms * 1000000u : 0;
+  // Saturating ms -> deadline conversion. The protocol accepts
+  // timeout_ms up to 2^53-1, so the naive start_ns + timeout_ms * 1e6
+  // wraps in uint64 and a huge client-supplied timeout silently became
+  // an instant (or past) deadline. Any product or sum that no longer
+  // fits means "effectively no deadline": clamp to the maximum instead
+  // of wrapping.
+  constexpr std::uint64_t kMaxNs = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t deadline_ns = 0;
+  if (timeout_ms != 0) {
+    const std::uint64_t timeout_ns =
+        timeout_ms <= kMaxNs / 1000000u ? timeout_ms * 1000000u : kMaxNs;
+    deadline_ns =
+        timeout_ns <= kMaxNs - start_ns ? start_ns + timeout_ns : kMaxNs;
+  }
 
   obs::counter("server.requests").add(1);
   obs::gauge("server.queue_depth")

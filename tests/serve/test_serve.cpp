@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -18,6 +19,7 @@
 
 #include "cli/commands.hpp"
 #include "obs/json_check.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/serve_commands.hpp"
@@ -120,6 +122,33 @@ TEST_F(ServeTest, PerRequestTimeoutProducesErrorReply) {
   const proto::Response after = client.query("ping", "");
   EXPECT_TRUE(after.ok);
   EXPECT_EQ(after.output, "pong\n");
+}
+
+TEST_F(ServeTest, HugeTimeoutDoesNotOverflowIntoSpuriousTimeout) {
+  // Regression: the deadline used to be computed as
+  // start_ns + timeout_ms * 1'000'000 in uint64, which wraps for large
+  // client-supplied values -- a huge timeout silently became a short
+  // one. Both probes below are accepted by the protocol's integer-field
+  // cap (2^53 - 1); the second one's nanosecond product wraps to about
+  // 0.45 ms, which pre-fix timed the 50 ms sleep out spuriously.
+  Server server{options("timeout_overflow")};
+  server.start();
+  Client client{server.endpoint()};
+
+  const std::uint64_t timeouts_before =
+      obs::counter("server.timeouts").value();
+  for (const std::uint64_t timeout_ms :
+       {std::uint64_t{9007199254740991ull},    // 2^53 - 1
+        std::uint64_t{18446744073710ull}}) {   // * 1e6 wraps to ~0.45ms
+    proto::Request request;
+    request.command = "sleep";
+    request.args = {{"ms", "50"}};
+    request.timeout_ms = timeout_ms;
+    const proto::Response response = client.call(std::move(request));
+    EXPECT_TRUE(response.ok) << "timeout_ms=" << timeout_ms << ": "
+                             << response.error;
+  }
+  EXPECT_EQ(obs::counter("server.timeouts").value(), timeouts_before);
 }
 
 TEST_F(ServeTest, ServerDefaultTimeoutApplies) {
